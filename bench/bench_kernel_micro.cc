@@ -1,0 +1,140 @@
+// Kernel microbenchmarks (google-benchmark): the single-node machinery
+// under stage 2 — PPJoin+ vs PPJoin vs All-Pairs vs the naive joiner, the
+// verification merge, the suffix filter, and the tokenizers. Supports the
+// paper's claim hierarchy: filters cut candidates, candidates dominate
+// kernel cost.
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "data/generator.h"
+#include "ppjoin/allpairs.h"
+#include "ppjoin/naive.h"
+#include "ppjoin/ppjoin.h"
+#include "similarity/filters.h"
+#include "text/token_ordering.h"
+#include "text/tokenizer.h"
+
+namespace {
+
+using fj::ppjoin::TokenSetRecord;
+using fj::sim::SimilarityFunction;
+using fj::sim::SimilaritySpec;
+
+/// Token-set records derived from the synthetic DBLP-like generator, so
+/// microbenchmarks see the same skew as the pipeline benches.
+std::vector<TokenSetRecord> BenchRecords(size_t n) {
+  auto records = fj::data::GenerateRecords(fj::data::DblpLikeConfig(n, 42));
+  fj::text::WordTokenizer tokenizer;
+  std::map<std::string, uint64_t> counts;
+  std::vector<std::vector<std::string>> tokenized;
+  for (const auto& r : records) {
+    tokenized.push_back(tokenizer.Tokenize(r.JoinAttribute()));
+    for (const auto& t : tokenized.back()) counts[t]++;
+  }
+  auto ordering =
+      fj::text::TokenOrdering::FromCounts({counts.begin(), counts.end()});
+  std::vector<TokenSetRecord> sets;
+  sets.reserve(records.size());
+  for (size_t i = 0; i < records.size(); ++i) {
+    sets.push_back(
+        TokenSetRecord{records[i].rid, ordering.ToSortedIds(tokenized[i])});
+  }
+  return sets;
+}
+
+const SimilaritySpec kSpec(SimilarityFunction::kJaccard, 0.8);
+
+void BM_SelfJoinPPJoinPlus(benchmark::State& state) {
+  auto records = BenchRecords(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto pairs = fj::ppjoin::PPJoinSelfJoin(records, kSpec);
+    benchmark::DoNotOptimize(pairs);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SelfJoinPPJoinPlus)->Arg(500)->Arg(2000)->Arg(8000);
+
+void BM_SelfJoinPPJoin(benchmark::State& state) {
+  auto records = BenchRecords(static_cast<size_t>(state.range(0)));
+  fj::ppjoin::PPJoinOptions options;
+  options.use_suffix_filter = false;
+  for (auto _ : state) {
+    auto pairs = fj::ppjoin::PPJoinSelfJoin(records, kSpec, options);
+    benchmark::DoNotOptimize(pairs);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SelfJoinPPJoin)->Arg(500)->Arg(2000)->Arg(8000);
+
+void BM_SelfJoinAllPairs(benchmark::State& state) {
+  auto records = BenchRecords(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto pairs = fj::ppjoin::AllPairsSelfJoin(records, kSpec);
+    benchmark::DoNotOptimize(pairs);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SelfJoinAllPairs)->Arg(500)->Arg(2000)->Arg(8000);
+
+void BM_SelfJoinNaive(benchmark::State& state) {
+  auto records = BenchRecords(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto pairs = fj::ppjoin::NaiveSelfJoin(records, kSpec);
+    benchmark::DoNotOptimize(pairs);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SelfJoinNaive)->Arg(500)->Arg(2000);
+
+void BM_VerifyOverlap(benchmark::State& state) {
+  fj::Rng rng(7);
+  std::vector<fj::sim::TokenId> x, y;
+  for (fj::sim::TokenId t = 0; t < 64; ++t) {
+    if (rng.NextBool(0.5)) x.push_back(t);
+    if (rng.NextBool(0.5)) y.push_back(t);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fj::sim::VerifyOverlap(x, y, 0, 0, 0, 8));
+  }
+}
+BENCHMARK(BM_VerifyOverlap);
+
+void BM_SuffixFilter(benchmark::State& state) {
+  fj::Rng rng(9);
+  std::vector<fj::sim::TokenId> x, y;
+  for (fj::sim::TokenId t = 0; t < 48; ++t) {
+    if (rng.NextBool(0.5)) x.push_back(t);
+    if (rng.NextBool(0.5)) y.push_back(t);
+  }
+  fj::sim::SuffixFilter filter(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(filter.MayQualify(x, y, 12));
+  }
+}
+BENCHMARK(BM_SuffixFilter);
+
+void BM_WordTokenizer(benchmark::State& state) {
+  fj::text::WordTokenizer tokenizer;
+  std::string text =
+      "Efficient Parallel Set-Similarity Joins Using MapReduce, "
+      "Rares Vernica, Michael J. Carey, Chen Li";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tokenizer.Tokenize(text));
+  }
+  state.SetBytesProcessed(state.iterations() * text.size());
+}
+BENCHMARK(BM_WordTokenizer);
+
+void BM_QGramTokenizer(benchmark::State& state) {
+  fj::text::QGramTokenizer tokenizer(3);
+  std::string text = "Efficient Parallel Set-Similarity Joins Using MapReduce";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tokenizer.Tokenize(text));
+  }
+  state.SetBytesProcessed(state.iterations() * text.size());
+}
+BENCHMARK(BM_QGramTokenizer);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,114 @@
+// Approximate string matching with edit distance — the paper's footnote 1
+// ("the techniques described in this paper can also be used for
+// approximate string search using the edit or Levenshtein distance") and
+// its master-data-management motivation: detecting that "John W. Smith",
+// "Jon W. Smith", and "John W Smith" may refer to the same person.
+//
+// Shows both layers of edit-distance support:
+//   1. EditDistanceSelfJoin — q-gram prefix filter + banded verification;
+//   2. the MapReduce pipeline with a q-gram tokenizer and Jaccard, whose
+//      candidates over-approximate an edit-distance predicate.
+//
+//   $ ./examples/approximate_name_matching
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "data/record.h"
+#include "fuzzyjoin/fuzzyjoin.h"
+#include "similarity/edit_distance.h"
+#include "text/tokenizer.h"
+
+namespace {
+
+std::vector<std::string> CustomerNames() {
+  std::vector<std::string> names{
+      "john w smith",     "jon w smith",      "john w smyth",
+      "maria garcia",     "maria garzia",     "mariah garcia",
+      "wei zhang",        "wei zang",         "rares vernica",
+      "rares vernika",    "michael carey",    "michael carrey",
+      "chen li",          "chen lee",         "grace hopper",
+      "alan turing",      "ada lovelace",     "edsger dijkstra",
+      "barbara liskov",   "donald knuth",
+  };
+  // Add machine-generated account names with typos.
+  fj::Rng rng(99);
+  size_t base = names.size();
+  for (size_t i = 0; i < 200; ++i) {
+    std::string name = names[rng.NextBelow(base)];
+    if (rng.NextBool(0.5) && !name.empty()) {
+      size_t pos = rng.NextBelow(name.size());
+      name[pos] = static_cast<char>('a' + rng.NextBelow(26));
+    }
+    names.push_back(name);
+  }
+  return names;
+}
+
+}  // namespace
+
+int main() {
+  auto names = CustomerNames();
+  std::printf("customer records: %zu names\n\n", names.size());
+
+  // --- Layer 1: exact edit-distance join ------------------------------
+  const size_t max_distance = 2;
+  auto pairs = fj::sim::EditDistanceSelfJoin(names, max_distance, /*q=*/3);
+  std::printf("[edit distance <= %zu] %zu matching pairs, e.g.:\n",
+              max_distance, pairs.size());
+  size_t shown = 0;
+  for (const auto& pair : pairs) {
+    if (pair.distance == 0) continue;  // exact duplicates are boring
+    if (shown++ >= 5) break;
+    std::printf("  d=%zu  \"%s\"  ~  \"%s\"\n", pair.distance,
+                names[pair.index1].c_str(), names[pair.index2].c_str());
+  }
+
+  // --- Layer 2: the MapReduce pipeline with q-gram tokens -------------
+  // Edit distance d on strings of length ~L implies Jaccard similarity of
+  // their q-gram sets of roughly (L - qd) / (L + qd); tau = 0.6 with q = 3
+  // over-approximates d <= 2 for these name lengths.
+  std::vector<fj::data::Record> records;
+  records.reserve(names.size());
+  for (size_t i = 0; i < names.size(); ++i) {
+    records.push_back(
+        fj::data::Record{i + 1, names[i], /*authors=*/"", /*payload=*/""});
+  }
+  fj::mr::Dfs dfs;
+  if (!dfs.WriteFile("names", fj::data::RecordsToLines(records)).ok()) {
+    std::fprintf(stderr, "dfs write failed\n");
+    return 1;
+  }
+  fj::join::JoinConfig config;
+  config.tokenizer = std::make_shared<fj::text::QGramTokenizer>(3);
+  config.function = fj::sim::SimilarityFunction::kJaccard;
+  config.tau = 0.6;
+  auto result = fj::join::RunSelfJoin(&dfs, "names", "qgram", config);
+  if (!result.ok()) {
+    std::fprintf(stderr, "join failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+  auto joined = fj::join::ReadJoinedPairs(dfs, result->output_file);
+  if (!joined.ok()) {
+    std::fprintf(stderr, "%s\n", joined.status().ToString().c_str());
+    return 1;
+  }
+
+  // Confirm candidates with the exact predicate.
+  size_t confirmed = 0;
+  for (const auto& jp : *joined) {
+    if (fj::sim::WithinEditDistance(jp.first.title, jp.second.title,
+                                    max_distance)) {
+      ++confirmed;
+    }
+  }
+  std::printf(
+      "\n[pipeline, qgram3 jaccard >= %.2f] %zu candidate pairs, %zu "
+      "confirmed at edit distance <= %zu\n",
+      config.tau, joined->size(), confirmed, max_distance);
+  std::printf("(the pipeline candidates are a superset; the banded DP "
+              "verification is exact)\n");
+  return 0;
+}

@@ -1,0 +1,48 @@
+#include "common/counters.h"
+
+#include <sstream>
+
+namespace fj {
+
+void CounterSet::Add(const std::string& name, int64_t delta) {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_[name] += delta;
+}
+
+void CounterSet::Max(const std::string& name, int64_t value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = counters_.try_emplace(name, value);
+  if (!inserted && it->second < value) it->second = value;
+}
+
+int64_t CounterSet::Get(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+void CounterSet::MergeFrom(const CounterSet& other) {
+  auto snapshot = other.Snapshot();
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, value] : snapshot) counters_[name] += value;
+}
+
+std::map<std::string, int64_t> CounterSet::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_;
+}
+
+std::string CounterSet::ToString() const {
+  std::ostringstream out;
+  for (const auto& [name, value] : Snapshot()) {
+    out << name << " = " << value << "\n";
+  }
+  return out.str();
+}
+
+void CounterSet::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_.clear();
+}
+
+}  // namespace fj

@@ -1,0 +1,60 @@
+// Named counters, mirroring Hadoop job counters. The MapReduce engine and
+// the join pipeline use these to report records read/written, bytes
+// shuffled, candidate pairs generated, pairs pruned by each filter, etc.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace fj {
+
+/// A thread-safe bag of int64 counters keyed by name.
+class CounterSet {
+ public:
+  CounterSet() = default;
+
+  // Copy/move synchronize on the source's mutex; the new set gets a fresh
+  // mutex. (Needed so JobMetrics stays movable.)
+  CounterSet(const CounterSet& other) : counters_(other.Snapshot()) {}
+  CounterSet(CounterSet&& other) noexcept : counters_(other.Snapshot()) {}
+  CounterSet& operator=(const CounterSet& other) {
+    if (this != &other) {
+      auto snapshot = other.Snapshot();
+      std::lock_guard<std::mutex> lock(mu_);
+      counters_ = std::move(snapshot);
+    }
+    return *this;
+  }
+  CounterSet& operator=(CounterSet&& other) noexcept {
+    return *this = other;
+  }
+
+  /// Adds `delta` to counter `name` (creating it at zero).
+  void Add(const std::string& name, int64_t delta);
+
+  /// Raises counter `name` to `value` if it is currently lower (peak
+  /// tracking, e.g. peak resident memory across reduce tasks).
+  void Max(const std::string& name, int64_t value);
+
+  /// Returns the value of `name`, or 0 if never touched.
+  int64_t Get(const std::string& name) const;
+
+  /// Merges every counter from `other` into this set.
+  void MergeFrom(const CounterSet& other);
+
+  /// Snapshot of all counters in name order.
+  std::map<std::string, int64_t> Snapshot() const;
+
+  /// One "name = value" line per counter.
+  std::string ToString() const;
+
+  void Clear();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, int64_t> counters_;
+};
+
+}  // namespace fj

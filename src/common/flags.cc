@@ -1,0 +1,43 @@
+#include "common/flags.h"
+
+#include <cstdlib>
+
+namespace fj {
+
+Flags::Flags(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    size_t eq = arg.find('=');
+    if (eq == std::string::npos) {
+      values_[arg.substr(2)] = "1";
+    } else {
+      values_[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+    }
+  }
+}
+
+bool Flags::Has(const std::string& key) const { return values_.count(key) > 0; }
+
+int64_t Flags::GetInt(const std::string& key, int64_t default_value) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return default_value;
+  return std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+double Flags::GetDouble(const std::string& key, double default_value) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return default_value;
+  return std::strtod(it->second.c_str(), nullptr);
+}
+
+std::string Flags::GetString(const std::string& key,
+                             const std::string& default_value) const {
+  auto it = values_.find(key);
+  return it == values_.end() ? default_value : it->second;
+}
+
+}  // namespace fj

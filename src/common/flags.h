@@ -1,0 +1,30 @@
+// Minimal --key=value command-line flag parsing for tools and benchmarks.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace fj {
+
+class Flags {
+ public:
+  /// Collects every "--key=value" (and bare "--key" as "1") argument;
+  /// non-flag arguments are kept, in order, as positional arguments.
+  Flags(int argc, char** argv);
+
+  bool Has(const std::string& key) const;
+  int64_t GetInt(const std::string& key, int64_t default_value) const;
+  double GetDouble(const std::string& key, double default_value) const;
+  std::string GetString(const std::string& key,
+                        const std::string& default_value) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace fj

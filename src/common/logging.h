@@ -1,0 +1,40 @@
+// Minimal leveled logging to stderr. Off by default at DEBUG level.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace fj {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the minimum level that is emitted (default kInfo).
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+/// Emits one log line (thread-safe).
+void LogMessage(LogLevel level, const std::string& message);
+
+namespace internal {
+
+/// Stream-style collector that emits on destruction.
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { LogMessage(level_, stream_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace fj
+
+#define FJ_LOG(level) ::fj::internal::LogLine(::fj::LogLevel::k##level)

@@ -1,0 +1,67 @@
+// Seeded pseudo-random generation, including a Zipf sampler used by the
+// synthetic dataset generators. All randomness in the repository flows
+// through Rng so experiments are reproducible bit-for-bit.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fj {
+
+/// xoshiro256** by Blackman & Vigna: fast, high-quality, tiny state.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Uniform 64-bit value.
+  uint64_t Next();
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  uint64_t NextBelow(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  uint64_t NextInRange(uint64_t lo, uint64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Bernoulli(p).
+  bool NextBool(double p = 0.5);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (size_t i = v->size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(NextBelow(i));
+      std::swap((*v)[i - 1], (*v)[j]);
+    }
+  }
+
+ private:
+  uint64_t state_[4];
+};
+
+/// Draws ranks in [0, n) with P(k) proportional to 1/(k+1)^theta.
+///
+/// Uses the inverse-CDF over a precomputed cumulative table; construction is
+/// O(n), sampling is O(log n). Zipf skew is the key property the paper's
+/// datasets exhibit (token-frequency skew drives the prefix filter's
+/// effectiveness and the workload-balance discussion).
+class ZipfSampler {
+ public:
+  /// n: number of distinct ranks; theta: skew (0 = uniform, ~1 = web-like).
+  ZipfSampler(size_t n, double theta);
+
+  /// Returns a rank in [0, n); smaller ranks are more frequent.
+  size_t Sample(Rng* rng) const;
+
+  size_t n() const { return cdf_.size(); }
+  double theta() const { return theta_; }
+
+ private:
+  std::vector<double> cdf_;
+  double theta_;
+};
+
+}  // namespace fj

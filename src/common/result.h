@@ -1,0 +1,67 @@
+// Result<T>: a value-or-Status, the companion of status.h.
+#pragma once
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace fj {
+
+/// Holds either a T or a non-OK Status. Analogous to absl::StatusOr<T>.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from a value (success).
+  Result(T value) : data_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit from an error Status. Must not be OK: an OK status carries no
+  /// value and would leave the Result empty.
+  Result(Status status) : data_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(data_).ok() &&
+           "Result constructed from OK status without a value");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+
+  /// Returns the error, or OK if this holds a value.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(data_);
+  }
+
+  /// Requires ok().
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(data_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> data_;
+};
+
+}  // namespace fj
+
+/// Assigns the value of a Result expression to `lhs`, or returns its error.
+#define FJ_ASSIGN_OR_RETURN(lhs, expr)                 \
+  auto FJ_CONCAT_(_fj_result_, __LINE__) = (expr);     \
+  if (!FJ_CONCAT_(_fj_result_, __LINE__).ok())         \
+    return FJ_CONCAT_(_fj_result_, __LINE__).status(); \
+  lhs = std::move(FJ_CONCAT_(_fj_result_, __LINE__)).value()
+
+#define FJ_CONCAT_INNER_(a, b) a##b
+#define FJ_CONCAT_(a, b) FJ_CONCAT_INNER_(a, b)

@@ -1,0 +1,53 @@
+// A fixed-size thread pool used by the MapReduce engine to execute map and
+// reduce tasks. Task *costs* are metered separately (see mapreduce/metrics.h);
+// the pool only provides physical concurrency on the host machine.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace fj {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (at least 1).
+  explicit ThreadPool(size_t num_threads);
+
+  /// Drains outstanding work, then joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task for execution.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished executing.
+  void Wait();
+
+  size_t num_threads() const { return workers_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  size_t in_flight_ = 0;
+  bool shutting_down_ = false;
+};
+
+/// Runs `tasks` on a pool of `num_threads` and blocks until all complete.
+/// With num_threads == 1 the tasks run on the calling thread in order,
+/// which keeps single-core runs free of thread overhead.
+void RunParallel(const std::vector<std::function<void()>>& tasks,
+                 size_t num_threads);
+
+}  // namespace fj

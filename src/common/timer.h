@@ -1,0 +1,26 @@
+// Wall-clock timing helpers.
+#pragma once
+
+#include <chrono>
+
+namespace fj {
+
+/// Measures elapsed wall time since construction or the last Restart().
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace fj

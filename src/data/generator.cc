@@ -1,0 +1,154 @@
+#include "data/generator.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/string_util.h"
+
+namespace fj::data {
+
+namespace {
+
+constexpr const char* kSyllables[] = {
+    "ba", "ce", "di", "fo", "gu", "ha", "ki", "lo", "mu", "ne",
+    "pa", "qi", "ro", "su", "ta", "ve", "wi", "xo", "yu", "za"};
+constexpr size_t kNumSyllables = sizeof(kSyllables) / sizeof(kSyllables[0]);
+
+// Distinct pronounceable word for `index`: base-20 syllable encoding with a
+// minimum of three syllables (so words look like "bacedi", "cezaqi", ...).
+std::string EncodeSyllables(size_t index, size_t min_syllables) {
+  std::string word;
+  size_t remaining = index;
+  while (remaining > 0 || word.size() < 2 * min_syllables) {
+    word += kSyllables[remaining % kNumSyllables];
+    remaining /= kNumSyllables;
+  }
+  return word;
+}
+
+std::vector<std::string> SplitWords(const std::string& s) {
+  std::vector<std::string> words;
+  for (auto& w : fj::Split(s, ' ')) {
+    if (!w.empty()) words.push_back(std::move(w));
+  }
+  return words;
+}
+
+// Applies up to `max_edits` random token edits (replace / delete / insert).
+void MutateTokens(std::vector<std::string>* tokens, size_t max_edits,
+                  const fj::ZipfSampler& vocab_dist, fj::Rng* rng) {
+  size_t edits = static_cast<size_t>(rng->NextBelow(max_edits + 1));
+  for (size_t e = 0; e < edits; ++e) {
+    uint64_t op = rng->NextBelow(3);
+    if (op == 0 && !tokens->empty()) {  // replace
+      size_t pos = static_cast<size_t>(rng->NextBelow(tokens->size()));
+      (*tokens)[pos] = VocabWord(vocab_dist.Sample(rng));
+    } else if (op == 1 && tokens->size() > 1) {  // delete
+      size_t pos = static_cast<size_t>(rng->NextBelow(tokens->size()));
+      tokens->erase(tokens->begin() + static_cast<ptrdiff_t>(pos));
+    } else {  // insert
+      size_t pos = static_cast<size_t>(rng->NextBelow(tokens->size() + 1));
+      tokens->insert(tokens->begin() + static_cast<ptrdiff_t>(pos),
+                     VocabWord(vocab_dist.Sample(rng)));
+    }
+  }
+}
+
+std::string MakePayload(size_t target_bytes, fj::Rng* rng) {
+  std::string payload;
+  payload.reserve(target_bytes + 12);
+  while (payload.size() < target_bytes) {
+    if (!payload.empty()) payload += ' ';
+    payload += EncodeSyllables(rng->NextBelow(100000), 2);
+  }
+  payload.resize(target_bytes);
+  if (!payload.empty() && payload.back() == ' ') payload.back() = 'x';
+  return payload;
+}
+
+}  // namespace
+
+std::string VocabWord(size_t index) { return EncodeSyllables(index, 3); }
+
+std::string AuthorWord(size_t index) {
+  return "mc" + EncodeSyllables(index, 2);
+}
+
+GeneratorConfig DblpLikeConfig(uint64_t num_records, uint64_t seed) {
+  GeneratorConfig config;
+  config.num_records = num_records;
+  config.seed = seed;
+  config.payload_bytes = 160;  // -> ~260-byte records
+  return config;
+}
+
+GeneratorConfig CiteseerxLikeConfig(uint64_t num_records, uint64_t seed) {
+  GeneratorConfig config;
+  config.num_records = num_records;
+  config.seed = seed;
+  config.payload_bytes = 1250;  // -> ~1370-byte records ("abstract + URLs")
+  return config;
+}
+
+std::vector<Record> GenerateRecords(const GeneratorConfig& config) {
+  fj::Rng rng(config.seed);
+  fj::ZipfSampler title_dist(config.title_vocab, config.zipf_theta);
+  fj::ZipfSampler author_dist(config.author_vocab, config.zipf_theta);
+
+  std::vector<Record> out;
+  out.reserve(config.num_records);
+  for (uint64_t i = 0; i < config.num_records; ++i) {
+    Record record;
+    record.rid = config.first_rid + i;
+
+    if (!out.empty() && rng.NextBool(config.duplicate_fraction)) {
+      // Near-duplicate of an earlier record: same authors, slightly edited
+      // title — the pairs the join is meant to find.
+      const Record& base = out[rng.NextBelow(out.size())];
+      std::vector<std::string> tokens = SplitWords(base.title);
+      MutateTokens(&tokens, config.dup_max_edits, title_dist, &rng);
+      record.title = fj::Join(tokens, ' ');
+      record.authors = base.authors;
+    } else {
+      size_t title_len = static_cast<size_t>(
+          rng.NextInRange(config.title_tokens_min, config.title_tokens_max));
+      std::vector<std::string> tokens;
+      tokens.reserve(title_len);
+      for (size_t t = 0; t < title_len; ++t) {
+        tokens.push_back(VocabWord(title_dist.Sample(&rng)));
+      }
+      record.title = fj::Join(tokens, ' ');
+
+      size_t author_count = static_cast<size_t>(
+          rng.NextInRange(config.authors_min, config.authors_max));
+      std::vector<std::string> authors;
+      authors.reserve(author_count);
+      for (size_t a = 0; a < author_count; ++a) {
+        authors.push_back(AuthorWord(author_dist.Sample(&rng)));
+      }
+      record.authors = fj::Join(authors, ' ');
+    }
+
+    record.payload = MakePayload(config.payload_bytes, &rng);
+    out.push_back(std::move(record));
+  }
+  return out;
+}
+
+void InjectOverlap(const std::vector<Record>& source, double fraction,
+                   size_t max_edits, uint64_t seed,
+                   std::vector<Record>* target) {
+  if (source.empty() || target->empty()) return;
+  fj::Rng rng(seed);
+  fj::ZipfSampler vocab_dist(2000, 0.9);
+  for (Record& record : *target) {
+    if (!rng.NextBool(fraction)) continue;
+    const Record& base = source[rng.NextBelow(source.size())];
+    std::vector<std::string> tokens = SplitWords(base.title);
+    MutateTokens(&tokens, max_edits, vocab_dist, &rng);
+    record.title = fj::Join(tokens, ' ');
+    record.authors = base.authors;
+  }
+}
+
+}  // namespace fj::data

@@ -1,0 +1,82 @@
+// Synthetic bibliographic dataset generators.
+//
+// The paper evaluates on DBLP (~259 bytes/record) and CITESEERX (~1374
+// bytes/record). These generators reproduce the properties the algorithms
+// are sensitive to:
+//   * Zipf-distributed token frequencies over a bounded dictionary
+//     (token-frequency skew is what makes rare-token-first prefix routing
+//     balance the reducers);
+//   * a title+authors join attribute of realistic token count;
+//   * payload fields sized so the two datasets keep the paper's record
+//     length ratio (record-join cost in stage 3 depends on record bytes);
+//   * a controllable fraction of injected near-duplicates, so the join
+//     produces a nontrivial, linearly-growing result.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "data/record.h"
+
+namespace fj::data {
+
+struct GeneratorConfig {
+  uint64_t num_records = 1000;
+  uint64_t seed = 42;
+  uint64_t first_rid = 1;
+
+  /// Size of the title vocabulary; token frequencies are Zipf(theta).
+  size_t title_vocab = 2000;
+  double zipf_theta = 0.9;
+
+  /// Title length range (tokens), uniform.
+  size_t title_tokens_min = 5;
+  size_t title_tokens_max = 12;
+
+  /// Author-name vocabulary and per-record author count.
+  size_t author_vocab = 400;
+  size_t authors_min = 1;
+  size_t authors_max = 4;
+
+  /// Approximate payload size in bytes (tunes total record length).
+  size_t payload_bytes = 160;
+
+  /// Probability that a record is a near-duplicate of an earlier record
+  /// (same title/authors with up to `dup_max_edits` token edits).
+  double duplicate_fraction = 0.15;
+  size_t dup_max_edits = 2;
+};
+
+/// DBLP-like defaults: ~260-byte records.
+GeneratorConfig DblpLikeConfig(uint64_t num_records, uint64_t seed = 42);
+
+/// CITESEERX-like defaults: ~1370-byte records (long abstract payload),
+/// sharing the DBLP-like title token space so an R-S join of the two
+/// produces matches — the paper joins DBLP with CITESEERX on
+/// title+authors.
+GeneratorConfig CiteseerxLikeConfig(uint64_t num_records, uint64_t seed = 43);
+
+/// Generates `config.num_records` records with RIDs
+/// [first_rid, first_rid + num_records).
+std::vector<Record> GenerateRecords(const GeneratorConfig& config);
+
+/// Replaces `fraction` of `target` records' title+authors with (lightly
+/// mutated) copies drawn from `source`. Models the real-world overlap
+/// between DBLP and CITESEERX — the same publications appearing in both —
+/// which is what gives the paper's R-S join its result pairs. Payloads and
+/// RIDs of `target` are preserved.
+void InjectOverlap(const std::vector<Record>& source, double fraction,
+                   size_t max_edits, uint64_t seed,
+                   std::vector<Record>* target);
+
+/// The deterministic word for a vocabulary slot; shared across generators
+/// so DBLP-like and CITESEERX-like datasets draw titles from the same
+/// token space. Rank 0 is the most frequent word.
+std::string VocabWord(size_t index);
+
+/// Author-name token for a slot (distinct space from VocabWord).
+std::string AuthorWord(size_t index);
+
+}  // namespace fj::data

@@ -1,0 +1,130 @@
+#include "data/increase.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "common/string_util.h"
+
+namespace fj::data {
+
+namespace {
+
+std::vector<std::string> SplitWords(const std::string& s) {
+  std::vector<std::string> words;
+  for (auto& w : fj::Split(s, ' ')) {
+    if (!w.empty()) words.push_back(std::move(w));
+  }
+  return words;
+}
+
+/// The global token order of one or two datasets: tokens sorted by
+/// (frequency ascending, token ascending), plus each token's position.
+struct TokenOrder {
+  std::vector<std::string> by_position;
+  std::unordered_map<std::string, size_t> position;
+};
+
+void CountTokens(const std::vector<Record>& records,
+                 std::unordered_map<std::string, uint64_t>* counts) {
+  for (const Record& r : records) {
+    for (auto& t : SplitWords(r.title)) (*counts)[t]++;
+    for (auto& t : SplitWords(r.authors)) (*counts)[t]++;
+  }
+}
+
+TokenOrder BuildOrder(const std::unordered_map<std::string, uint64_t>& counts) {
+  std::vector<std::pair<std::string, uint64_t>> ordered(counts.begin(),
+                                                        counts.end());
+  std::sort(ordered.begin(), ordered.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second < b.second;
+    return a.first < b.first;
+  });
+  TokenOrder order;
+  order.by_position.reserve(ordered.size());
+  order.position.reserve(ordered.size());
+  for (auto& [token, count] : ordered) {
+    order.position[token] = order.by_position.size();
+    order.by_position.push_back(std::move(token));
+  }
+  return order;
+}
+
+std::string ShiftText(const TokenOrder& order, const std::string& text,
+                      size_t k) {
+  std::vector<std::string> tokens = SplitWords(text);
+  for (auto& t : tokens) {
+    size_t pos = order.position.at(t);
+    t = order.by_position[(pos + k) % order.by_position.size()];
+  }
+  return fj::Join(tokens, ' ');
+}
+
+uint64_t RidStride(const std::vector<Record>& records) {
+  uint64_t stride = 0;
+  for (const Record& r : records) stride = std::max(stride, r.rid);
+  return stride + 1;
+}
+
+/// Appends factor-1 shifted copies of `base` to `out` (which must start as
+/// a copy of `base`).
+void AppendShiftedCopies(const TokenOrder& order,
+                         const std::vector<Record>& base, size_t factor,
+                         std::vector<Record>* out) {
+  uint64_t stride = RidStride(base);
+  out->reserve(base.size() * factor);
+  for (size_t k = 1; k < factor; ++k) {
+    for (const Record& r : base) {
+      Record copy;
+      copy.rid = r.rid + k * stride;
+      copy.title = ShiftText(order, r.title, k);
+      copy.authors = ShiftText(order, r.authors, k);
+      copy.payload = r.payload;
+      out->push_back(std::move(copy));
+    }
+  }
+}
+
+}  // namespace
+
+Result<std::vector<Record>> IncreaseDataset(const std::vector<Record>& base,
+                                            size_t factor) {
+  if (factor == 0) {
+    return Status::InvalidArgument("increase factor must be >= 1");
+  }
+  std::unordered_map<std::string, uint64_t> counts;
+  CountTokens(base, &counts);
+  if (counts.empty() && factor > 1 && !base.empty()) {
+    return Status::InvalidArgument("cannot increase: no tokens in dataset");
+  }
+  std::vector<Record> out = base;
+  if (factor > 1) {
+    TokenOrder order = BuildOrder(counts);
+    AppendShiftedCopies(order, base, factor, &out);
+  }
+  return out;
+}
+
+Status IncreaseDatasetsTogether(std::vector<Record>* r,
+                                std::vector<Record>* s, size_t factor) {
+  if (factor == 0) {
+    return Status::InvalidArgument("increase factor must be >= 1");
+  }
+  if (factor == 1) return Status::OK();
+  std::unordered_map<std::string, uint64_t> counts;
+  CountTokens(*r, &counts);
+  CountTokens(*s, &counts);
+  if (counts.empty()) {
+    return Status::InvalidArgument("cannot increase: no tokens in datasets");
+  }
+  TokenOrder order = BuildOrder(counts);
+  std::vector<Record> r_base = *r;
+  std::vector<Record> s_base = *s;
+  AppendShiftedCopies(order, r_base, factor, r);
+  AppendShiftedCopies(order, s_base, factor, s);
+  return Status::OK();
+}
+
+}  // namespace fj::data

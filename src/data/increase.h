@@ -1,0 +1,39 @@
+// The paper's dataset-increase technique (Section 6, "Increasing Dataset
+// Sizes"): to grow a dataset n-fold while keeping its set-similarity join
+// properties, compute the title+authors token frequencies, order tokens by
+// increasing frequency, and emit copy k of each record with every token
+// replaced by the token k positions after it in that order.
+//
+// Because each shift is a bijection on the token dictionary, every copy
+// reproduces the base dataset's intra-copy join pairs exactly (set sizes
+// and intersections are preserved), so the join-result cardinality grows
+// linearly with n — while the token dictionary stays constant. Both
+// properties are verified by tests/data/increase_test.cc.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/result.h"
+#include "data/record.h"
+
+namespace fj::data {
+
+/// Returns the base dataset followed by factor-1 shifted copies (so the
+/// result holds factor * base.size() records). Copy k's records get
+/// RID = base RID + k * stride, stride = max base RID + 1. factor >= 1.
+Result<std::vector<Record>> IncreaseDataset(const std::vector<Record>& base,
+                                            size_t factor);
+
+/// Increases two relations together for the R-S experiments, shifting both
+/// with ONE token order computed over the union of their join attributes.
+/// Shifting R and S with independent orders would scramble cross-dataset
+/// matches (copy k of an S record would no longer match copy k of its R
+/// counterpart) and the join result would stop growing; the shared order
+/// applies the same bijection to both relations, so every copy reproduces
+/// the base R-S matches and the result cardinality grows linearly in
+/// `factor` — the property the paper's Figure 12/14 workloads rely on.
+Status IncreaseDatasetsTogether(std::vector<Record>* r,
+                                std::vector<Record>* s, size_t factor);
+
+}  // namespace fj::data

@@ -1,0 +1,46 @@
+// The full-record schema flowing through the end-to-end pipeline.
+//
+// Mirrors the paper's preprocessed DBLP/CITESEERX layout: one line per
+// publication holding a unique integer RID, a title, a list of authors, and
+// "the rest of the content" (payload). The join attribute is the
+// concatenation of title and authors (Section 6). Lines are tab-separated;
+// the generators never emit tabs inside fields.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace fj::data {
+
+struct Record {
+  uint64_t rid = 0;
+  std::string title;
+  std::string authors;
+  std::string payload;
+
+  /// The join-attribute value: title and authors, concatenated.
+  std::string JoinAttribute() const { return title + " " + authors; }
+
+  /// Serializes to "rid<TAB>title<TAB>authors<TAB>payload".
+  std::string ToLine() const;
+
+  /// Parses a serialized record line.
+  static Result<Record> FromLine(const std::string& line);
+
+  friend bool operator==(const Record& a, const Record& b) {
+    return a.rid == b.rid && a.title == b.title && a.authors == b.authors &&
+           a.payload == b.payload;
+  }
+};
+
+/// Serializes a record collection, one line each.
+std::vector<std::string> RecordsToLines(const std::vector<Record>& records);
+
+/// Parses a full file of record lines.
+Result<std::vector<Record>> RecordsFromLines(
+    const std::vector<std::string>& lines);
+
+}  // namespace fj::data

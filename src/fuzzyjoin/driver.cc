@@ -1,0 +1,95 @@
+#include "fuzzyjoin/driver.h"
+
+#include "fuzzyjoin/stage1.h"
+#include "fuzzyjoin/stage2.h"
+
+namespace fj::join {
+
+double JoinRunResult::TotalWallSeconds() const {
+  double total = 0;
+  for (const auto& stage : stages) {
+    for (const auto& job : stage.jobs) total += job.wall_seconds;
+  }
+  return total;
+}
+
+double JoinRunResult::SimulatedSeconds(const mr::ClusterConfig& cluster) const {
+  double total = 0;
+  for (size_t i = 0; i < stages.size(); ++i) {
+    total += SimulatedStageSeconds(i, cluster);
+  }
+  return total;
+}
+
+double JoinRunResult::SimulatedStageSeconds(
+    size_t stage_index, const mr::ClusterConfig& cluster) const {
+  if (stage_index >= stages.size()) return 0;
+  return mr::SimulatePipelineSeconds(stages[stage_index].jobs, cluster);
+}
+
+Result<JoinRunResult> RunSelfJoin(mr::Dfs* dfs, const std::string& input_file,
+                                  const std::string& output_prefix,
+                                  const JoinConfig& config) {
+  FJ_RETURN_IF_ERROR(config.Validate());
+  JoinRunResult result;
+  result.ordering_file = output_prefix + ".ordering";
+  result.rid_pairs_file = output_prefix + ".ridpairs";
+  result.output_file = output_prefix + ".joined";
+
+  FJ_ASSIGN_OR_RETURN(
+      Stage1Result stage1,
+      RunStage1(dfs, input_file, result.ordering_file, config));
+  result.stages.push_back(StageMetrics{
+      std::string("1-") + Stage1Name(config.stage1), std::move(stage1.jobs)});
+
+  FJ_ASSIGN_OR_RETURN(
+      Stage2Result stage2,
+      RunStage2SelfJoin(dfs, input_file, result.ordering_file,
+                        result.rid_pairs_file, config));
+  result.stages.push_back(StageMetrics{
+      std::string("2-") + Stage2Name(config.stage2), std::move(stage2.jobs)});
+
+  FJ_ASSIGN_OR_RETURN(
+      Stage3Result stage3,
+      RunStage3SelfJoin(dfs, input_file, result.rid_pairs_file,
+                        result.output_file, config));
+  result.stages.push_back(StageMetrics{
+      std::string("3-") + Stage3Name(config.stage3), std::move(stage3.jobs)});
+
+  return result;
+}
+
+Result<JoinRunResult> RunRSJoin(mr::Dfs* dfs, const std::string& r_file,
+                                const std::string& s_file,
+                                const std::string& output_prefix,
+                                const JoinConfig& config) {
+  FJ_RETURN_IF_ERROR(config.Validate());
+  JoinRunResult result;
+  result.ordering_file = output_prefix + ".ordering";
+  result.rid_pairs_file = output_prefix + ".ridpairs";
+  result.output_file = output_prefix + ".joined";
+
+  // Stage 1 runs on relation R only (Section 4).
+  FJ_ASSIGN_OR_RETURN(Stage1Result stage1,
+                      RunStage1(dfs, r_file, result.ordering_file, config));
+  result.stages.push_back(StageMetrics{
+      std::string("1-") + Stage1Name(config.stage1), std::move(stage1.jobs)});
+
+  FJ_ASSIGN_OR_RETURN(
+      Stage2Result stage2,
+      RunStage2RSJoin(dfs, r_file, s_file, result.ordering_file,
+                      result.rid_pairs_file, config));
+  result.stages.push_back(StageMetrics{
+      std::string("2-") + Stage2Name(config.stage2), std::move(stage2.jobs)});
+
+  FJ_ASSIGN_OR_RETURN(
+      Stage3Result stage3,
+      RunStage3RSJoin(dfs, r_file, s_file, result.rid_pairs_file,
+                      result.output_file, config));
+  result.stages.push_back(StageMetrics{
+      std::string("3-") + Stage3Name(config.stage3), std::move(stage3.jobs)});
+
+  return result;
+}
+
+}  // namespace fj::join

@@ -1,0 +1,58 @@
+// End-to-end drivers: the paper's full three-stage pipelines for the
+// self-join (Section 3) and R-S join (Section 4) cases, from complete
+// records to complete joined record pairs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "fuzzyjoin/config.h"
+#include "fuzzyjoin/stage3.h"
+#include "mapreduce/cluster_model.h"
+#include "mapreduce/dfs.h"
+#include "mapreduce/metrics.h"
+
+namespace fj::join {
+
+/// Per-stage execution record of one pipeline run.
+struct StageMetrics {
+  std::string stage_name;  ///< "1-BTO", "2-PK", "3-BRJ", ...
+  std::vector<mr::JobMetrics> jobs;
+};
+
+struct JoinRunResult {
+  /// Dfs file of JoinedPair lines (see stage3.h).
+  std::string output_file;
+  /// Intermediate artifacts, kept for inspection.
+  std::string ordering_file;
+  std::string rid_pairs_file;
+
+  std::vector<StageMetrics> stages;
+
+  /// Real wall time summed over every executed job.
+  double TotalWallSeconds() const;
+
+  /// Simulated running time of the whole pipeline on `cluster`.
+  double SimulatedSeconds(const mr::ClusterConfig& cluster) const;
+
+  /// Simulated running time of one stage (index 0..2).
+  double SimulatedStageSeconds(size_t stage_index,
+                               const mr::ClusterConfig& cluster) const;
+};
+
+/// Runs the full self-join pipeline over `input_file` (record lines in the
+/// Dfs). Intermediate and final files are named `output_prefix` + suffix.
+Result<JoinRunResult> RunSelfJoin(mr::Dfs* dfs, const std::string& input_file,
+                                  const std::string& output_prefix,
+                                  const JoinConfig& config);
+
+/// Runs the full R-S join pipeline. Stage 1 (token ordering) runs on
+/// relation R only — pass the smaller relation as R, as the paper does
+/// (DBLP ⋈ CITESEERX with R = DBLP).
+Result<JoinRunResult> RunRSJoin(mr::Dfs* dfs, const std::string& r_file,
+                                const std::string& s_file,
+                                const std::string& output_prefix,
+                                const JoinConfig& config);
+
+}  // namespace fj::join

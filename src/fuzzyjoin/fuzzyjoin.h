@@ -1,0 +1,19 @@
+// Umbrella header: the public API of the parallel set-similarity join
+// library (a from-scratch reproduction of Vernica, Carey, Li —
+// "Efficient Parallel Set-Similarity Joins Using MapReduce", SIGMOD 2010).
+//
+// Typical use:
+//
+//   fj::mr::Dfs dfs;
+//   dfs.WriteFile("records", fj::data::RecordsToLines(my_records));
+//   fj::join::JoinConfig config;            // Jaccard >= 0.8, BTO-PK-OPRJ
+//   auto result = fj::join::RunSelfJoin(&dfs, "records", "out", config);
+//   auto pairs = fj::join::ReadJoinedPairs(dfs, result->output_file);
+#pragma once
+
+#include "fuzzyjoin/config.h"     // IWYU pragma: export
+#include "fuzzyjoin/driver.h"     // IWYU pragma: export
+#include "fuzzyjoin/one_stage.h"  // IWYU pragma: export
+#include "fuzzyjoin/stage1.h"     // IWYU pragma: export
+#include "fuzzyjoin/stage2.h"     // IWYU pragma: export
+#include "fuzzyjoin/stage3.h"     // IWYU pragma: export

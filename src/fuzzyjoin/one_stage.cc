@@ -1,0 +1,254 @@
+#include "fuzzyjoin/one_stage.h"
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/string_util.h"
+#include "data/record.h"
+#include "fuzzyjoin/stage1.h"
+#include "fuzzyjoin/stage2.h"
+#include "fuzzyjoin/stage3.h"
+#include "mapreduce/job.h"
+#include "ppjoin/ppjoin.h"
+#include "text/token_ordering.h"
+
+namespace fj::join {
+
+namespace {
+
+using mr::Emitter;
+using mr::InputRecord;
+using mr::OutputEmitter;
+using mr::TaskContext;
+
+/// Routes FULL RECORD LINES by prefix-token group — the fat-value variant
+/// of the stage-2 mapper.
+class FullRecordMapper : public mr::Mapper<Stage2Key, std::string> {
+ public:
+  FullRecordMapper(std::shared_ptr<const text::Tokenizer> tokenizer,
+                   const std::vector<std::string>* ordering_lines,
+                   sim::SimilaritySpec spec, TokenRouting routing,
+                   uint32_t num_groups)
+      : tokenizer_(std::move(tokenizer)),
+        ordering_lines_(ordering_lines),
+        spec_(spec),
+        routing_(routing),
+        num_groups_(num_groups) {}
+
+  void Setup(TaskContext* ctx) override {
+    auto parsed = text::TokenOrdering::FromLines(*ordering_lines_);
+    if (!parsed.ok()) {
+      ctx->counters().Add("onestage.bad_ordering", 1);
+      ordering_.emplace();
+      return;
+    }
+    ordering_.emplace(std::move(parsed).value());
+  }
+
+  void Map(const InputRecord& record, Emitter<Stage2Key, std::string>* out,
+           TaskContext* ctx) override {
+    auto parsed = data::Record::FromLine(*record.line);
+    if (!parsed.ok()) {
+      ctx->counters().Add("onestage.bad_records", 1);
+      return;
+    }
+    auto ids =
+        ordering_->ToSortedIds(tokenizer_->Tokenize(parsed->JoinAttribute()));
+    if (ids.empty()) return;
+    uint32_t length = static_cast<uint32_t>(ids.size());
+    size_t prefix = spec_.PrefixLength(ids.size());
+    std::vector<uint32_t> groups;
+    for (size_t i = 0; i < prefix; ++i) {
+      if (text::IsUnknownToken(ids[i])) continue;
+      uint32_t g = routing_ == TokenRouting::kIndividualTokens
+                       ? static_cast<uint32_t>(ids[i])
+                       : static_cast<uint32_t>(ids[i] % num_groups_);
+      bool seen = false;
+      for (uint32_t existing : groups) seen = seen || existing == g;
+      if (seen) continue;
+      groups.push_back(g);
+      out->Emit(Stage2Key{g, length, 0, 0}, *record.line);
+    }
+  }
+
+ private:
+  std::shared_ptr<const text::Tokenizer> tokenizer_;
+  const std::vector<std::string>* ordering_lines_;
+  std::optional<text::TokenOrdering> ordering_;
+  sim::SimilaritySpec spec_;
+  TokenRouting routing_;
+  uint32_t num_groups_;
+};
+
+/// Re-parses and re-tokenizes every record in the group (full records
+/// arrive, not projections), runs the PPJoin+ kernel, and emits complete
+/// joined pairs directly.
+class FullRecordReducer : public mr::Reducer<Stage2Key, std::string> {
+ public:
+  FullRecordReducer(std::shared_ptr<const text::Tokenizer> tokenizer,
+                    const std::vector<std::string>* ordering_lines,
+                    sim::SimilaritySpec spec)
+      : tokenizer_(std::move(tokenizer)),
+        ordering_lines_(ordering_lines),
+        spec_(spec) {}
+
+  void Setup(TaskContext* ctx) override {
+    auto parsed = text::TokenOrdering::FromLines(*ordering_lines_);
+    if (!parsed.ok()) {
+      ctx->counters().Add("onestage.bad_ordering", 1);
+      ordering_.emplace();
+      return;
+    }
+    ordering_.emplace(std::move(parsed).value());
+  }
+
+  void Reduce(const Stage2Key&,
+              std::span<const std::pair<Stage2Key, std::string>> group,
+              OutputEmitter* out, TaskContext* ctx) override {
+    std::vector<data::Record> records;
+    std::vector<ppjoin::TokenSetRecord> sets;
+    records.reserve(group.size());
+    sets.reserve(group.size());
+    std::map<uint64_t, size_t> by_rid;
+    for (const auto& [key, line] : group) {
+      auto parsed = data::Record::FromLine(line);
+      if (!parsed.ok()) {
+        ctx->counters().Add("onestage.bad_records", 1);
+        continue;
+      }
+      auto ids = ordering_->ToSortedIds(
+          tokenizer_->Tokenize(parsed->JoinAttribute()));
+      by_rid[parsed->rid] = records.size();
+      sets.push_back(ppjoin::TokenSetRecord{parsed->rid, std::move(ids)});
+      records.push_back(std::move(parsed).value());
+    }
+    // Group arrives length-sorted via the composite key.
+    ppjoin::PPJoinStream stream(spec_);
+    std::vector<ppjoin::SimilarPair> pairs;
+    for (const auto& set : sets) stream.ProbeAndInsert(set, &pairs);
+    for (const auto& pair : pairs) {
+      JoinedPair joined;
+      joined.similarity = pair.similarity;
+      joined.first = records[by_rid[pair.rid1]];
+      joined.second = records[by_rid[pair.rid2]];
+      out->Emit(joined.ToLine());
+      ctx->counters().Add("onestage.pairs_emitted", 1);
+    }
+  }
+
+ private:
+  std::shared_ptr<const text::Tokenizer> tokenizer_;
+  const std::vector<std::string>* ordering_lines_;
+  std::optional<text::TokenOrdering> ordering_;
+  sim::SimilaritySpec spec_;
+};
+
+/// Deduplicates joined-pair lines (the same pair may be produced by every
+/// reducer whose group the two records share).
+class DedupMapper
+    : public mr::Mapper<std::pair<uint64_t, uint64_t>, std::string> {
+ public:
+  void Map(const InputRecord& record,
+           Emitter<std::pair<uint64_t, uint64_t>, std::string>* out,
+           TaskContext* ctx) override {
+    auto fields = fj::SplitN(*record.line, '\t', 3);
+    if (fields.size() != 3) {
+      ctx->counters().Add("onestage.bad_joined_lines", 1);
+      return;
+    }
+    auto rid1 = fj::ParseUint64(fields[0]);
+    auto rid2 = fj::ParseUint64(fields[1]);
+    if (!rid1.ok() || !rid2.ok()) {
+      ctx->counters().Add("onestage.bad_joined_lines", 1);
+      return;
+    }
+    out->Emit({rid1.value(), rid2.value()}, *record.line);
+  }
+};
+
+class DedupReducer
+    : public mr::Reducer<std::pair<uint64_t, uint64_t>, std::string> {
+ public:
+  void Reduce(const std::pair<uint64_t, uint64_t>&,
+              std::span<const std::pair<std::pair<uint64_t, uint64_t>,
+                                        std::string>>
+                  group,
+              OutputEmitter* out, TaskContext*) override {
+    out->Emit(group.front().second);
+  }
+};
+
+}  // namespace
+
+Result<JoinRunResult> RunOneStageSelfJoin(mr::Dfs* dfs,
+                                          const std::string& input_file,
+                                          const std::string& output_prefix,
+                                          const JoinConfig& config) {
+  FJ_RETURN_IF_ERROR(config.Validate());
+  JoinRunResult result;
+  result.ordering_file = output_prefix + ".ordering";
+  result.rid_pairs_file = "";  // no projection stage exists
+  result.output_file = output_prefix + ".joined";
+
+  FJ_ASSIGN_OR_RETURN(
+      Stage1Result stage1,
+      RunStage1(dfs, input_file, result.ordering_file, config));
+  result.stages.push_back(StageMetrics{
+      std::string("1-") + Stage1Name(config.stage1), std::move(stage1.jobs)});
+
+  FJ_ASSIGN_OR_RETURN(const std::vector<std::string>* ordering_lines,
+                      dfs->ReadFile(result.ordering_file));
+
+  // The fat-value kernel job.
+  sim::SimilaritySpec spec = config.MakeSpec();
+  auto tokenizer = config.tokenizer;
+  auto routing = config.routing;
+  auto num_groups = config.num_groups;
+
+  mr::JobSpec<Stage2Key, std::string> kernel;
+  kernel.name = "onestage-kernel";
+  kernel.input_files = {input_file};
+  kernel.output_file = output_prefix + ".withdups";
+  kernel.num_map_tasks = config.num_map_tasks;
+  kernel.num_reduce_tasks = config.num_reduce_tasks;
+  kernel.local_threads = config.local_threads;
+  kernel.group_equal = [](const Stage2Key& a, const Stage2Key& b) {
+    return a.group == b.group;
+  };
+  kernel.mapper_factory = [tokenizer, ordering_lines, spec, routing,
+                           num_groups] {
+    return std::make_unique<FullRecordMapper>(tokenizer, ordering_lines, spec,
+                                              routing, num_groups);
+  };
+  kernel.reducer_factory = [tokenizer, ordering_lines, spec] {
+    return std::make_unique<FullRecordReducer>(tokenizer, ordering_lines,
+                                               spec);
+  };
+  mr::Job<Stage2Key, std::string> kernel_job(dfs, std::move(kernel));
+  FJ_ASSIGN_OR_RETURN(mr::JobMetrics kernel_metrics, kernel_job.Run());
+  result.stages.push_back(
+      StageMetrics{"2-ONESTAGE", {std::move(kernel_metrics)}});
+
+  // Deduplication job.
+  mr::JobSpec<std::pair<uint64_t, uint64_t>, std::string> dedup;
+  dedup.name = "onestage-dedup";
+  dedup.input_files = {output_prefix + ".withdups"};
+  dedup.output_file = result.output_file;
+  dedup.num_map_tasks = config.num_map_tasks;
+  dedup.num_reduce_tasks = config.num_reduce_tasks;
+  dedup.local_threads = config.local_threads;
+  dedup.mapper_factory = [] { return std::make_unique<DedupMapper>(); };
+  dedup.reducer_factory = [] { return std::make_unique<DedupReducer>(); };
+  mr::Job<std::pair<uint64_t, uint64_t>, std::string> dedup_job(
+      dfs, std::move(dedup));
+  FJ_ASSIGN_OR_RETURN(mr::JobMetrics dedup_metrics, dedup_job.Run());
+  result.stages.push_back(
+      StageMetrics{"3-DEDUP", {std::move(dedup_metrics)}});
+
+  return result;
+}
+
+}  // namespace fj::join

@@ -1,0 +1,34 @@
+// The one-stage, full-record alternative (Section 2.2).
+//
+// The paper considers replacing stages 2 and 3 with a single stage whose
+// key-value pairs carry COMPLETE RECORDS instead of (RID, token-set)
+// projections: reducers verify candidates and emit joined record pairs
+// directly, and a small follow-up job deduplicates pairs produced by
+// multiple reducers. The authors implemented it, found it much slower, and
+// dropped it — we implement it so that comparison can be reproduced
+// (bench_one_stage): replicating whole records through the shuffle
+// multiplies the network volume by the record payload, which projections
+// never pay.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "fuzzyjoin/config.h"
+#include "fuzzyjoin/driver.h"
+#include "mapreduce/dfs.h"
+
+namespace fj::join {
+
+/// Runs: stage 1 (token ordering) exactly as the normal pipeline, then the
+/// full-record kernel job, then the deduplication job. Produces the same
+/// JoinedPair output file as RunSelfJoin. Honors config.stage1, routing,
+/// and the similarity predicate; stage2/stage3 selections are ignored (the
+/// whole point is that there is no stage 2/3 split).
+Result<JoinRunResult> RunOneStageSelfJoin(mr::Dfs* dfs,
+                                          const std::string& input_file,
+                                          const std::string& output_prefix,
+                                          const JoinConfig& config);
+
+}  // namespace fj::join

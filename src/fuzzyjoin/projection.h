@@ -1,0 +1,29 @@
+// The record projection shuffled in stage 2: (RID, join-attribute token
+// ids). Projecting records down to this pair — instead of carrying whole
+// records through the kernel — is one of the paper's key design decisions
+// (Section 2.2; the full-record alternative performed much worse).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ppjoin/token_set.h"
+#include "text/token_ordering.h"
+
+namespace fj::ppjoin {
+
+/// Shuffle-size estimate: RID + varint-ish token encoding. Lives in
+/// fj::ppjoin so the engine's ByteSizeOf finds it via ADL on
+/// TokenSetRecord.
+inline size_t FjByteSize(const TokenSetRecord& p) {
+  return 8 + 4 * p.tokens.size();
+}
+
+}  // namespace fj::ppjoin
+
+namespace fj::join {
+
+using ppjoin::TokenSetRecord;
+using text::TokenId;
+
+}  // namespace fj::join

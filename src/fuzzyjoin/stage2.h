@@ -1,0 +1,98 @@
+// Stage 2 — RID-Pair Generation, the "Kernel" (Sections 3.2, 4, 5).
+//
+// Mappers project each record onto (RID, token ids), extract its prefix
+// under the stage-1 global ordering, and route one copy of the projection
+// per prefix token (individual routing) or per prefix-token *group*
+// (grouped routing). Reducers verify the candidates that share a routing
+// key and output "rid1<TAB>rid2<TAB>similarity" lines:
+//
+//   BK — nested-loop verification with the length filter (plus block
+//        processing when the group exceeds memory, Section 5);
+//   PK — the PPJoin+ kernel: the composite key carries the projection
+//        length, the partitioner ignores it, and the secondary sort hands
+//        the reducer a length-ordered stream (Section 3.2.2) — for R-S
+//        joins a length-*class* ordering that interleaves R before the S
+//        records they may join (Section 4, Figure 6).
+//
+// The same pair may be produced by several reducers (records can share
+// more than one prefix token); stage 3 deduplicates.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/result.h"
+#include "fuzzyjoin/config.h"
+#include "mapreduce/dfs.h"
+#include "mapreduce/metrics.h"
+
+namespace fj::join {
+
+/// The composite routing key of stage 2. The partitioner hashes `group`
+/// only; the sort comparator orders lexicographically on
+/// (group, s1, s2, s3) — the paper's "custom partitioning function"
+/// technique. Field meaning by variant:
+///
+///   self-join kernel:            s1 = projection length
+///   R-S kernel:                  s1 = length class (R: lower bound of its
+///                                length; S: its length), s2 = relation
+///                                (0 = R, 1 = S), s3 = length
+///   map-based block processing:  s1 = round, s2 = block (self) /
+///                                relation then block (R-S: s2 = relation,
+///                                s3 = block)
+///   reduce-based blocks:         s1 = block (self); s1 = relation,
+///                                s2 = block (R-S)
+struct Stage2Key {
+  uint32_t group = 0;
+  uint32_t s1 = 0;
+  uint32_t s2 = 0;
+  uint32_t s3 = 0;
+
+  auto Tie() const { return std::tie(group, s1, s2, s3); }
+  friend bool operator<(const Stage2Key& a, const Stage2Key& b) {
+    return a.Tie() < b.Tie();
+  }
+  friend bool operator==(const Stage2Key& a, const Stage2Key& b) {
+    return a.Tie() == b.Tie();
+  }
+};
+
+inline uint64_t FjKeyHash(const Stage2Key& k) { return HashInt64(k.group); }
+inline size_t FjByteSize(const Stage2Key&) { return 10; }
+
+/// Formats one kernel output line ("rid1<TAB>rid2<TAB>sim"); fixed-width
+/// similarity so duplicated pairs serialize identically and stage 3 can
+/// deduplicate by string equality.
+std::string FormatRidPairLine(uint64_t rid1, uint64_t rid2, double similarity);
+
+/// Parses a kernel output line.
+Result<std::tuple<uint64_t, uint64_t, double>> ParseRidPairLine(
+    const std::string& line);
+
+struct Stage2Result {
+  /// Dfs file of RID-pair lines (possibly with duplicates).
+  std::string pairs_file;
+  std::vector<mr::JobMetrics> jobs;
+};
+
+/// Self-join kernel over `input_file`, using the stage-1 ordering in
+/// `ordering_file`.
+Result<Stage2Result> RunStage2SelfJoin(mr::Dfs* dfs,
+                                       const std::string& input_file,
+                                       const std::string& ordering_file,
+                                       const std::string& output_file,
+                                       const JoinConfig& config);
+
+/// R-S kernel. The ordering must come from relation R (stage 1 runs on the
+/// smaller relation); S tokens absent from it are dropped from routing but
+/// kept in the token sets, so similarity values stay exact.
+Result<Stage2Result> RunStage2RSJoin(mr::Dfs* dfs, const std::string& r_file,
+                                     const std::string& s_file,
+                                     const std::string& ordering_file,
+                                     const std::string& output_file,
+                                     const JoinConfig& config);
+
+}  // namespace fj::join

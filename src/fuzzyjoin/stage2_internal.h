@@ -1,0 +1,164 @@
+// Shared machinery of the stage-2 kernels (self-join and R-S variants):
+// the projection mapper base, BK pair verification, and projection
+// (de)serialization for local-disk spills. Internal to the fuzzyjoin
+// library; not part of the public API.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/counters.h"
+#include "data/record.h"
+#include "fuzzyjoin/config.h"
+#include "fuzzyjoin/projection.h"
+#include "fuzzyjoin/stage2.h"
+#include "mapreduce/job.h"
+#include "ppjoin/ppjoin.h"
+#include "text/token_ordering.h"
+
+namespace fj::join::internal {
+
+/// Immutable per-job inputs captured by mapper factories.
+struct Stage2Context {
+  std::shared_ptr<const text::Tokenizer> tokenizer;
+  /// Raw stage-1 output; every map task parses it in Setup (really, so the
+  /// broadcast-loading cost the paper discusses is metered, not modeled).
+  const std::vector<std::string>* ordering_lines = nullptr;
+  sim::SimilaritySpec spec{sim::SimilarityFunction::kJaccard, 0.8};
+  TokenRouting routing = TokenRouting::kIndividualTokens;
+  uint32_t num_groups = 1;
+  GroupAssignment group_assignment = GroupAssignment::kRoundRobin;
+  uint32_t num_blocks = 1;
+};
+
+/// Base for stage-2 mappers: parses records, tokenizes the join attribute,
+/// converts to sorted token ids under the stage-1 ordering, and computes
+/// prefix routing groups.
+class ProjectionMapperBase : public mr::Mapper<Stage2Key, TokenSetRecord> {
+ public:
+  explicit ProjectionMapperBase(Stage2Context ctx) : ctx_(std::move(ctx)) {}
+
+  void Setup(mr::TaskContext* ctx) override {
+    // Each map task loads the broadcast token ordering — the per-task cost
+    // the paper attributes to distributing stage-1 output.
+    auto parsed = text::TokenOrdering::FromLines(*ctx_.ordering_lines);
+    if (!parsed.ok()) {
+      ctx->counters().Add("stage2.bad_ordering", 1);
+      ordering_.emplace();  // empty ordering: everything becomes unknown
+      return;
+    }
+    ordering_.emplace(std::move(parsed).value());
+  }
+
+ protected:
+  /// Projects one input line. Returns false (and counts why) when the line
+  /// is unparsable or the token set is empty.
+  bool ProjectRecord(const mr::InputRecord& record, mr::TaskContext* ctx,
+                     TokenSetRecord* projection) {
+    auto parsed = data::Record::FromLine(*record.line);
+    if (!parsed.ok()) {
+      ctx->counters().Add("stage2.bad_records", 1);
+      return false;
+    }
+    projection->rid = parsed->rid;
+    projection->tokens =
+        ordering_->ToSortedIds(ctx_.tokenizer->Tokenize(parsed->JoinAttribute()));
+    if (projection->tokens.empty()) {
+      ctx->counters().Add("stage2.empty_records", 1);
+      return false;
+    }
+    return true;
+  }
+
+  uint32_t RouteToken(TokenId id) const {
+    // Individual routing: the token rank itself is the key. Grouped
+    // routing: round-robin over the frequency order, which balances the
+    // sum of token frequencies across groups (Section 3.2) — or contiguous
+    // ranges, the unbalanced strawman kept for ablation.
+    if (ctx_.routing == TokenRouting::kIndividualTokens) {
+      return static_cast<uint32_t>(id);
+    }
+    if (ctx_.group_assignment == GroupAssignment::kRoundRobin) {
+      return static_cast<uint32_t>(id % ctx_.num_groups);
+    }
+    size_t dictionary = std::max<size_t>(1, ordering_->size());
+    size_t width = (dictionary + ctx_.num_groups - 1) / ctx_.num_groups;
+    return static_cast<uint32_t>(std::min<TokenId>(
+        id / width, ctx_.num_groups - 1));
+  }
+
+  /// Distinct routing groups of the projection's prefix, in first-seen
+  /// order. Unknown (out-of-ordering) tokens are skipped: they can never
+  /// match the indexed relation (paper, Section 4, stage 1). Under
+  /// length-signature routing there are no token groups at all — the
+  /// length class (handled by the length-routing mapper) is the only
+  /// signature.
+  std::vector<uint32_t> PrefixGroups(const TokenSetRecord& projection) const {
+    if (ctx_.routing == TokenRouting::kLengthSignatures) return {0};
+    size_t prefix = ctx_.spec.PrefixLength(projection.tokens.size());
+    std::vector<uint32_t> groups;
+    groups.reserve(prefix);
+    for (size_t i = 0; i < prefix; ++i) {
+      TokenId id = projection.tokens[i];
+      if (text::IsUnknownToken(id)) continue;
+      uint32_t g = RouteToken(id);
+      bool seen = false;
+      for (uint32_t existing : groups) {
+        if (existing == g) {
+          seen = true;
+          break;
+        }
+      }
+      if (!seen) groups.push_back(g);
+    }
+    return groups;
+  }
+
+  uint32_t BlockOf(uint64_t rid) const {
+    return static_cast<uint32_t>(HashInt64(rid) % ctx_.num_blocks);
+  }
+
+  Stage2Context ctx_;
+  std::optional<text::TokenOrdering> ordering_;
+};
+
+/// BK verification of one candidate pair: length filter, then the
+/// early-terminating overlap merge. Emits a pair line when it qualifies.
+/// `self_canonical` orders the RIDs (min, max) for self-joins; for R-S the
+/// caller passes x = R record, y = S record.
+inline void BkVerifyPair(const sim::SimilaritySpec& spec,
+                         const TokenSetRecord& x, const TokenSetRecord& y,
+                         bool self_canonical, mr::OutputEmitter* out,
+                         mr::TaskContext* ctx) {
+  ctx->counters().Add("stage2.bk.pairs_considered", 1);
+  size_t lx = x.tokens.size();
+  size_t ly = y.tokens.size();
+  if (lx == 0 || ly == 0) return;
+  if (ly < spec.LengthLowerBound(lx) || ly > spec.LengthUpperBound(lx)) {
+    ctx->counters().Add("stage2.bk.length_filtered", 1);
+    return;
+  }
+  size_t alpha = spec.MinOverlap(lx, ly);
+  ctx->counters().Add("stage2.bk.verified", 1);
+  size_t overlap = sim::VerifyOverlap(x.tokens, y.tokens, 0, 0, 0, alpha);
+  if (overlap == sim::kOverlapFailed) return;
+  double similarity =
+      sim::SimilarityFromOverlap(spec.function(), overlap, lx, ly);
+  ctx->counters().Add("stage2.bk.results", 1);
+  uint64_t rid1 = x.rid;
+  uint64_t rid2 = y.rid;
+  if (self_canonical && rid1 > rid2) std::swap(rid1, rid2);
+  out->Emit(FormatRidPairLine(rid1, rid2, similarity));
+}
+
+/// Serialization for block spills to a reducer's local disk
+/// (reduce-based block processing, Section 5).
+std::string SerializeProjection(const TokenSetRecord& projection);
+Result<TokenSetRecord> ParseProjection(const std::string& line);
+
+/// Merges PPJoin kernel statistics into job counters.
+void MergePPJoinStats(const ppjoin::PPJoinStats& stats, mr::TaskContext* ctx);
+
+}  // namespace fj::join::internal

@@ -1,0 +1,504 @@
+// Stage 3 — Record Join (BRJ and OPRJ, self-join and R-S cases).
+#include "fuzzyjoin/stage3.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/string_util.h"
+#include "fuzzyjoin/stage2.h"
+#include "mapreduce/job.h"
+
+namespace fj::join {
+
+namespace {
+
+using mr::Emitter;
+using mr::InputRecord;
+using mr::OutputEmitter;
+using mr::TaskContext;
+
+std::string SanitizeTabs(std::string s) {
+  for (char& c : s) {
+    if (c == '\t') c = ' ';
+  }
+  return s;
+}
+
+std::string FormatSim(double sim) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6f", sim);
+  return buf;
+}
+
+// ------------------------------------------------------------ phase-1 types
+
+/// Phase-1 key: (relation, rid). Self-joins use relation 0 for everything;
+/// R-S joins distinguish the two RID spaces.
+using RidKey = std::pair<uint32_t, uint64_t>;
+
+/// Phase-1 value: either an original record line or a RID-pair line.
+struct TaggedLine {
+  uint8_t kind = 0;  ///< 0 = record, 1 = RID pair
+  std::string line;
+};
+
+inline size_t FjByteSize(const TaggedLine& v) { return 5 + v.line.size(); }
+
+// ------------------------------------------------------------ phase-2 types
+
+/// Phase-2 key: the RID pair itself.
+using PairKey = std::pair<uint64_t, uint64_t>;
+
+/// Phase-2 value: one half of the joined pair.
+struct HalfPair {
+  uint8_t side = 0;  ///< 0 = first/R record, 1 = second/S record
+  double similarity = 0;
+  std::string record_line;
+};
+
+inline size_t FjByteSize(const HalfPair& v) { return 13 + v.record_line.size(); }
+
+/// Formats the phase-1 output / phase-2 input line:
+/// "rid1 TAB rid2 TAB sim TAB side TAB <record line (4 fields)>".
+std::string FormatHalfLine(uint64_t rid1, uint64_t rid2, double sim,
+                           uint8_t side, const std::string& record_line) {
+  return std::to_string(rid1) + "\t" + std::to_string(rid2) + "\t" +
+         FormatSim(sim) + "\t" + std::to_string(side) + "\t" + record_line;
+}
+
+struct ParsedHalfLine {
+  uint64_t rid1 = 0;
+  uint64_t rid2 = 0;
+  double similarity = 0;
+  uint8_t side = 0;
+  std::string record_line;
+};
+
+Result<ParsedHalfLine> ParseHalfLine(const std::string& line) {
+  std::vector<std::string> fields = fj::SplitN(line, '\t', 5);
+  if (fields.size() != 5) {
+    return Status::InvalidArgument("bad half-pair line: " + line);
+  }
+  ParsedHalfLine out;
+  FJ_ASSIGN_OR_RETURN(out.rid1, fj::ParseUint64(fields[0]));
+  FJ_ASSIGN_OR_RETURN(out.rid2, fj::ParseUint64(fields[1]));
+  FJ_ASSIGN_OR_RETURN(out.similarity, fj::ParseDouble(fields[2]));
+  FJ_ASSIGN_OR_RETURN(uint64_t side, fj::ParseUint64(fields[3]));
+  if (side > 1) return Status::InvalidArgument("bad side: " + line);
+  out.side = static_cast<uint8_t>(side);
+  out.record_line = std::move(fields[4]);
+  return out;
+}
+
+// --------------------------------------------------------- phase-1 mapper
+
+/// Routes record lines by their RID and RID-pair lines by both RIDs.
+/// `pairs_file_index` identifies the RID-pair input; record inputs carry
+/// their relation tag (file 0 = R/self, file 1 = S).
+class Phase1Mapper : public mr::Mapper<RidKey, TaggedLine> {
+ public:
+  Phase1Mapper(size_t pairs_file_index, bool is_rs)
+      : pairs_file_index_(pairs_file_index), is_rs_(is_rs) {}
+
+  void Map(const InputRecord& record, Emitter<RidKey, TaggedLine>* out,
+           TaskContext* ctx) override {
+    if (record.file_index == pairs_file_index_) {
+      auto parsed = ParseRidPairLine(*record.line);
+      if (!parsed.ok()) {
+        ctx->counters().Add("stage3.bad_pair_lines", 1);
+        return;
+      }
+      auto [rid1, rid2, sim] = parsed.value();
+      (void)sim;
+      out->Emit(RidKey(0, rid1), TaggedLine{1, *record.line});
+      out->Emit(RidKey(is_rs_ ? 1 : 0, rid2), TaggedLine{1, *record.line});
+    } else {
+      auto parsed = data::Record::FromLine(*record.line);
+      if (!parsed.ok()) {
+        ctx->counters().Add("stage3.bad_records", 1);
+        return;
+      }
+      uint32_t relation =
+          is_rs_ ? static_cast<uint32_t>(record.file_index) : 0;
+      out->Emit(RidKey(relation, parsed->rid), TaggedLine{0, *record.line});
+    }
+  }
+
+ private:
+  size_t pairs_file_index_;
+  bool is_rs_;
+};
+
+// --------------------------------------------------------- phase-1 reducer
+
+/// Joins one record with all RID pairs referencing it, emitting one
+/// half-filled pair per (deduplicated) RID pair.
+class Phase1Reducer : public mr::Reducer<RidKey, TaggedLine> {
+ public:
+  explicit Phase1Reducer(bool is_rs) : is_rs_(is_rs) {}
+
+  void Reduce(const RidKey& key,
+              std::span<const std::pair<RidKey, TaggedLine>> group,
+              OutputEmitter* out, TaskContext* ctx) override {
+    const std::string* record_line = nullptr;
+    std::vector<std::string> pair_lines;
+    for (const auto& [k, value] : group) {
+      if (value.kind == 0) {
+        if (record_line != nullptr) {
+          ctx->counters().Add("stage3.duplicate_rids", 1);
+        }
+        record_line = &value.line;
+      } else {
+        pair_lines.push_back(value.line);
+      }
+    }
+    if (pair_lines.empty()) return;  // record participates in no pair
+    if (record_line == nullptr) {
+      ctx->counters().Add("stage3.missing_records", 1);
+      return;
+    }
+    // Stage 2 may emit the same pair from several reducers; both halves
+    // deduplicate identically because duplicate lines are byte-identical.
+    std::sort(pair_lines.begin(), pair_lines.end());
+    pair_lines.erase(std::unique(pair_lines.begin(), pair_lines.end()),
+                     pair_lines.end());
+    for (const std::string& line : pair_lines) {
+      auto parsed = ParseRidPairLine(line);
+      if (!parsed.ok()) continue;  // counted at map time
+      auto [rid1, rid2, sim] = parsed.value();
+      uint8_t side;
+      if (is_rs_) {
+        side = static_cast<uint8_t>(key.first);
+      } else {
+        side = key.second == rid1 ? 0 : 1;
+      }
+      out->Emit(FormatHalfLine(rid1, rid2, sim, side, *record_line));
+    }
+  }
+
+ private:
+  bool is_rs_;
+};
+
+// ----------------------------------------------------- phase-2 map/reduce
+
+/// Phase 2 mapper: parse half-pair lines into (pair key, half) — the
+/// paper's "identity map" plus input parsing.
+class Phase2Mapper : public mr::Mapper<PairKey, HalfPair> {
+ public:
+  void Map(const InputRecord& record, Emitter<PairKey, HalfPair>* out,
+           TaskContext* ctx) override {
+    auto parsed = ParseHalfLine(*record.line);
+    if (!parsed.ok()) {
+      ctx->counters().Add("stage3.bad_half_lines", 1);
+      return;
+    }
+    out->Emit(PairKey(parsed->rid1, parsed->rid2),
+              HalfPair{parsed->side, parsed->similarity,
+                       std::move(parsed->record_line)});
+  }
+};
+
+/// Phase 2 reducer: the two halves of a pair meet; output the joined pair.
+class Phase2Reducer : public mr::Reducer<PairKey, HalfPair> {
+ public:
+  void Reduce(const PairKey& key,
+              std::span<const std::pair<PairKey, HalfPair>> group,
+              OutputEmitter* out, TaskContext* ctx) override {
+    const HalfPair* first = nullptr;
+    const HalfPair* second = nullptr;
+    for (const auto& [k, half] : group) {
+      if (half.side == 0 && first == nullptr) {
+        first = &half;
+      } else if (half.side == 1 && second == nullptr) {
+        second = &half;
+      } else {
+        ctx->counters().Add("stage3.unexpected_halves", 1);
+      }
+    }
+    if (first == nullptr || second == nullptr) {
+      ctx->counters().Add("stage3.incomplete_pairs", 1);
+      return;
+    }
+    auto rec1 = data::Record::FromLine(first->record_line);
+    auto rec2 = data::Record::FromLine(second->record_line);
+    if (!rec1.ok() || !rec2.ok()) {
+      ctx->counters().Add("stage3.bad_records", 1);
+      return;
+    }
+    JoinedPair joined;
+    joined.similarity = first->similarity;
+    joined.first = std::move(rec1).value();
+    joined.second = std::move(rec2).value();
+    out->Emit(joined.ToLine());
+    (void)key;
+  }
+};
+
+// ----------------------------------------------------------- OPRJ mapper
+
+struct RidPairEntry {
+  uint64_t rid1;
+  uint64_t rid2;
+  double similarity;
+};
+
+/// OPRJ mapper: loads and indexes the broadcast RID-pair list in Setup
+/// (per map task — the constant-cost step the paper identifies as OPRJ's
+/// scalability limit), then joins records map-side.
+class OprjMapper : public mr::Mapper<PairKey, HalfPair> {
+ public:
+  OprjMapper(const std::vector<std::string>* pair_lines, bool is_rs)
+      : pair_lines_(pair_lines), is_rs_(is_rs) {}
+
+  void Setup(TaskContext* ctx) override {
+    std::vector<RidPairEntry> parsed;
+    parsed.reserve(pair_lines_->size());
+    for (const std::string& line : *pair_lines_) {
+      auto pair = ParseRidPairLine(line);
+      if (!pair.ok()) {
+        ctx->counters().Add("stage3.bad_pair_lines", 1);
+        continue;
+      }
+      auto [rid1, rid2, sim] = pair.value();
+      parsed.push_back(RidPairEntry{rid1, rid2, sim});
+    }
+    std::sort(parsed.begin(), parsed.end(),
+              [](const RidPairEntry& a, const RidPairEntry& b) {
+                return std::tie(a.rid1, a.rid2) < std::tie(b.rid1, b.rid2);
+              });
+    parsed.erase(std::unique(parsed.begin(), parsed.end(),
+                             [](const RidPairEntry& a, const RidPairEntry& b) {
+                               return a.rid1 == b.rid1 && a.rid2 == b.rid2;
+                             }),
+                 parsed.end());
+    pairs_ = std::move(parsed);
+    for (size_t i = 0; i < pairs_.size(); ++i) {
+      by_first_[pairs_[i].rid1].push_back(i);
+      by_second_[pairs_[i].rid2].push_back(i);
+    }
+  }
+
+  void Map(const InputRecord& record, Emitter<PairKey, HalfPair>* out,
+           TaskContext* ctx) override {
+    auto parsed = data::Record::FromLine(*record.line);
+    if (!parsed.ok()) {
+      ctx->counters().Add("stage3.bad_records", 1);
+      return;
+    }
+    uint64_t rid = parsed->rid;
+    // Self-join records match on either side; R-S records only on the side
+    // their relation owns (file 0 = R = side 0).
+    bool emit_first = !is_rs_ || record.file_index == 0;
+    bool emit_second = !is_rs_ || record.file_index == 1;
+    if (emit_first) {
+      auto it = by_first_.find(rid);
+      if (it != by_first_.end()) {
+        for (size_t i : it->second) {
+          const RidPairEntry& p = pairs_[i];
+          out->Emit(PairKey(p.rid1, p.rid2),
+                    HalfPair{0, p.similarity, *record.line});
+        }
+      }
+    }
+    if (emit_second) {
+      auto it = by_second_.find(rid);
+      if (it != by_second_.end()) {
+        for (size_t i : it->second) {
+          const RidPairEntry& p = pairs_[i];
+          out->Emit(PairKey(p.rid1, p.rid2),
+                    HalfPair{1, p.similarity, *record.line});
+        }
+      }
+    }
+  }
+
+ private:
+  const std::vector<std::string>* pair_lines_;
+  bool is_rs_;
+  std::vector<RidPairEntry> pairs_;
+  std::unordered_map<uint64_t, std::vector<size_t>> by_first_;
+  std::unordered_map<uint64_t, std::vector<size_t>> by_second_;
+};
+
+// ------------------------------------------------------------ job drivers
+
+Result<Stage3Result> RunBrj(mr::Dfs* dfs,
+                            const std::vector<std::string>& record_files,
+                            const std::string& pairs_file,
+                            const std::string& output_file, bool is_rs,
+                            const JoinConfig& config) {
+  Stage3Result result;
+  result.output_file = output_file;
+
+  // Phase 1: fill each half of every pair with its record.
+  mr::JobSpec<RidKey, TaggedLine> phase1;
+  phase1.name = "stage3-brj-1";
+  phase1.input_files = record_files;
+  phase1.input_files.push_back(pairs_file);
+  size_t pairs_file_index = record_files.size();
+  phase1.output_file = output_file + ".halves";
+  phase1.num_map_tasks = config.num_map_tasks;
+  phase1.num_reduce_tasks = config.num_reduce_tasks;
+  phase1.local_threads = config.local_threads;
+  phase1.mapper_factory = [pairs_file_index, is_rs] {
+    return std::make_unique<Phase1Mapper>(pairs_file_index, is_rs);
+  };
+  phase1.reducer_factory = [is_rs] {
+    return std::make_unique<Phase1Reducer>(is_rs);
+  };
+  mr::Job<RidKey, TaggedLine> job1(dfs, std::move(phase1));
+  FJ_ASSIGN_OR_RETURN(mr::JobMetrics metrics1, job1.Run());
+  result.jobs.push_back(std::move(metrics1));
+
+  // Phase 2: bring the two halves of each pair together.
+  mr::JobSpec<PairKey, HalfPair> phase2;
+  phase2.name = "stage3-brj-2";
+  phase2.input_files = {output_file + ".halves"};
+  phase2.output_file = output_file;
+  phase2.num_map_tasks = config.num_map_tasks;
+  phase2.num_reduce_tasks = config.num_reduce_tasks;
+  phase2.local_threads = config.local_threads;
+  phase2.mapper_factory = [] { return std::make_unique<Phase2Mapper>(); };
+  phase2.reducer_factory = [] { return std::make_unique<Phase2Reducer>(); };
+  mr::Job<PairKey, HalfPair> job2(dfs, std::move(phase2));
+  FJ_ASSIGN_OR_RETURN(mr::JobMetrics metrics2, job2.Run());
+  result.jobs.push_back(std::move(metrics2));
+  return result;
+}
+
+Result<Stage3Result> RunOprj(mr::Dfs* dfs,
+                             const std::vector<std::string>& record_files,
+                             const std::string& pairs_file,
+                             const std::string& output_file, bool is_rs,
+                             const JoinConfig& config) {
+  FJ_ASSIGN_OR_RETURN(const std::vector<std::string>* pair_lines,
+                      dfs->ReadFile(pairs_file));
+
+  // Every map task must hold the indexed RID-pair list in memory; model
+  // the paper's out-of-memory failure against the configured budget.
+  if (config.oprj_memory_limit_bytes > 0) {
+    uint64_t estimated = 0;
+    for (const auto& line : *pair_lines) estimated += 40 + line.size();
+    if (estimated > config.oprj_memory_limit_bytes) {
+      return Status::ResourceExhausted(
+          "OPRJ: RID-pair list (~" + std::to_string(estimated) +
+          " bytes indexed) exceeds the per-task memory budget of " +
+          std::to_string(config.oprj_memory_limit_bytes) +
+          " bytes; use BRJ for this scale");
+    }
+  }
+
+  Stage3Result result;
+  result.output_file = output_file;
+
+  mr::JobSpec<PairKey, HalfPair> spec;
+  spec.name = "stage3-oprj";
+  spec.input_files = record_files;
+  spec.output_file = output_file;
+  spec.num_map_tasks = config.num_map_tasks;
+  spec.num_reduce_tasks = config.num_reduce_tasks;
+  spec.local_threads = config.local_threads;
+  spec.mapper_factory = [pair_lines, is_rs] {
+    return std::make_unique<OprjMapper>(pair_lines, is_rs);
+  };
+  spec.reducer_factory = [] { return std::make_unique<Phase2Reducer>(); };
+  mr::Job<PairKey, HalfPair> job(dfs, std::move(spec));
+  FJ_ASSIGN_OR_RETURN(mr::JobMetrics metrics, job.Run());
+  result.jobs.push_back(std::move(metrics));
+  return result;
+}
+
+}  // namespace
+
+// --------------------------------------------------------------- JoinedPair
+
+std::string JoinedPair::ToLine() const {
+  std::string line;
+  line += std::to_string(first.rid);
+  line += '\t';
+  line += std::to_string(second.rid);
+  line += '\t';
+  line += FormatSim(similarity);
+  line += '\t';
+  line += SanitizeTabs(first.title);
+  line += '\t';
+  line += SanitizeTabs(first.authors);
+  line += '\t';
+  line += SanitizeTabs(first.payload);
+  line += '\t';
+  line += SanitizeTabs(second.title);
+  line += '\t';
+  line += SanitizeTabs(second.authors);
+  line += '\t';
+  line += SanitizeTabs(second.payload);
+  return line;
+}
+
+Result<JoinedPair> JoinedPair::FromLine(const std::string& line) {
+  std::vector<std::string> fields = fj::Split(line, '\t');
+  if (fields.size() != 9) {
+    return Status::InvalidArgument("bad joined-pair line: " + line);
+  }
+  JoinedPair out;
+  FJ_ASSIGN_OR_RETURN(out.first.rid, fj::ParseUint64(fields[0]));
+  FJ_ASSIGN_OR_RETURN(out.second.rid, fj::ParseUint64(fields[1]));
+  FJ_ASSIGN_OR_RETURN(out.similarity, fj::ParseDouble(fields[2]));
+  out.first.title = std::move(fields[3]);
+  out.first.authors = std::move(fields[4]);
+  out.first.payload = std::move(fields[5]);
+  out.second.title = std::move(fields[6]);
+  out.second.authors = std::move(fields[7]);
+  out.second.payload = std::move(fields[8]);
+  return out;
+}
+
+Result<std::vector<JoinedPair>> ReadJoinedPairs(const mr::Dfs& dfs,
+                                                const std::string& file) {
+  FJ_ASSIGN_OR_RETURN(const std::vector<std::string>* lines,
+                      dfs.ReadFile(file));
+  std::vector<JoinedPair> out;
+  out.reserve(lines->size());
+  for (const auto& line : *lines) {
+    FJ_ASSIGN_OR_RETURN(JoinedPair pair, JoinedPair::FromLine(line));
+    out.push_back(std::move(pair));
+  }
+  return out;
+}
+
+// ------------------------------------------------------------- public API
+
+Result<Stage3Result> RunStage3SelfJoin(mr::Dfs* dfs,
+                                       const std::string& records_file,
+                                       const std::string& pairs_file,
+                                       const std::string& output_file,
+                                       const JoinConfig& config) {
+  FJ_RETURN_IF_ERROR(config.Validate());
+  if (config.stage3 == Stage3Algorithm::kBRJ) {
+    return RunBrj(dfs, {records_file}, pairs_file, output_file,
+                  /*is_rs=*/false, config);
+  }
+  return RunOprj(dfs, {records_file}, pairs_file, output_file,
+                 /*is_rs=*/false, config);
+}
+
+Result<Stage3Result> RunStage3RSJoin(mr::Dfs* dfs, const std::string& r_file,
+                                     const std::string& s_file,
+                                     const std::string& pairs_file,
+                                     const std::string& output_file,
+                                     const JoinConfig& config) {
+  FJ_RETURN_IF_ERROR(config.Validate());
+  if (config.stage3 == Stage3Algorithm::kBRJ) {
+    return RunBrj(dfs, {r_file, s_file}, pairs_file, output_file,
+                  /*is_rs=*/true, config);
+  }
+  return RunOprj(dfs, {r_file, s_file}, pairs_file, output_file,
+                 /*is_rs=*/true, config);
+}
+
+}  // namespace fj::join

@@ -1,0 +1,70 @@
+#include "mapreduce/cluster_model.h"
+
+#include <algorithm>
+#include <cassert>
+#include <queue>
+
+namespace fj::mr {
+
+double Makespan(const std::vector<double>& task_seconds, size_t slots) {
+  assert(slots >= 1);
+  if (task_seconds.empty()) return 0;
+  if (slots == 1) {
+    double sum = 0;
+    for (double t : task_seconds) sum += t;
+    return sum;
+  }
+  std::vector<double> sorted = task_seconds;
+  std::sort(sorted.begin(), sorted.end(), std::greater<double>());
+  // Min-heap of slot finish times.
+  std::priority_queue<double, std::vector<double>, std::greater<double>> heap;
+  for (size_t i = 0; i < slots; ++i) heap.push(0.0);
+  double makespan = 0;
+  for (double t : sorted) {
+    double slot = heap.top();
+    heap.pop();
+    double finish = slot + t;
+    makespan = std::max(makespan, finish);
+    heap.push(finish);
+  }
+  return makespan;
+}
+
+SimulatedJobTime SimulateJob(const JobMetrics& metrics,
+                             const ClusterConfig& cluster) {
+  SimulatedJobTime out;
+  out.startup_seconds = cluster.job_startup_seconds;
+
+  const double scale = cluster.work_scale;
+  std::vector<double> map_costs;
+  map_costs.reserve(metrics.map_tasks.size());
+  for (const auto& t : metrics.map_tasks) {
+    map_costs.push_back(t.seconds * scale);
+  }
+  out.map_seconds = Makespan(map_costs, cluster.map_slots());
+
+  double bandwidth =
+      cluster.shuffle_bytes_per_second_per_node * static_cast<double>(cluster.nodes);
+  if (metrics.shuffle_bytes > 0 && bandwidth > 0) {
+    out.shuffle_seconds =
+        static_cast<double>(metrics.shuffle_bytes) * scale / bandwidth;
+  }
+
+  std::vector<double> reduce_costs;
+  reduce_costs.reserve(metrics.reduce_tasks.size());
+  for (const auto& t : metrics.reduce_tasks) {
+    reduce_costs.push_back(t.seconds * scale);
+  }
+  out.reduce_seconds = Makespan(reduce_costs, cluster.reduce_slots());
+
+  return out;
+}
+
+double SimulatePipelineSeconds(const std::vector<JobMetrics>& jobs,
+                               const ClusterConfig& cluster) {
+  double total = 0;
+  for (const auto& job : jobs) total += SimulateJob(job, cluster).total();
+  return total;
+}
+
+}  // namespace fj::mr

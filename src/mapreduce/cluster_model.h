@@ -1,0 +1,77 @@
+// Deterministic cluster cost model.
+//
+// The paper evaluates on a 10-node Hadoop cluster (4 map + 4 reduce slots
+// per node). This reproduction executes jobs on one machine, meters every
+// task, and then *simulates* the cluster running time:
+//
+//   job_time = startup_overhead
+//            + makespan(map task costs on nodes*map_slots slots)
+//            + shuffle_bytes / (nodes * per_node_shuffle_bandwidth)
+//            + makespan(reduce task costs on nodes*reduce_slots slots)
+//
+// Makespans use LPT (longest-processing-time-first) list scheduling, which
+// captures the effects the paper analyses: a stage with a single reduce
+// task cannot speed up; skewed reducers dominate their wave; per-phase job
+// overhead penalises multi-phase variants (BTO vs OPTO, BRJ vs OPRJ) on
+// small inputs.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "mapreduce/metrics.h"
+
+namespace fj::mr {
+
+/// Virtual cluster shape and physics.
+struct ClusterConfig {
+  size_t nodes = 10;
+  size_t map_slots_per_node = 4;
+  size_t reduce_slots_per_node = 4;
+
+  /// Aggregate shuffle bandwidth contributed by each node, bytes/second.
+  double shuffle_bytes_per_second_per_node = 50.0 * 1024 * 1024;
+
+  /// Fixed cost of launching one MapReduce job (Hadoop job startup,
+  /// scheduling, JVM spawn). Charged once per job.
+  double job_startup_seconds = 3.0;
+
+  /// Linear extrapolation factor applied to measured task costs and
+  /// shuffle bytes (NOT to the per-job startup overhead). The benchmarks
+  /// run paper-shaped workloads at laptop scale and set this to the ratio
+  /// between the paper's dataset size and the local one, so simulated
+  /// stage times land in the paper's regime while startup overhead keeps
+  /// its true relative weight. 1.0 = no extrapolation.
+  double work_scale = 1.0;
+
+  size_t map_slots() const { return nodes * map_slots_per_node; }
+  size_t reduce_slots() const { return nodes * reduce_slots_per_node; }
+};
+
+/// Makespan of `task_seconds` scheduled onto `slots` identical slots with
+/// LPT list scheduling. Returns 0 for no tasks; requires slots >= 1.
+double Makespan(const std::vector<double>& task_seconds, size_t slots);
+
+/// Breakdown of one simulated job execution.
+struct SimulatedJobTime {
+  double startup_seconds = 0;
+  double map_seconds = 0;
+  double shuffle_seconds = 0;
+  double reduce_seconds = 0;
+
+  double total() const {
+    return startup_seconds + map_seconds + shuffle_seconds + reduce_seconds;
+  }
+};
+
+/// Simulates `metrics` on `cluster`.
+SimulatedJobTime SimulateJob(const JobMetrics& metrics,
+                             const ClusterConfig& cluster);
+
+/// Sum of simulated times of a job sequence (stages run back to back, as
+/// the paper's three-stage pipeline does).
+double SimulatePipelineSeconds(const std::vector<JobMetrics>& jobs,
+                               const ClusterConfig& cluster);
+
+}  // namespace fj::mr

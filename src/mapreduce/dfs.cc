@@ -1,0 +1,108 @@
+#include "mapreduce/dfs.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fj::mr {
+
+Status Dfs::WriteFile(const std::string& name,
+                      std::vector<std::string> lines) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = files_.try_emplace(
+      name, std::make_unique<std::vector<std::string>>(std::move(lines)));
+  (void)it;
+  if (!inserted) return Status::AlreadyExists("dfs file exists: " + name);
+  return Status::OK();
+}
+
+Status Dfs::AppendToFile(const std::string& name,
+                         const std::vector<std::string>& lines) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = files_.find(name);
+  if (it == files_.end()) {
+    it = files_.emplace(name, std::make_unique<std::vector<std::string>>())
+             .first;
+  }
+  auto& dest = *it->second;
+  dest.insert(dest.end(), lines.begin(), lines.end());
+  return Status::OK();
+}
+
+Result<const std::vector<std::string>*> Dfs::ReadFile(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = files_.find(name);
+  if (it == files_.end()) return Status::NotFound("dfs file: " + name);
+  return static_cast<const std::vector<std::string>*>(it->second.get());
+}
+
+bool Dfs::Exists(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return files_.count(name) > 0;
+}
+
+Status Dfs::DeleteFile(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (files_.erase(name) == 0) return Status::NotFound("dfs file: " + name);
+  return Status::OK();
+}
+
+void Dfs::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  files_.clear();
+}
+
+std::vector<std::string> Dfs::ListFiles() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(files_.size());
+  for (const auto& [name, lines] : files_) names.push_back(name);
+  return names;  // std::map iterates in sorted order
+}
+
+Result<uint64_t> Dfs::FileBytes(const std::string& name) const {
+  FJ_ASSIGN_OR_RETURN(const std::vector<std::string>* lines, ReadFile(name));
+  uint64_t total = 0;
+  for (const auto& l : *lines) total += l.size() + 1;
+  return total;
+}
+
+Result<size_t> Dfs::FileLines(const std::string& name) const {
+  FJ_ASSIGN_OR_RETURN(const std::vector<std::string>* lines, ReadFile(name));
+  return lines->size();
+}
+
+Result<std::vector<InputSplit>> Dfs::MakeSplits(
+    const std::vector<std::string>& names, size_t target_splits) const {
+  size_t total_lines = 0;
+  std::vector<size_t> line_counts(names.size());
+  for (size_t i = 0; i < names.size(); ++i) {
+    FJ_ASSIGN_OR_RETURN(line_counts[i], FileLines(names[i]));
+    total_lines += line_counts[i];
+  }
+
+  std::vector<InputSplit> splits;
+  for (size_t i = 0; i < names.size(); ++i) {
+    size_t lines = line_counts[i];
+    if (lines == 0) continue;
+    size_t file_splits = 1;
+    if (target_splits > 0 && total_lines > 0) {
+      // Proportional share, at least one split per non-empty file.
+      double share = static_cast<double>(lines) / total_lines;
+      file_splits = std::max<size_t>(
+          1, static_cast<size_t>(std::llround(share * target_splits)));
+      file_splits = std::min(file_splits, lines);
+    }
+    size_t base = lines / file_splits;
+    size_t extra = lines % file_splits;
+    size_t begin = 0;
+    for (size_t s = 0; s < file_splits; ++s) {
+      size_t len = base + (s < extra ? 1 : 0);
+      splits.push_back(InputSplit{i, names[i], begin, begin + len});
+      begin += len;
+    }
+  }
+  return splits;
+}
+
+}  // namespace fj::mr

@@ -1,0 +1,66 @@
+// An in-memory stand-in for a distributed file system (HDFS).
+//
+// Files are named, immutable-once-written sequences of text lines. Jobs read
+// input files from the Dfs and write one output file per job. The Dfs also
+// computes input splits (block boundaries) for the map phase.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "mapreduce/input.h"
+
+namespace fj::mr {
+
+class Dfs {
+ public:
+  Dfs() = default;
+  Dfs(const Dfs&) = delete;
+  Dfs& operator=(const Dfs&) = delete;
+
+  /// Creates `name` with the given lines. Fails if the file exists.
+  Status WriteFile(const std::string& name, std::vector<std::string> lines);
+
+  /// Creates `name` if needed and appends the lines.
+  Status AppendToFile(const std::string& name,
+                      const std::vector<std::string>& lines);
+
+  /// Returns a stable pointer to the file's lines (files are never moved
+  /// once created; appends mutate the pointed-to vector, so callers must not
+  /// hold the pointer across writes).
+  Result<const std::vector<std::string>*> ReadFile(const std::string& name) const;
+
+  bool Exists(const std::string& name) const;
+
+  Status DeleteFile(const std::string& name);
+
+  /// Removes every file.
+  void Clear();
+
+  /// Total bytes of the file's lines (excluding line terminators).
+  Result<uint64_t> FileBytes(const std::string& name) const;
+
+  Result<size_t> FileLines(const std::string& name) const;
+
+  /// Names of all files, sorted.
+  std::vector<std::string> ListFiles() const;
+
+  /// Splits the given files into roughly `target_splits` contiguous line
+  /// ranges overall, never spanning files and never returning empty splits
+  /// (unless every file is empty). With target_splits == 0, one split per
+  /// file. Split sizes are proportional to file line counts.
+  Result<std::vector<InputSplit>> MakeSplits(
+      const std::vector<std::string>& names, size_t target_splits) const;
+
+ private:
+  mutable std::mutex mu_;
+  // unique_ptr keeps line storage stable across map rehashes.
+  std::map<std::string, std::unique_ptr<std::vector<std::string>>> files_;
+};
+
+}  // namespace fj::mr

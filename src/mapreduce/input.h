@@ -1,0 +1,30 @@
+// Input model for MapReduce jobs: line-oriented files split into contiguous
+// line ranges (the analogue of Hadoop's TextInputFormat + FileSplit).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace fj::mr {
+
+/// A contiguous range of lines of one input file, processed by one map task.
+/// Mirrors Hadoop's rule that "mappers do not span across files" — a rule the
+/// paper's BRJ stage depends on to tell record files from RID-pair files.
+struct InputSplit {
+  /// Index of the file in the job's input_files list; exposed to mappers so
+  /// they can distinguish input sources (the paper's stage 3 uses this).
+  size_t file_index = 0;
+  std::string file_name;
+  size_t begin_line = 0;  ///< inclusive
+  size_t end_line = 0;    ///< exclusive
+};
+
+/// One input record handed to a map call.
+struct InputRecord {
+  size_t file_index = 0;
+  const std::string* file_name = nullptr;
+  size_t line_number = 0;  ///< 0-based within the file
+  const std::string* line = nullptr;
+};
+
+}  // namespace fj::mr

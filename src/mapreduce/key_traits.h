@@ -1,0 +1,78 @@
+// Default hashing for shuffle keys. The engine's default partitioner sends
+// a key to reduce task `KeyHashOf(key) % num_reduce_tasks`, mirroring
+// Hadoop's HashPartitioner. Custom key types either compose the types below
+// or provide `uint64_t FjKeyHash(const T&)` discoverable via ADL (the
+// paper's "custom partitioning function" hook is JobSpec::partitioner).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <tuple>
+#include <type_traits>
+#include <utility>
+
+#include "common/hash.h"
+
+namespace fj::mr {
+
+template <typename T>
+uint64_t KeyHashOf(const T& key);
+
+namespace internal {
+
+template <typename T, typename = void>
+struct HasAdlKeyHash : std::false_type {};
+
+template <typename T>
+struct HasAdlKeyHash<T,
+                     std::void_t<decltype(FjKeyHash(std::declval<const T&>()))>>
+    : std::true_type {};
+
+template <typename T>
+struct KeyHash {
+  static uint64_t Of(const T& key) {
+    if constexpr (HasAdlKeyHash<T>::value) {
+      return FjKeyHash(key);
+    } else if constexpr (std::is_integral_v<T> || std::is_enum_v<T>) {
+      return HashInt64(static_cast<uint64_t>(key));
+    } else {
+      static_assert(sizeof(T) == 0,
+                    "provide FjKeyHash(const T&) for this key type");
+      return 0;
+    }
+  }
+};
+
+template <>
+struct KeyHash<std::string> {
+  static uint64_t Of(const std::string& key) { return HashString(key); }
+};
+
+template <typename A, typename B>
+struct KeyHash<std::pair<A, B>> {
+  static uint64_t Of(const std::pair<A, B>& key) {
+    return HashCombine(KeyHashOf(key.first), KeyHashOf(key.second));
+  }
+};
+
+template <typename... Ts>
+struct KeyHash<std::tuple<Ts...>> {
+  static uint64_t Of(const std::tuple<Ts...>& key) {
+    uint64_t h = kFnvOffsetBasis;
+    std::apply(
+        [&h](const Ts&... parts) {
+          ((h = HashCombine(h, KeyHashOf(parts))), ...);
+        },
+        key);
+    return h;
+  }
+};
+
+}  // namespace internal
+
+template <typename T>
+uint64_t KeyHashOf(const T& key) {
+  return internal::KeyHash<T>::Of(key);
+}
+
+}  // namespace fj::mr

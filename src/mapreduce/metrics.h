@@ -1,0 +1,53 @@
+// Cost metering for executed jobs. Every map/reduce task records its
+// measured wall time plus any simulated charges; the cluster cost model
+// (cluster_model.h) turns these into simulated cluster running times.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/counters.h"
+
+namespace fj::mr {
+
+/// Per-task execution record.
+struct TaskMetrics {
+  double seconds = 0;          ///< measured wall time + charged seconds
+  uint64_t input_records = 0;
+  uint64_t output_records = 0;
+  uint64_t output_bytes = 0;
+};
+
+/// Everything the engine measured about one MapReduce job execution.
+struct JobMetrics {
+  std::string job_name;
+  std::vector<TaskMetrics> map_tasks;
+  std::vector<TaskMetrics> reduce_tasks;
+
+  /// Bytes crossing the map->reduce boundary after the combiner ran.
+  uint64_t shuffle_bytes = 0;
+  /// Bytes emitted by mappers before the combiner (equal to shuffle_bytes
+  /// when no combiner is configured). The gap is the combiner's savings.
+  uint64_t map_output_bytes = 0;
+  uint64_t map_output_records = 0;
+  uint64_t shuffle_records = 0;
+
+  /// Real wall time of the whole (local) execution.
+  double wall_seconds = 0;
+
+  CounterSet counters;
+
+  double TotalMapSeconds() const {
+    double s = 0;
+    for (const auto& t : map_tasks) s += t.seconds;
+    return s;
+  }
+  double TotalReduceSeconds() const {
+    double s = 0;
+    for (const auto& t : reduce_tasks) s += t.seconds;
+    return s;
+  }
+};
+
+}  // namespace fj::mr

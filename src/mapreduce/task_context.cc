@@ -1,0 +1,21 @@
+#include "mapreduce/task_context.h"
+
+namespace fj::mr {
+
+void LocalScratch::Put(const std::string& key,
+                       std::vector<std::string> lines) {
+  for (const auto& l : lines) bytes_written_ += l.size() + 1;
+  blocks_[key] = std::move(lines);
+}
+
+Result<const std::vector<std::string>*> LocalScratch::Get(
+    const std::string& key) const {
+  auto it = blocks_.find(key);
+  if (it == blocks_.end()) return Status::NotFound("scratch block: " + key);
+  for (const auto& l : it->second) bytes_read_ += l.size() + 1;
+  return &it->second;
+}
+
+void LocalScratch::Erase(const std::string& key) { blocks_.erase(key); }
+
+}  // namespace fj::mr

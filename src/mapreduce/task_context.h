@@ -1,0 +1,77 @@
+// Per-task context: counters, simulated-cost charging, and local scratch
+// space (the analogue of a task's local disk, used by reduce-based block
+// processing in Section 5 of the paper).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/counters.h"
+#include "common/result.h"
+
+namespace fj::mr {
+
+/// Models a task's local disk. Data lives in memory, but reads and writes
+/// are metered (bytes + simulated seconds) so the cluster cost model can
+/// charge for the extra I/O that reduce-based block processing performs.
+class LocalScratch {
+ public:
+  /// seconds_per_byte: simulated cost of one byte of local I/O
+  /// (default ~100 MB/s).
+  explicit LocalScratch(double seconds_per_byte = 1e-8)
+      : seconds_per_byte_(seconds_per_byte) {}
+
+  /// Stores `lines` under `key`, replacing any previous content.
+  void Put(const std::string& key, std::vector<std::string> lines);
+
+  /// Reads back a stored block. NotFound if absent.
+  Result<const std::vector<std::string>*> Get(const std::string& key) const;
+
+  void Erase(const std::string& key);
+
+  uint64_t bytes_written() const { return bytes_written_; }
+  uint64_t bytes_read() const { return bytes_read_; }
+
+  /// Simulated seconds spent on scratch I/O so far.
+  double io_seconds() const {
+    return seconds_per_byte_ * static_cast<double>(bytes_written_ + bytes_read_);
+  }
+
+ private:
+  double seconds_per_byte_;
+  std::map<std::string, std::vector<std::string>> blocks_;
+  uint64_t bytes_written_ = 0;
+  mutable uint64_t bytes_read_ = 0;
+};
+
+/// Handed to mapper/reducer Setup(); identifies the task and collects costs.
+class TaskContext {
+ public:
+  TaskContext(size_t task_id, CounterSet* counters)
+      : task_id_(task_id), counters_(counters) {}
+
+  size_t task_id() const { return task_id_; }
+
+  CounterSet& counters() { return *counters_; }
+
+  /// Adds simulated seconds to this task's cost without actually sleeping.
+  /// Used to model work whose real cost the simulator cannot observe
+  /// (e.g. spinning disks, JVM startup).
+  void ChargeSeconds(double seconds) { charged_seconds_ += seconds; }
+
+  double charged_seconds() const {
+    return charged_seconds_ + scratch_.io_seconds();
+  }
+
+  LocalScratch& scratch() { return scratch_; }
+
+ private:
+  size_t task_id_;
+  CounterSet* counters_;
+  double charged_seconds_ = 0;
+  LocalScratch scratch_;
+};
+
+}  // namespace fj::mr

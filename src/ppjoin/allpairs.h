@@ -1,0 +1,36 @@
+// All-Pairs (Bayardo, Ma, Srikant — WWW'07): prefix + length filtering
+// without the positional and suffix filters. One of the single-node
+// baselines the paper cites ([4]); here it is the PPJoin stream with those
+// filters disabled, which makes filter-ablation comparisons exact (same
+// index, same verify, different pruning).
+#pragma once
+
+#include <vector>
+
+#include "ppjoin/ppjoin.h"
+#include "ppjoin/token_set.h"
+
+namespace fj::ppjoin {
+
+inline PPJoinOptions AllPairsOptions() {
+  PPJoinOptions options;
+  options.use_positional_filter = false;
+  options.use_suffix_filter = false;
+  return options;
+}
+
+inline std::vector<SimilarPair> AllPairsSelfJoin(
+    std::vector<TokenSetRecord> records, const sim::SimilaritySpec& spec,
+    PPJoinStats* stats = nullptr) {
+  return PPJoinSelfJoin(std::move(records), spec, AllPairsOptions(), stats);
+}
+
+inline std::vector<SimilarPair> AllPairsRSJoin(
+    std::vector<TokenSetRecord> r_records,
+    std::vector<TokenSetRecord> s_records, const sim::SimilaritySpec& spec,
+    PPJoinStats* stats = nullptr) {
+  return PPJoinRSJoin(std::move(r_records), std::move(s_records), spec,
+                      AllPairsOptions(), stats);
+}
+
+}  // namespace fj::ppjoin

@@ -1,0 +1,93 @@
+#include "ppjoin/minhash_lsh.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/hash.h"
+
+namespace fj::ppjoin {
+
+double LshCandidateProbability(double jaccard,
+                               const MinHashLshOptions& opts) {
+  double band_match = std::pow(jaccard, static_cast<double>(opts.rows_per_band));
+  return 1.0 - std::pow(1.0 - band_match, static_cast<double>(opts.num_bands));
+}
+
+std::vector<uint64_t> MinHashSignature(const TokenSetRecord& record,
+                                       size_t hashes, uint64_t seed) {
+  // One universal-style hash per signature slot: h_k(t) = fmix(t ^ salt_k).
+  // The minimum over the set is a consistent sample of its elements, so
+  // P(min_k(A) == min_k(B)) = |A ∩ B| / |A ∪ B|.
+  std::vector<uint64_t> signature(hashes,
+                                  std::numeric_limits<uint64_t>::max());
+  for (size_t k = 0; k < hashes; ++k) {
+    uint64_t salt = HashInt64(seed + 0x9e3779b97f4a7c15ULL * (k + 1));
+    for (TokenId token : record.tokens) {
+      uint64_t h = HashInt64(token ^ salt);
+      if (h < signature[k]) signature[k] = h;
+    }
+  }
+  return signature;
+}
+
+std::vector<SimilarPair> MinHashLshSelfJoin(
+    const std::vector<TokenSetRecord>& records,
+    const sim::SimilaritySpec& spec, const MinHashLshOptions& options,
+    MinHashLshStats* stats) {
+  MinHashLshStats local_stats;
+  const size_t hashes = options.num_bands * options.rows_per_band;
+
+  std::vector<std::vector<uint64_t>> signatures;
+  signatures.reserve(records.size());
+  for (const auto& record : records) {
+    signatures.push_back(MinHashSignature(record, hashes, options.seed));
+  }
+
+  // Band buckets: hash of the band's rows -> record indices.
+  std::unordered_set<uint64_t> seen_pairs;  // packed (i, j) dedupe
+  std::vector<std::pair<size_t, size_t>> candidates;
+  for (size_t band = 0; band < options.num_bands; ++band) {
+    std::unordered_map<uint64_t, std::vector<size_t>> buckets;
+    buckets.reserve(records.size());
+    for (size_t i = 0; i < records.size(); ++i) {
+      if (records[i].tokens.empty()) continue;
+      uint64_t key = kFnvOffsetBasis;
+      for (size_t r = 0; r < options.rows_per_band; ++r) {
+        key = HashCombine(key,
+                          signatures[i][band * options.rows_per_band + r]);
+      }
+      auto& bucket = buckets[key];
+      for (size_t j : bucket) {
+        uint64_t packed = (static_cast<uint64_t>(j) << 32) |
+                          static_cast<uint64_t>(i);
+        if (seen_pairs.insert(packed).second) {
+          candidates.emplace_back(j, i);
+        }
+      }
+      bucket.push_back(i);
+    }
+  }
+  local_stats.candidate_pairs = candidates.size();
+
+  std::vector<SimilarPair> out;
+  for (const auto& [i, j] : candidates) {
+    const auto& x = records[i];
+    const auto& y = records[j];
+    size_t alpha = spec.MinOverlap(x.tokens.size(), y.tokens.size());
+    ++local_stats.verified;
+    size_t overlap = sim::VerifyOverlap(x.tokens, y.tokens, 0, 0, 0, alpha);
+    if (overlap == sim::kOverlapFailed) continue;
+    double similarity = sim::SimilarityFromOverlap(
+        spec.function(), overlap, x.tokens.size(), y.tokens.size());
+    out.push_back(MakeSelfJoinPair(x.rid, y.rid, similarity));
+    ++local_stats.results;
+  }
+  SortAndDedupePairs(&out);
+  if (stats != nullptr) *stats = local_stats;
+  return out;
+}
+
+}  // namespace fj::ppjoin

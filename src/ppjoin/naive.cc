@@ -1,0 +1,40 @@
+#include "ppjoin/naive.h"
+
+namespace fj::ppjoin {
+
+std::vector<SimilarPair> NaiveSelfJoin(const std::vector<TokenSetRecord>& records,
+                                       const sim::SimilaritySpec& spec) {
+  std::vector<SimilarPair> out;
+  for (size_t i = 0; i < records.size(); ++i) {
+    for (size_t j = i + 1; j < records.size(); ++j) {
+      const auto& x = records[i];
+      const auto& y = records[j];
+      if (x.tokens.empty() || y.tokens.empty()) continue;
+      double s = spec.Similarity(x.tokens, y.tokens);
+      if (s >= spec.tau() - 1e-12) {
+        out.push_back(MakeSelfJoinPair(x.rid, y.rid, s));
+      }
+    }
+  }
+  SortAndDedupePairs(&out);
+  return out;
+}
+
+std::vector<SimilarPair> NaiveRSJoin(const std::vector<TokenSetRecord>& r_records,
+                                     const std::vector<TokenSetRecord>& s_records,
+                                     const sim::SimilaritySpec& spec) {
+  std::vector<SimilarPair> out;
+  for (const auto& r : r_records) {
+    for (const auto& s : s_records) {
+      if (r.tokens.empty() || s.tokens.empty()) continue;
+      double v = spec.Similarity(r.tokens, s.tokens);
+      if (v >= spec.tau() - 1e-12) {
+        out.push_back(SimilarPair{r.rid, s.rid, v});
+      }
+    }
+  }
+  SortAndDedupePairs(&out);
+  return out;
+}
+
+}  // namespace fj::ppjoin

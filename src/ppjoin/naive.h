@@ -1,0 +1,23 @@
+// Brute-force O(n^2) set-similarity join. The ground truth every other
+// kernel and the end-to-end pipelines are validated against.
+#pragma once
+
+#include <vector>
+
+#include "ppjoin/token_set.h"
+#include "similarity/similarity.h"
+
+namespace fj::ppjoin {
+
+/// All pairs (i < j) with sim(records[i], records[j]) >= tau. Self-join
+/// pairs are canonical (smaller RID first), sorted, duplicate-free.
+std::vector<SimilarPair> NaiveSelfJoin(const std::vector<TokenSetRecord>& records,
+                                       const sim::SimilaritySpec& spec);
+
+/// All (r, s) pairs with sim >= tau; rid1 is from `r_records`, rid2 from
+/// `s_records`. Sorted, duplicate-free.
+std::vector<SimilarPair> NaiveRSJoin(const std::vector<TokenSetRecord>& r_records,
+                                     const std::vector<TokenSetRecord>& s_records,
+                                     const sim::SimilaritySpec& spec);
+
+}  // namespace fj::ppjoin

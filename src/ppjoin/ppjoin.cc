@@ -1,0 +1,202 @@
+#include "ppjoin/ppjoin.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace fj::ppjoin {
+
+using sim::kOverlapFailed;
+using sim::PassesPositionalFilter;
+using sim::SimilarityFromOverlap;
+using sim::VerifyOverlap;
+
+PPJoinStream::PPJoinStream(sim::SimilaritySpec spec, PPJoinOptions options)
+    : spec_(spec),
+      options_(options),
+      suffix_filter_(options.suffix_filter_depth) {}
+
+void PPJoinStream::ProbeAndInsert(const TokenSetRecord& record,
+                                  std::vector<SimilarPair>* out) {
+  ProbeInternal(record, /*self_join=*/true, out);
+
+  // Self-join index prefix: every future probe x has |x| >= |record|, and
+  // MinOverlap is non-decreasing in the partner length, so the tightest
+  // overlap requirement is at |x| == |record|. This gives a *shorter*
+  // prefix than the probe prefix — fewer postings, less memory.
+  size_t l = record.tokens.size();
+  if (l == 0) return;
+  size_t alpha_equal = spec_.MinOverlap(l, l);
+  size_t index_prefix = l >= alpha_equal ? l - alpha_equal + 1 : 0;
+  InsertWithPrefix(record, index_prefix);
+}
+
+void PPJoinStream::InsertRS(const TokenSetRecord& record) {
+  // R-S index prefix: S partners may be *shorter* than this R record, so
+  // the tightest requirement is at the length lower bound — the full probe
+  // prefix.
+  InsertWithPrefix(record, spec_.PrefixLength(record.tokens.size()));
+}
+
+void PPJoinStream::Probe(const TokenSetRecord& record,
+                         std::vector<SimilarPair>* out) {
+  ProbeInternal(record, /*self_join=*/false, out);
+}
+
+void PPJoinStream::InsertWithPrefix(const TokenSetRecord& record,
+                                    size_t index_prefix) {
+  size_t l = record.tokens.size();
+  if (l == 0) return;
+  assert(lengths_.empty() || l >= lengths_.back());
+
+  uint32_t idx = static_cast<uint32_t>(store_.size());
+  store_.push_back(record);
+  lengths_.push_back(static_cast<uint32_t>(l));
+  resident_tokens_ += l;
+  stats_.peak_resident_tokens =
+      std::max(stats_.peak_resident_tokens, resident_tokens_);
+
+  index_prefix = std::min(index_prefix, l);
+  for (size_t pos = 0; pos < index_prefix; ++pos) {
+    index_[record.tokens[pos]].entries.push_back(
+        Posting{idx, static_cast<uint32_t>(pos)});
+  }
+}
+
+void PPJoinStream::EvictShorterThan(size_t min_len) {
+  while (live_from_ < store_.size() && lengths_[live_from_] < min_len) {
+    resident_tokens_ -= store_[live_from_].tokens.size();
+    store_[live_from_].tokens.clear();
+    store_[live_from_].tokens.shrink_to_fit();
+    ++live_from_;
+    ++stats_.evicted_records;
+  }
+}
+
+void PPJoinStream::ProbeInternal(const TokenSetRecord& record, bool self_join,
+                                 std::vector<SimilarPair>* out) {
+  ++stats_.probes;
+  size_t l = record.tokens.size();
+  if (l == 0) return;
+
+  EvictShorterThan(spec_.LengthLowerBound(l));
+  size_t upper = spec_.LengthUpperBound(l);
+  size_t probe_prefix = spec_.PrefixLength(l);
+
+  candidates_.clear();
+  std::vector<uint32_t> candidate_order;  // deterministic verify order
+
+  TokenIdSpan x(record.tokens);
+  for (size_t i = 0; i < probe_prefix; ++i) {
+    auto it = index_.find(x[i]);
+    if (it == index_.end()) continue;
+    PostingList& list = it->second;
+    // Advance past postings of evicted (too short) records.
+    while (list.head < list.entries.size() &&
+           list.entries[list.head].record_index < live_from_) {
+      ++list.head;
+    }
+    for (size_t k = list.head; k < list.entries.size(); ++k) {
+      const Posting& posting = list.entries[k];
+      uint32_t y_idx = posting.record_index;
+      size_t ly = lengths_[y_idx];
+      // In the R-S case the index may already hold R records longer than
+      // this probe's upper bound (they were streamed by length class);
+      // the length filter skips them.
+      if (ly > upper) continue;
+
+      CandidateState& state = candidates_[y_idx];
+      if (state.pruned) continue;
+      bool first = state.overlap == 0;
+
+      size_t alpha = spec_.MinOverlap(l, ly);
+      size_t j = posting.position;
+      if (options_.use_positional_filter &&
+          !PassesPositionalFilter(l, ly, i, j, state.overlap, alpha)) {
+        state.pruned = true;
+        ++stats_.positional_pruned;
+        continue;
+      }
+      if (first) {
+        ++stats_.candidates;
+        candidate_order.push_back(y_idx);
+        if (options_.use_suffix_filter) {
+          // Tokens at positions <= i in x and <= j in y can contribute at
+          // most 1 + min(i, j) to the overlap; the suffixes must supply
+          // the rest.
+          size_t covered = 1 + std::min(i, j);
+          size_t required = alpha > covered ? alpha - covered : 0;
+          TokenIdSpan x_s = x.subspan(i + 1);
+          TokenIdSpan y_s =
+              TokenIdSpan(store_[y_idx].tokens).subspan(j + 1);
+          if (!suffix_filter_.MayQualify(x_s, y_s, required)) {
+            state.pruned = true;
+            ++stats_.suffix_pruned;
+            continue;
+          }
+        }
+      }
+      ++state.overlap;
+    }
+  }
+
+  for (uint32_t y_idx : candidate_order) {
+    const CandidateState& state = candidates_[y_idx];
+    if (state.pruned || state.overlap == 0) continue;
+    const TokenSetRecord& y = store_[y_idx];
+    size_t ly = lengths_[y_idx];
+    size_t alpha = spec_.MinOverlap(l, ly);
+    ++stats_.verified;
+    size_t overlap = VerifyOverlap(x, y.tokens, 0, 0, 0, alpha);
+    if (overlap == kOverlapFailed) continue;
+    double similarity =
+        SimilarityFromOverlap(spec_.function(), overlap, l, ly);
+    if (self_join) {
+      out->push_back(MakeSelfJoinPair(y.rid, record.rid, similarity));
+    } else {
+      out->push_back(SimilarPair{y.rid, record.rid, similarity});
+    }
+    ++stats_.results;
+  }
+}
+
+std::vector<SimilarPair> PPJoinSelfJoin(std::vector<TokenSetRecord> records,
+                                        const sim::SimilaritySpec& spec,
+                                        PPJoinOptions options,
+                                        PPJoinStats* stats) {
+  SortByLength(&records);
+  PPJoinStream stream(spec, options);
+  std::vector<SimilarPair> out;
+  for (const auto& record : records) stream.ProbeAndInsert(record, &out);
+  if (stats != nullptr) *stats = stream.stats();
+  SortAndDedupePairs(&out);
+  return out;
+}
+
+std::vector<SimilarPair> PPJoinRSJoin(std::vector<TokenSetRecord> r_records,
+                                      std::vector<TokenSetRecord> s_records,
+                                      const sim::SimilaritySpec& spec,
+                                      PPJoinOptions options,
+                                      PPJoinStats* stats) {
+  SortByLength(&r_records);
+  SortByLength(&s_records);
+  PPJoinStream stream(spec, options);
+  std::vector<SimilarPair> out;
+
+  // Interleave by the Section 4 rule: before probing an S record of length
+  // l, insert every R record of length <= LengthUpperBound(l).
+  size_t r_pos = 0;
+  for (const auto& s : s_records) {
+    size_t upper = spec.LengthUpperBound(s.tokens.size());
+    while (r_pos < r_records.size() &&
+           r_records[r_pos].tokens.size() <= upper) {
+      stream.InsertRS(r_records[r_pos]);
+      ++r_pos;
+    }
+    stream.Probe(s, &out);
+  }
+  if (stats != nullptr) *stats = stream.stats();
+  SortAndDedupePairs(&out);
+  return out;
+}
+
+}  // namespace fj::ppjoin

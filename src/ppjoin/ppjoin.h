@@ -1,0 +1,148 @@
+// PPJoin / PPJoin+ (Xiao, Wang, Lin, Yu — WWW'08), the state-of-the-art
+// single-node kernel the paper plugs into its second stage (the "PK"
+// kernel). Reimplemented from the published algorithm:
+//
+//   * records are consumed in non-decreasing token-set-size order;
+//   * each record's *prefix* tokens are looked up in an inverted index to
+//     accumulate per-candidate prefix overlaps;
+//   * the length filter evicts index entries below the current minimum
+//     qualifying length (the memory-footprint optimisation Section 3.2.2
+//     of the paper relies on — evicted token arrays are actually freed and
+//     the class reports its peak resident size);
+//   * the positional filter bounds the best-possible overlap at each match;
+//   * PPJoin+ additionally applies the suffix filter at a candidate's first
+//     match;
+//   * surviving candidates are confirmed with an early-terminating merge.
+//
+// The class is deliberately *streaming* (probe/insert split) so the
+// MapReduce PK reducer can drive it with records arriving in the composite
+// (group, length) key order, for both the self-join and the R-S join cases
+// (Sections 3.2.2 and 4 of the paper).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "ppjoin/token_set.h"
+#include "similarity/filters.h"
+#include "similarity/similarity.h"
+
+namespace fj::ppjoin {
+
+struct PPJoinOptions {
+  /// Apply the positional filter. Disabling it (together with the suffix
+  /// filter) degrades the kernel to All-Pairs (Bayardo et al., WWW'07):
+  /// prefix + length filtering only.
+  bool use_positional_filter = true;
+  /// Apply the suffix filter (true = PPJoin+, false = plain PPJoin).
+  bool use_suffix_filter = true;
+  /// Suffix-filter recursion depth (the PPJoin+ paper uses 2).
+  size_t suffix_filter_depth = 2;
+};
+
+/// Counters describing one kernel run.
+struct PPJoinStats {
+  uint64_t probes = 0;
+  uint64_t candidates = 0;          ///< distinct (probe, indexed) pairs seen
+  uint64_t positional_pruned = 0;
+  uint64_t suffix_pruned = 0;
+  uint64_t verified = 0;            ///< pairs reaching the merge
+  uint64_t results = 0;
+  uint64_t evicted_records = 0;     ///< index entries freed by length filter
+
+  /// Peak number of tokens simultaneously resident in the index (the
+  /// memory-footprint metric of Section 3.2.2 / Figure 6).
+  uint64_t peak_resident_tokens = 0;
+};
+
+class PPJoinStream {
+ public:
+  PPJoinStream(sim::SimilaritySpec spec, PPJoinOptions options = {});
+
+  /// Self-join step: probe `record` against everything inserted so far,
+  /// then insert it (with the shorter self-join index prefix). Records must
+  /// arrive in non-decreasing token-count order. Results append to `out` as
+  /// canonical (min RID, max RID) pairs.
+  void ProbeAndInsert(const TokenSetRecord& record,
+                      std::vector<SimilarPair>* out);
+
+  /// R-S join, index side: insert an R record (full probe-prefix indexing,
+  /// since S partners may be shorter or longer). Non-decreasing length
+  /// order required.
+  void InsertRS(const TokenSetRecord& record);
+
+  /// R-S join, probe side: probe an S record against the inserted R
+  /// records. Every R record of length <= LengthUpperBound(|s|) must have
+  /// been inserted already (the length-class key order of Section 4
+  /// guarantees this). Results append as (R rid, S rid) pairs.
+  void Probe(const TokenSetRecord& record, std::vector<SimilarPair>* out);
+
+  const PPJoinStats& stats() const { return stats_; }
+
+  /// Tokens currently resident in the index (live, non-evicted records).
+  uint64_t resident_tokens() const { return resident_tokens_; }
+
+  size_t indexed_records() const { return store_.size(); }
+
+ private:
+  struct Posting {
+    uint32_t record_index;
+    uint32_t position;  ///< token position within the record
+  };
+
+  struct PostingList {
+    std::vector<Posting> entries;
+    size_t head = 0;  ///< entries before head are evicted (too short)
+  };
+
+  // Per-candidate accumulation state during one probe.
+  struct CandidateState {
+    size_t overlap = 0;
+    bool pruned = false;
+  };
+
+  /// Inserts `record` with the first `index_prefix` tokens into the index.
+  void InsertWithPrefix(const TokenSetRecord& record, size_t index_prefix);
+
+  /// Shared probe logic. `allow_equal_rid` guards against self-pairing.
+  void ProbeInternal(const TokenSetRecord& record, bool probe_is_second,
+                     std::vector<SimilarPair>* out);
+
+  /// Evicts store entries with fewer than `min_len` tokens (they can never
+  /// match any future probe). Frees their token arrays.
+  void EvictShorterThan(size_t min_len);
+
+  sim::SimilaritySpec spec_;
+  PPJoinOptions options_;
+  sim::SuffixFilter suffix_filter_;
+
+  std::vector<TokenSetRecord> store_;   ///< insertion order = length order
+  std::vector<uint32_t> lengths_;       ///< original sizes (survive eviction)
+  size_t live_from_ = 0;                ///< store_[0..live_from_) is evicted
+  uint64_t resident_tokens_ = 0;
+
+  std::unordered_map<TokenId, PostingList> index_;
+
+  // Scratch for ProbeInternal (avoids per-probe allocation).
+  std::unordered_map<uint32_t, CandidateState> candidates_;
+
+  PPJoinStats stats_;
+};
+
+/// Convenience: full PPJoin(+) self-join of a record collection (sorted
+/// internally). Sorted, duplicate-free canonical pairs.
+std::vector<SimilarPair> PPJoinSelfJoin(std::vector<TokenSetRecord> records,
+                                        const sim::SimilaritySpec& spec,
+                                        PPJoinOptions options = {},
+                                        PPJoinStats* stats = nullptr);
+
+/// Convenience: full PPJoin(+) R-S join. Sorted, duplicate-free
+/// (R rid, S rid) pairs.
+std::vector<SimilarPair> PPJoinRSJoin(std::vector<TokenSetRecord> r_records,
+                                      std::vector<TokenSetRecord> s_records,
+                                      const sim::SimilaritySpec& spec,
+                                      PPJoinOptions options = {},
+                                      PPJoinStats* stats = nullptr);
+
+}  // namespace fj::ppjoin

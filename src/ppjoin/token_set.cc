@@ -1,0 +1,22 @@
+#include "ppjoin/token_set.h"
+
+#include <algorithm>
+
+namespace fj::ppjoin {
+
+void SortByLength(std::vector<TokenSetRecord>* records) {
+  std::sort(records->begin(), records->end(),
+            [](const TokenSetRecord& a, const TokenSetRecord& b) {
+              if (a.tokens.size() != b.tokens.size()) {
+                return a.tokens.size() < b.tokens.size();
+              }
+              return a.rid < b.rid;
+            });
+}
+
+void SortAndDedupePairs(std::vector<SimilarPair>* pairs) {
+  std::sort(pairs->begin(), pairs->end());
+  pairs->erase(std::unique(pairs->begin(), pairs->end()), pairs->end());
+}
+
+}  // namespace fj::ppjoin

@@ -1,0 +1,55 @@
+// The record representation shared by every set-similarity kernel: a record
+// id plus its token set as an ascending array of TokenId (ascending id order
+// is the global increasing-frequency order from stage 1).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "similarity/similarity.h"
+
+namespace fj::ppjoin {
+
+using sim::TokenId;
+using sim::TokenIdSpan;
+
+/// A record projected onto (RID, join-attribute token set).
+struct TokenSetRecord {
+  uint64_t rid = 0;
+  std::vector<TokenId> tokens;  ///< ascending, duplicate-free
+
+  size_t size() const { return tokens.size(); }
+};
+
+/// One join result: a pair of RIDs and their similarity.
+struct SimilarPair {
+  uint64_t rid1 = 0;
+  uint64_t rid2 = 0;
+  double similarity = 0;
+
+  /// Orders by (rid1, rid2); similarity is determined by the pair.
+  friend bool operator<(const SimilarPair& a, const SimilarPair& b) {
+    if (a.rid1 != b.rid1) return a.rid1 < b.rid1;
+    return a.rid2 < b.rid2;
+  }
+  friend bool operator==(const SimilarPair& a, const SimilarPair& b) {
+    return a.rid1 == b.rid1 && a.rid2 == b.rid2;
+  }
+};
+
+/// Canonical self-join pair: smaller RID first.
+inline SimilarPair MakeSelfJoinPair(uint64_t a, uint64_t b, double similarity) {
+  if (a > b) std::swap(a, b);
+  return SimilarPair{a, b, similarity};
+}
+
+/// Sorts records by ascending token-set size (ties by RID, so the order is
+/// total and runs are deterministic). The streaming kernels require this
+/// arrival order.
+void SortByLength(std::vector<TokenSetRecord>* records);
+
+/// Sorts and deduplicates a result list.
+void SortAndDedupePairs(std::vector<SimilarPair>* pairs);
+
+}  // namespace fj::ppjoin

@@ -1,0 +1,309 @@
+#include "similarity/edit_distance.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <unordered_map>
+
+#include "text/tokenizer.h"
+
+namespace fj::sim {
+
+size_t LevenshteinDistance(std::string_view a, std::string_view b) {
+  if (a.size() > b.size()) std::swap(a, b);
+  std::vector<size_t> row(a.size() + 1);
+  for (size_t i = 0; i <= a.size(); ++i) row[i] = i;
+  for (size_t j = 1; j <= b.size(); ++j) {
+    size_t diagonal = row[0];
+    row[0] = j;
+    for (size_t i = 1; i <= a.size(); ++i) {
+      size_t substitute = diagonal + (a[i - 1] == b[j - 1] ? 0 : 1);
+      diagonal = row[i];
+      row[i] = std::min({row[i] + 1, row[i - 1] + 1, substitute});
+    }
+  }
+  return row[a.size()];
+}
+
+bool WithinEditDistance(std::string_view a, std::string_view b,
+                        size_t max_distance) {
+  if (a.size() > b.size()) std::swap(a, b);
+  if (b.size() - a.size() > max_distance) return false;
+  if (max_distance == 0) return a == b;
+
+  // Banded DP: only cells with |i - j| <= max_distance can stay within the
+  // threshold. Row-by-row over b with a window into a.
+  constexpr size_t kInf = std::numeric_limits<size_t>::max() / 2;
+  const size_t band = max_distance;
+  std::vector<size_t> row(a.size() + 1, kInf);
+  for (size_t i = 0; i <= std::min(a.size(), band); ++i) row[i] = i;
+  for (size_t j = 1; j <= b.size(); ++j) {
+    size_t lo = j > band ? j - band : 0;
+    size_t hi = std::min(a.size(), j + band);
+    size_t i_start = std::max<size_t>(lo, 1);
+    // Diagonal predecessor of the first in-band cell: row[j-1][i_start-1].
+    size_t diagonal = row[i_start - 1];
+    if (lo == 0) {
+      row[0] = j;  // lo == 0 implies j <= band
+    } else {
+      row[lo - 1] = kInf;  // left of the band is unreachable in this row
+    }
+    size_t best = lo == 0 ? row[0] : kInf;
+    for (size_t i = i_start; i <= hi; ++i) {
+      size_t substitute = diagonal + (a[i - 1] == b[j - 1] ? 0 : 1);
+      diagonal = row[i];           // becomes row[j-1][i] for the next cell
+      size_t up = row[i];          // row[j-1][i]
+      size_t left = row[i - 1];    // row[j][i-1]
+      row[i] = std::min({up + 1, left + 1, substitute});
+      best = std::min(best, row[i]);
+    }
+    // Cells above the band are infinite for the next row.
+    if (hi < a.size()) row[hi + 1] = kInf;
+    if (best > max_distance) return false;  // the band can only grow worse
+  }
+  return row[a.size()] <= max_distance;
+}
+
+std::vector<EditDistancePair> NaiveEditDistanceSelfJoin(
+    const std::vector<std::string>& strings, size_t max_distance) {
+  std::vector<EditDistancePair> out;
+  for (size_t i = 0; i < strings.size(); ++i) {
+    for (size_t j = i + 1; j < strings.size(); ++j) {
+      size_t distance = LevenshteinDistance(strings[i], strings[j]);
+      if (distance <= max_distance) {
+        out.push_back(EditDistancePair{i, j, distance});
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<EditDistancePair> NaiveEditDistanceRSJoin(
+    const std::vector<std::string>& r_strings,
+    const std::vector<std::string>& s_strings, size_t max_distance) {
+  std::vector<EditDistancePair> out;
+  for (size_t i = 0; i < r_strings.size(); ++i) {
+    for (size_t j = 0; j < s_strings.size(); ++j) {
+      size_t distance = LevenshteinDistance(r_strings[i], s_strings[j]);
+      if (distance <= max_distance) {
+        out.push_back(EditDistancePair{i, j, distance});
+      }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// Shared gram machinery: tokenizes every string of both inputs, ranks
+/// grams rarest-first over the union, and returns each string's sorted
+/// rank array.
+struct GramIndexInput {
+  std::vector<std::vector<uint64_t>> r_ids;
+  std::vector<std::vector<uint64_t>> s_ids;
+};
+
+GramIndexInput RankGrams(const std::vector<std::string>& r_strings,
+                         const std::vector<std::string>& s_strings,
+                         size_t q) {
+  text::QGramTokenizer tokenizer(q, text::DuplicatePolicy::kNumber);
+  std::vector<std::vector<std::string>> r_grams(r_strings.size());
+  std::vector<std::vector<std::string>> s_grams(s_strings.size());
+  std::map<std::string, uint64_t> frequency;
+  for (size_t i = 0; i < r_strings.size(); ++i) {
+    r_grams[i] = tokenizer.Tokenize(r_strings[i]);
+    for (const auto& g : r_grams[i]) frequency[g]++;
+  }
+  for (size_t j = 0; j < s_strings.size(); ++j) {
+    s_grams[j] = tokenizer.Tokenize(s_strings[j]);
+    for (const auto& g : s_grams[j]) frequency[g]++;
+  }
+  std::unordered_map<std::string, uint64_t> rank;
+  {
+    std::vector<std::pair<uint64_t, const std::string*>> ordered;
+    ordered.reserve(frequency.size());
+    for (const auto& [gram, count] : frequency) {
+      ordered.emplace_back(count, &gram);
+    }
+    std::sort(ordered.begin(), ordered.end(),
+              [](const auto& a, const auto& b) {
+                if (a.first != b.first) return a.first < b.first;
+                return *a.second < *b.second;
+              });
+    rank.reserve(ordered.size());
+    for (size_t r = 0; r < ordered.size(); ++r) rank[*ordered[r].second] = r;
+  }
+  auto to_ids = [&rank](const std::vector<std::vector<std::string>>& grams) {
+    std::vector<std::vector<uint64_t>> ids(grams.size());
+    for (size_t i = 0; i < grams.size(); ++i) {
+      ids[i].reserve(grams[i].size());
+      for (const auto& g : grams[i]) ids[i].push_back(rank.at(g));
+      std::sort(ids[i].begin(), ids[i].end());
+    }
+    return ids;
+  };
+  return GramIndexInput{to_ids(r_grams), to_ids(s_grams)};
+}
+
+}  // namespace
+
+std::vector<EditDistancePair> EditDistanceRSJoin(
+    const std::vector<std::string>& r_strings,
+    const std::vector<std::string>& s_strings, size_t max_distance,
+    size_t q) {
+  if (q == 0) q = 1;
+  std::vector<EditDistancePair> out;
+  if (r_strings.empty() || s_strings.empty()) return out;
+
+  GramIndexInput input = RankGrams(r_strings, s_strings, q);
+  const size_t prefix = q * max_distance + 1;
+
+  // Index R's gram prefixes; R strings too short for the pigeonhole are
+  // kept aside and compared against every S string.
+  std::unordered_map<uint64_t, std::vector<size_t>> index;
+  std::vector<size_t> short_r;
+  for (size_t i = 0; i < r_strings.size(); ++i) {
+    if (input.r_ids[i].size() < prefix) {
+      short_r.push_back(i);
+    } else {
+      for (size_t p = 0; p < prefix; ++p) {
+        index[input.r_ids[i][p]].push_back(i);
+      }
+    }
+  }
+
+  std::vector<size_t> candidate_of(r_strings.size(),
+                                   std::numeric_limits<size_t>::max());
+  for (size_t j = 0; j < s_strings.size(); ++j) {
+    std::vector<size_t> candidates;
+    if (input.s_ids[j].size() < prefix) {
+      candidates.reserve(r_strings.size());
+      for (size_t i = 0; i < r_strings.size(); ++i) candidates.push_back(i);
+    } else {
+      for (size_t p = 0; p < prefix; ++p) {
+        auto it = index.find(input.s_ids[j][p]);
+        if (it == index.end()) continue;
+        for (size_t i : it->second) {
+          if (candidate_of[i] == j) continue;
+          candidate_of[i] = j;
+          candidates.push_back(i);
+        }
+      }
+      for (size_t i : short_r) {
+        if (candidate_of[i] == j) continue;
+        candidate_of[i] = j;
+        candidates.push_back(i);
+      }
+    }
+    for (size_t i : candidates) {
+      size_t li = r_strings[i].size();
+      size_t lj = s_strings[j].size();
+      if ((li > lj ? li - lj : lj - li) > max_distance) continue;
+      if (!WithinEditDistance(r_strings[i], s_strings[j], max_distance)) {
+        continue;
+      }
+      out.push_back(EditDistancePair{
+          i, j, LevenshteinDistance(r_strings[i], s_strings[j])});
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::vector<EditDistancePair> EditDistanceSelfJoin(
+    const std::vector<std::string>& strings, size_t max_distance, size_t q) {
+  if (q == 0) q = 1;
+  std::vector<EditDistancePair> out;
+  if (strings.empty()) return out;
+
+  // Positional q-grams (duplicates numbered, so repeated grams count).
+  text::QGramTokenizer tokenizer(q, text::DuplicatePolicy::kNumber);
+  std::vector<std::vector<std::string>> grams(strings.size());
+  std::map<std::string, uint64_t> frequency;
+  for (size_t i = 0; i < strings.size(); ++i) {
+    grams[i] = tokenizer.Tokenize(strings[i]);
+    for (const auto& g : grams[i]) frequency[g]++;
+  }
+
+  // Rarest-first gram order (the global token ordering of stage 1, local).
+  std::unordered_map<std::string, uint64_t> rank;
+  {
+    std::vector<std::pair<uint64_t, const std::string*>> ordered;
+    ordered.reserve(frequency.size());
+    for (const auto& [gram, count] : frequency) {
+      ordered.emplace_back(count, &gram);
+    }
+    std::sort(ordered.begin(), ordered.end(),
+              [](const auto& a, const auto& b) {
+                if (a.first != b.first) return a.first < b.first;
+                return *a.second < *b.second;
+              });
+    rank.reserve(ordered.size());
+    for (size_t r = 0; r < ordered.size(); ++r) rank[*ordered[r].second] = r;
+  }
+
+  std::vector<std::vector<uint64_t>> ids(strings.size());
+  for (size_t i = 0; i < strings.size(); ++i) {
+    ids[i].reserve(grams[i].size());
+    for (const auto& g : grams[i]) ids[i].push_back(rank[g]);
+    std::sort(ids[i].begin(), ids[i].end());
+  }
+
+  // One edit damages at most q padded grams, so strings within distance d
+  // share a gram among their q*d + 1 rarest — the Ed-Join prefix. Strings
+  // with at most q*d grams are exempt from that pigeonhole (a qualifying
+  // partner may share nothing) and are compared exhaustively.
+  const size_t prefix = q * max_distance + 1;
+  std::unordered_map<uint64_t, std::vector<size_t>> index;
+  std::vector<size_t> shorts;  // indices with <= q*d grams
+  std::vector<size_t> candidate_of(strings.size(),
+                                   std::numeric_limits<size_t>::max());
+  for (size_t i = 0; i < strings.size(); ++i) {
+    std::vector<size_t> candidates;
+    bool i_is_short = ids[i].size() < prefix;  // <= q*d grams
+    if (i_is_short) {
+      // Must consider every earlier string.
+      candidates.reserve(i);
+      for (size_t j = 0; j < i; ++j) candidates.push_back(j);
+    } else {
+      size_t probe = std::min(prefix, ids[i].size());
+      for (size_t p = 0; p < probe; ++p) {
+        auto it = index.find(ids[i][p]);
+        if (it == index.end()) continue;
+        for (size_t j : it->second) {
+          if (candidate_of[j] == i) continue;  // dedupe within this probe
+          candidate_of[j] = i;
+          candidates.push_back(j);
+        }
+      }
+      // Earlier short strings never indexed enough grams to be found.
+      for (size_t j : shorts) {
+        if (candidate_of[j] == i) continue;
+        candidate_of[j] = i;
+        candidates.push_back(j);
+      }
+    }
+    for (size_t j : candidates) {
+      size_t li = strings[i].size();
+      size_t lj = strings[j].size();
+      if ((li > lj ? li - lj : lj - li) > max_distance) continue;
+      if (!WithinEditDistance(strings[i], strings[j], max_distance)) continue;
+      size_t distance = LevenshteinDistance(strings[i], strings[j]);
+      out.push_back(EditDistancePair{std::min(i, j), std::max(i, j),
+                                     distance});
+    }
+    if (i_is_short) {
+      shorts.push_back(i);
+    } else {
+      for (size_t p = 0; p < prefix; ++p) {
+        index[ids[i][p]].push_back(i);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace fj::sim

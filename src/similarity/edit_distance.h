@@ -1,0 +1,70 @@
+// Edit-distance (Levenshtein) matching — the paper's footnote 1: "The
+// techniques described in this paper can also be used for approximate
+// string search using the edit or Levenshtein distance", via q-gram
+// tokenization (Gravano et al. '01, Xiao et al.'s Ed-Join '08).
+//
+// The self-join here uses the classic count-filter machinery: strings
+// within edit distance d share all but at most q*d of their (positional)
+// q-grams, so a prefix of q*d + 1 rarest grams must intersect — the same
+// pigeonhole argument as the similarity prefix filter. Candidates pass a
+// length filter (| |x| - |y| | <= d) and are confirmed with a banded
+// dynamic program that runs in O(d * min(|x|, |y|)).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fj::sim {
+
+/// Exact Levenshtein distance (unit-cost insert/delete/substitute).
+size_t LevenshteinDistance(std::string_view a, std::string_view b);
+
+/// True iff LevenshteinDistance(a, b) <= max_distance; banded DP with
+/// early exit, O((2*max_distance+1) * min(|a|, |b|)) time.
+bool WithinEditDistance(std::string_view a, std::string_view b,
+                        size_t max_distance);
+
+/// One edit-distance join result (indices into the input vector, i < j).
+struct EditDistancePair {
+  size_t index1 = 0;
+  size_t index2 = 0;
+  size_t distance = 0;
+
+  friend bool operator==(const EditDistancePair& a,
+                         const EditDistancePair& b) {
+    return a.index1 == b.index1 && a.index2 == b.index2 &&
+           a.distance == b.distance;
+  }
+  friend bool operator<(const EditDistancePair& a,
+                        const EditDistancePair& b) {
+    if (a.index1 != b.index1) return a.index1 < b.index1;
+    return a.index2 < b.index2;
+  }
+};
+
+/// All pairs (i < j) with LevenshteinDistance <= max_distance, found with
+/// q-gram prefix filtering + length filter + banded verification. Sorted,
+/// duplicate-free. q must be >= 1.
+std::vector<EditDistancePair> EditDistanceSelfJoin(
+    const std::vector<std::string>& strings, size_t max_distance,
+    size_t q = 3);
+
+/// R-S variant: all (i, j) with LevenshteinDistance(r_strings[i],
+/// s_strings[j]) <= max_distance; index1 indexes r_strings, index2
+/// s_strings. Same filtering machinery as the self-join (gram frequencies
+/// taken over both inputs). Sorted, duplicate-free.
+std::vector<EditDistancePair> EditDistanceRSJoin(
+    const std::vector<std::string>& r_strings,
+    const std::vector<std::string>& s_strings, size_t max_distance,
+    size_t q = 3);
+
+/// Brute-force references (exposed for tests and small inputs).
+std::vector<EditDistancePair> NaiveEditDistanceSelfJoin(
+    const std::vector<std::string>& strings, size_t max_distance);
+std::vector<EditDistancePair> NaiveEditDistanceRSJoin(
+    const std::vector<std::string>& r_strings,
+    const std::vector<std::string>& s_strings, size_t max_distance);
+
+}  // namespace fj::sim

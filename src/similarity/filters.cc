@@ -1,0 +1,59 @@
+#include "similarity/filters.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace fj::sim {
+
+namespace {
+
+int64_t AbsDiff(size_t a, size_t b) {
+  return static_cast<int64_t>(a > b ? a - b : b - a);
+}
+
+}  // namespace
+
+bool SuffixFilter::MayQualify(TokenIdSpan x_s, TokenIdSpan y_s,
+                              size_t required_overlap) const {
+  if (required_overlap == 0) return true;
+  // Hamming(x,y) = |x| + |y| - 2*overlap, so overlap >= o forces
+  // Hamming <= |x| + |y| - 2*o.
+  int64_t hmax = static_cast<int64_t>(x_s.size()) +
+                 static_cast<int64_t>(y_s.size()) -
+                 2 * static_cast<int64_t>(required_overlap);
+  if (hmax < 0) return false;  // even identical suffixes are too short
+  return BoundHamming(x_s, y_s, hmax, 1) <= hmax;
+}
+
+int64_t SuffixFilter::BoundHamming(TokenIdSpan x, TokenIdSpan y, int64_t hmax,
+                                   size_t depth) const {
+  if (x.empty() || y.empty() || depth > max_depth_) {
+    return AbsDiff(x.size(), y.size());
+  }
+
+  // Partition y at its median token, x at that token's global rank position.
+  size_t mid = (y.size() - 1) / 2;
+  TokenId w = y[mid];
+  TokenIdSpan yl = y.subspan(0, mid);
+  TokenIdSpan yr = y.subspan(mid + 1);
+
+  auto it = std::lower_bound(x.begin(), x.end(), w);
+  size_t p = static_cast<size_t>(it - x.begin());
+  int64_t diff = (p < x.size() && x[p] == w) ? 0 : 1;
+  TokenIdSpan xl = x.subspan(0, p);
+  TokenIdSpan xr = x.subspan(diff == 0 ? p + 1 : p);
+
+  int64_t side_l = AbsDiff(xl.size(), yl.size());
+  int64_t side_r = AbsDiff(xr.size(), yr.size());
+  int64_t h = side_l + side_r + diff;
+  if (h > hmax) return h;
+
+  int64_t hl = BoundHamming(xl, yl, hmax - side_r - diff, depth + 1);
+  int64_t h_with_l = hl + side_r + diff;
+  if (h_with_l > hmax) return h_with_l;
+
+  int64_t hr = BoundHamming(xr, yr, hmax - hl - diff, depth + 1);
+  return hl + hr + diff;
+}
+
+}  // namespace fj::sim

@@ -1,0 +1,182 @@
+#include "similarity/similarity.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace fj::sim {
+
+namespace {
+// Absolute slack absorbing floating-point error in threshold arithmetic.
+constexpr double kEps = 1e-9;
+}  // namespace
+
+const char* SimilarityFunctionName(SimilarityFunction fn) {
+  switch (fn) {
+    case SimilarityFunction::kJaccard:
+      return "jaccard";
+    case SimilarityFunction::kCosine:
+      return "cosine";
+    case SimilarityFunction::kDice:
+      return "dice";
+    case SimilarityFunction::kOverlap:
+      return "overlap";
+  }
+  return "?";
+}
+
+Result<SimilarityFunction> SimilarityFunctionFromName(const std::string& name) {
+  if (name == "jaccard") return SimilarityFunction::kJaccard;
+  if (name == "cosine") return SimilarityFunction::kCosine;
+  if (name == "dice") return SimilarityFunction::kDice;
+  if (name == "overlap") return SimilarityFunction::kOverlap;
+  return Status::InvalidArgument("unknown similarity function: " + name);
+}
+
+size_t CeilTimes(double f, size_t l) {
+  double v = f * static_cast<double>(l);
+  return static_cast<size_t>(std::ceil(v - kEps));
+}
+
+size_t FloorTimes(double f, size_t l) {
+  double v = f * static_cast<double>(l);
+  return static_cast<size_t>(std::floor(v + kEps));
+}
+
+SimilaritySpec::SimilaritySpec(SimilarityFunction fn, double tau)
+    : fn_(fn), tau_(tau) {
+  assert(tau > 0.0 && tau <= 1.0);
+}
+
+size_t SimilaritySpec::MinOverlap(size_t lx, size_t ly) const {
+  double alpha = 0;
+  switch (fn_) {
+    case SimilarityFunction::kJaccard:
+      // jaccard >= t  <=>  o >= t/(1+t) * (lx+ly)
+      alpha = tau_ / (1.0 + tau_) * static_cast<double>(lx + ly);
+      break;
+    case SimilarityFunction::kCosine:
+      alpha = tau_ * std::sqrt(static_cast<double>(lx) *
+                               static_cast<double>(ly));
+      break;
+    case SimilarityFunction::kDice:
+      alpha = tau_ / 2.0 * static_cast<double>(lx + ly);
+      break;
+    case SimilarityFunction::kOverlap:
+      alpha = tau_ * static_cast<double>(std::min(lx, ly));
+      break;
+  }
+  size_t o = static_cast<size_t>(std::ceil(alpha - kEps));
+  return std::max<size_t>(1, o);
+}
+
+size_t SimilaritySpec::LengthLowerBound(size_t l) const {
+  size_t lb = 1;
+  switch (fn_) {
+    case SimilarityFunction::kJaccard:
+      lb = CeilTimes(tau_, l);
+      break;
+    case SimilarityFunction::kCosine:
+      lb = CeilTimes(tau_ * tau_, l);
+      break;
+    case SimilarityFunction::kDice:
+      lb = CeilTimes(tau_ / (2.0 - tau_), l);
+      break;
+    case SimilarityFunction::kOverlap:
+      lb = 1;  // overlap/min admits arbitrarily small partners
+      break;
+  }
+  return std::max<size_t>(1, lb);
+}
+
+size_t SimilaritySpec::LengthUpperBound(size_t l) const {
+  switch (fn_) {
+    case SimilarityFunction::kJaccard:
+      return FloorTimes(1.0 / tau_, l);
+    case SimilarityFunction::kCosine:
+      return FloorTimes(1.0 / (tau_ * tau_), l);
+    case SimilarityFunction::kDice:
+      return FloorTimes((2.0 - tau_) / tau_, l);
+    case SimilarityFunction::kOverlap:
+      return std::numeric_limits<size_t>::max();
+  }
+  return std::numeric_limits<size_t>::max();
+}
+
+size_t SimilaritySpec::PrefixLength(size_t l) const {
+  if (l == 0) return 0;
+  // The smallest qualifying partner needs the least overlap, so it fixes
+  // the longest usable prefix.
+  size_t min_alpha = MinOverlap(l, LengthLowerBound(l));
+  if (min_alpha > l) return 0;  // no partner can qualify
+  return l - min_alpha + 1;
+}
+
+double SimilaritySpec::Similarity(TokenIdSpan x, TokenIdSpan y) const {
+  return SimilarityFromOverlap(fn_, OverlapSize(x, y), x.size(), y.size());
+}
+
+bool SimilaritySpec::Satisfies(TokenIdSpan x, TokenIdSpan y) const {
+  if (x.empty() || y.empty()) return false;
+  size_t alpha = MinOverlap(x.size(), y.size());
+  return VerifyOverlap(x, y, 0, 0, 0, alpha) != kOverlapFailed;
+}
+
+std::string SimilaritySpec::ToString() const {
+  return std::string(SimilarityFunctionName(fn_)) + ">=" + std::to_string(tau_);
+}
+
+size_t OverlapSize(TokenIdSpan x, TokenIdSpan y) {
+  size_t i = 0, j = 0, overlap = 0;
+  while (i < x.size() && j < y.size()) {
+    if (x[i] == y[j]) {
+      ++overlap;
+      ++i;
+      ++j;
+    } else if (x[i] < y[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return overlap;
+}
+
+size_t VerifyOverlap(TokenIdSpan x, TokenIdSpan y, size_t ix, size_t iy,
+                     size_t acc, size_t alpha) {
+  size_t overlap = acc;
+  while (ix < x.size() && iy < y.size()) {
+    // Upper bound on the final overlap from here; abort when insufficient.
+    size_t remaining = std::min(x.size() - ix, y.size() - iy);
+    if (overlap + remaining < alpha) return kOverlapFailed;
+    if (x[ix] == y[iy]) {
+      ++overlap;
+      ++ix;
+      ++iy;
+    } else if (x[ix] < y[iy]) {
+      ++ix;
+    } else {
+      ++iy;
+    }
+  }
+  return overlap >= alpha ? overlap : kOverlapFailed;
+}
+
+double SimilarityFromOverlap(SimilarityFunction fn, size_t overlap, size_t lx,
+                             size_t ly) {
+  if (lx == 0 || ly == 0) return 0.0;
+  double o = static_cast<double>(overlap);
+  switch (fn) {
+    case SimilarityFunction::kJaccard:
+      return o / static_cast<double>(lx + ly - overlap);
+    case SimilarityFunction::kCosine:
+      return o / std::sqrt(static_cast<double>(lx) * static_cast<double>(ly));
+    case SimilarityFunction::kDice:
+      return 2.0 * o / static_cast<double>(lx + ly);
+    case SimilarityFunction::kOverlap:
+      return o / static_cast<double>(std::min(lx, ly));
+  }
+  return 0.0;
+}
+
+}  // namespace fj::sim

@@ -1,0 +1,111 @@
+// Set-similarity functions and the filter-bound arithmetic built on them.
+//
+// All kernels operate on records represented as ascending arrays of TokenId
+// (see text/token_ordering.h); ascending id order is the global
+// increasing-frequency order, so a record's *prefix* is its rarest tokens.
+//
+// For a similarity function sim and threshold tau, three derived quantities
+// drive the filters (Chaudhuri et al. '06, Bayardo et al. '07, Xiao et
+// al. '08, and Section 2.3 of the paper):
+//
+//   MinOverlap(lx, ly)   the overlap alpha that sim(x,y) >= tau forces
+//                        between sets of sizes lx and ly;
+//   length bounds        the sizes a partner of a size-l set may have
+//                        (the length filter);
+//   PrefixLength(l)      how many leading tokens suffice so that any
+//                        qualifying partner shares one of them (the prefix
+//                        filter / pigeonhole principle).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "text/token_ordering.h"
+
+namespace fj::sim {
+
+using text::TokenId;
+using TokenIdSpan = std::span<const TokenId>;
+
+enum class SimilarityFunction {
+  kJaccard,  ///< |x∩y| / |x∪y|
+  kCosine,   ///< |x∩y| / sqrt(|x|·|y|)
+  kDice,     ///< 2|x∩y| / (|x|+|y|)
+  kOverlap,  ///< |x∩y| / min(|x|,|y|)
+};
+
+const char* SimilarityFunctionName(SimilarityFunction fn);
+Result<SimilarityFunction> SimilarityFunctionFromName(const std::string& name);
+
+/// A similarity predicate: sim(x, y) >= tau.
+class SimilaritySpec {
+ public:
+  /// tau must lie in (0, 1].
+  SimilaritySpec(SimilarityFunction fn, double tau);
+
+  SimilarityFunction function() const { return fn_; }
+  double tau() const { return tau_; }
+
+  /// Minimum |x∩y| forced by sim(x,y) >= tau for set sizes lx, ly.
+  /// Always >= 1 (sizes are >= 1 for non-empty sets).
+  size_t MinOverlap(size_t lx, size_t ly) const;
+
+  /// Smallest partner size that can satisfy the predicate with a size-l set
+  /// (the length filter's lower bound).
+  size_t LengthLowerBound(size_t l) const;
+
+  /// Largest partner size; SIZE_MAX when unbounded (overlap similarity).
+  size_t LengthUpperBound(size_t l) const;
+
+  /// Probe-prefix length for a size-l set: l - MinOverlap(l, lb(l)) + 1,
+  /// clamped to [0, l]. Any pair with sim >= tau shares a token within both
+  /// prefixes of this length.
+  size_t PrefixLength(size_t l) const;
+
+  /// Exact similarity of two ascending id arrays.
+  double Similarity(TokenIdSpan x, TokenIdSpan y) const;
+
+  /// True iff sim(x, y) >= tau (early-terminating).
+  bool Satisfies(TokenIdSpan x, TokenIdSpan y) const;
+
+  std::string ToString() const;
+
+ private:
+  SimilarityFunction fn_;
+  double tau_;
+};
+
+/// ceil(f * l) computed robustly against floating-point error
+/// (e.g. 0.8 * 5 must ceil to 4, not 5).
+size_t CeilTimes(double f, size_t l);
+
+/// floor(f * l), same robustness note.
+size_t FloorTimes(double f, size_t l);
+
+/// |x ∩ y| by linear merge.
+size_t OverlapSize(TokenIdSpan x, TokenIdSpan y);
+
+/// Overlap continued from positions (ix, iy) with `acc` matches already
+/// accumulated, aborting early (returning SIZE_MAX sentinel... see below)
+/// when the required overlap `alpha` is unreachable.
+///
+/// Returns the total overlap if it is >= alpha, or SIZE_MAX if the merge
+/// proved the overlap cannot reach alpha (early exit). This is the
+/// verification step shared by all kernels: candidates surviving the
+/// filters are confirmed with one bounded merge.
+size_t VerifyOverlap(TokenIdSpan x, TokenIdSpan y, size_t ix, size_t iy,
+                     size_t acc, size_t alpha);
+
+/// Sentinel returned by VerifyOverlap when alpha is unreachable.
+inline constexpr size_t kOverlapFailed = std::numeric_limits<size_t>::max();
+
+/// Similarity value from an overlap count and set sizes.
+double SimilarityFromOverlap(SimilarityFunction fn, size_t overlap, size_t lx,
+                             size_t ly);
+
+}  // namespace fj::sim

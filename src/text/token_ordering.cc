@@ -1,0 +1,94 @@
+#include "text/token_ordering.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/hash.h"
+#include "common/string_util.h"
+
+namespace fj::text {
+
+TokenOrdering TokenOrdering::FromCounts(
+    const std::vector<std::pair<std::string, uint64_t>>& counts) {
+  TokenOrdering ordering;
+  ordering.by_rank_ = counts;
+  std::sort(ordering.by_rank_.begin(), ordering.by_rank_.end(),
+            [](const auto& a, const auto& b) {
+              if (a.second != b.second) return a.second < b.second;
+              return a.first < b.first;
+            });
+  ordering.ranks_.reserve(ordering.by_rank_.size());
+  for (size_t i = 0; i < ordering.by_rank_.size(); ++i) {
+    ordering.ranks_.emplace(ordering.by_rank_[i].first, i);
+  }
+  return ordering;
+}
+
+Result<TokenOrdering> TokenOrdering::FromLines(
+    const std::vector<std::string>& lines) {
+  TokenOrdering ordering;
+  ordering.by_rank_.reserve(lines.size());
+  ordering.ranks_.reserve(lines.size());
+  for (const std::string& line : lines) {
+    std::vector<std::string> fields = fj::Split(line, '\t');
+    if (fields.size() != 2) {
+      return Status::InvalidArgument("bad token-ordering line: " + line);
+    }
+    FJ_ASSIGN_OR_RETURN(uint64_t count, fj::ParseUint64(fields[1]));
+    TokenId rank = ordering.by_rank_.size();
+    auto [it, inserted] = ordering.ranks_.emplace(fields[0], rank);
+    (void)it;
+    if (!inserted) {
+      return Status::InvalidArgument("duplicate token in ordering: " +
+                                     fields[0]);
+    }
+    ordering.by_rank_.emplace_back(std::move(fields[0]), count);
+  }
+  return ordering;
+}
+
+std::vector<std::string> TokenOrdering::ToLines() const {
+  std::vector<std::string> lines;
+  lines.reserve(by_rank_.size());
+  for (const auto& [token, count] : by_rank_) {
+    lines.push_back(token + "\t" + std::to_string(count));
+  }
+  return lines;
+}
+
+std::optional<TokenId> TokenOrdering::Rank(const std::string& token) const {
+  auto it = ranks_.find(token);
+  if (it == ranks_.end()) return std::nullopt;
+  return it->second;
+}
+
+TokenId TokenOrdering::IdOf(const std::string& token) const {
+  auto it = ranks_.find(token);
+  if (it != ranks_.end()) return it->second;
+  // Stable id outside the rank range. Guaranteed >= kUnknownTokenBase.
+  return kUnknownTokenBase | fj::HashString(token);
+}
+
+std::vector<TokenId> TokenOrdering::ToSortedIds(
+    const std::vector<std::string>& tokens) const {
+  std::vector<TokenId> ids;
+  ids.reserve(tokens.size());
+  for (const auto& t : tokens) ids.push_back(IdOf(t));
+  std::sort(ids.begin(), ids.end());
+  // Hash-derived ids for *distinct* unknown tokens could in principle
+  // collide; dedupe so the result is a set.
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  return ids;
+}
+
+uint64_t TokenOrdering::FrequencyOfRank(TokenId rank) const {
+  assert(rank < by_rank_.size());
+  return by_rank_[static_cast<size_t>(rank)].second;
+}
+
+const std::string& TokenOrdering::TokenOfRank(TokenId rank) const {
+  assert(rank < by_rank_.size());
+  return by_rank_[static_cast<size_t>(rank)].first;
+}
+
+}  // namespace fj::text

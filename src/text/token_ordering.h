@@ -1,0 +1,80 @@
+// The global token ordering — the product of the paper's Stage 1.
+//
+// Tokens are ranked by increasing corpus frequency (ties broken
+// lexicographically, so the ordering is total and deterministic). Prefix
+// filtering uses this ordering: a record's prefix consists of its *rarest*
+// tokens, which keeps candidate groups small and balances reducers despite
+// token-frequency skew (Section 3).
+//
+// Records are converted to sorted arrays of TokenId. Known tokens map to
+// their rank (0 = rarest). Tokens absent from the ordering (they occur in an
+// R-S join when relation S contains tokens that relation R never produced)
+// map to ids >= kUnknownTokenBase derived from a stable 64-bit hash: they
+// cannot collide with ranks, compare consistently across records, and can
+// never match a token of the indexed relation — while still counting toward
+// set sizes so similarity values stay exact.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+
+namespace fj::text {
+
+using TokenId = uint64_t;
+
+/// Ids at or above this value denote out-of-dictionary tokens.
+inline constexpr TokenId kUnknownTokenBase = uint64_t{1} << 32;
+
+/// True if `id` denotes a token that was not in the stage-1 ordering.
+inline bool IsUnknownToken(TokenId id) { return id >= kUnknownTokenBase; }
+
+class TokenOrdering {
+ public:
+  TokenOrdering() = default;
+
+  /// Builds an ordering from (token, frequency) pairs, ranking by
+  /// (frequency ascending, token ascending).
+  static TokenOrdering FromCounts(
+      const std::vector<std::pair<std::string, uint64_t>>& counts);
+
+  /// Parses the stage-1 output: one "token<TAB>count" line per token, in
+  /// rank order (rarest first). Inverse of ToLines().
+  static Result<TokenOrdering> FromLines(const std::vector<std::string>& lines);
+
+  /// Serializes to "token<TAB>count" lines in rank order.
+  std::vector<std::string> ToLines() const;
+
+  /// Rank of `token`, or nullopt if not in the ordering.
+  std::optional<TokenId> Rank(const std::string& token) const;
+
+  /// Id for `token`: its rank if known, otherwise a stable hash-derived id
+  /// >= kUnknownTokenBase.
+  TokenId IdOf(const std::string& token) const;
+
+  /// Maps tokens to ids and sorts ascending — the canonical set
+  /// representation consumed by the similarity kernels. (Ascending id order
+  /// IS the global frequency order for known tokens; unknown tokens sort
+  /// after every known one, i.e. they are treated as maximally frequent,
+  /// which keeps prefix filtering correct for R-S joins.)
+  std::vector<TokenId> ToSortedIds(const std::vector<std::string>& tokens) const;
+
+  /// Corpus frequency of the token with the given rank.
+  uint64_t FrequencyOfRank(TokenId rank) const;
+
+  /// Token string for a known rank (diagnostics / tests).
+  const std::string& TokenOfRank(TokenId rank) const;
+
+  size_t size() const { return by_rank_.size(); }
+  bool empty() const { return by_rank_.empty(); }
+
+ private:
+  std::vector<std::pair<std::string, uint64_t>> by_rank_;  // (token, count)
+  std::unordered_map<std::string, TokenId> ranks_;
+};
+
+}  // namespace fj::text

@@ -1,0 +1,77 @@
+#include "text/tokenizer.h"
+
+#include <cctype>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace fj::text {
+
+void ApplyDuplicatePolicy(DuplicatePolicy policy,
+                          std::vector<std::string>* tokens) {
+  if (policy == DuplicatePolicy::kRemove) {
+    std::unordered_set<std::string> seen;
+    std::vector<std::string> out;
+    out.reserve(tokens->size());
+    for (auto& t : *tokens) {
+      if (seen.insert(t).second) out.push_back(std::move(t));
+    }
+    *tokens = std::move(out);
+  } else {
+    std::unordered_map<std::string, size_t> occurrences;
+    for (auto& t : *tokens) {
+      size_t n = occurrences[t]++;
+      if (n > 0) t += "#" + std::to_string(n);
+    }
+  }
+}
+
+std::vector<std::string> WordTokenizer::Tokenize(std::string_view text) const {
+  std::vector<std::string> tokens;
+  std::string current;
+  for (char raw : text) {
+    unsigned char c = static_cast<unsigned char>(raw);
+    if (std::isalnum(c)) {
+      current += static_cast<char>(std::tolower(c));
+    } else if (!current.empty()) {
+      tokens.push_back(std::move(current));
+      current.clear();
+    }
+  }
+  if (!current.empty()) tokens.push_back(std::move(current));
+  ApplyDuplicatePolicy(policy_, &tokens);
+  return tokens;
+}
+
+QGramTokenizer::QGramTokenizer(size_t q, DuplicatePolicy policy)
+    : q_(q == 0 ? 1 : q), policy_(policy) {}
+
+std::vector<std::string> QGramTokenizer::Tokenize(std::string_view text) const {
+  // Normalize: lower-case; collapse runs of non-alphanumerics to one space.
+  std::string norm;
+  norm.reserve(text.size() + 2 * (q_ - 1));
+  norm.append(q_ - 1, '$');
+  bool pending_space = false;
+  for (char raw : text) {
+    unsigned char c = static_cast<unsigned char>(raw);
+    if (std::isalnum(c)) {
+      if (pending_space && !norm.empty() && norm.back() != '$') norm += ' ';
+      pending_space = false;
+      norm += static_cast<char>(std::tolower(c));
+    } else {
+      pending_space = true;
+    }
+  }
+  norm.append(q_ - 1, '#');
+
+  std::vector<std::string> tokens;
+  if (norm.size() >= q_) {
+    tokens.reserve(norm.size() - q_ + 1);
+    for (size_t i = 0; i + q_ <= norm.size(); ++i) {
+      tokens.emplace_back(norm.substr(i, q_));
+    }
+  }
+  ApplyDuplicatePolicy(policy_, &tokens);
+  return tokens;
+}
+
+}  // namespace fj::text

@@ -1,0 +1,170 @@
+// Foundation tests: Status/Result, string utilities, hashing, counters.
+#include <gtest/gtest.h>
+
+#include "common/counters.h"
+#include "common/hash.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "common/string_util.h"
+
+namespace fj {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("file x");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.message(), "file x");
+  EXPECT_EQ(s.ToString(), "NotFound: file x");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (auto code : {StatusCode::kOk, StatusCode::kInvalidArgument,
+                    StatusCode::kNotFound, StatusCode::kAlreadyExists,
+                    StatusCode::kOutOfRange, StatusCode::kResourceExhausted,
+                    StatusCode::kInternal, StatusCode::kIOError,
+                    StatusCode::kUnimplemented}) {
+    EXPECT_STRNE(StatusCodeName(code), "Unknown");
+  }
+}
+
+Result<int> ParsePositive(int v) {
+  if (v <= 0) return Status::InvalidArgument("not positive");
+  return v;
+}
+
+Result<int> Doubled(int v) {
+  FJ_ASSIGN_OR_RETURN(int parsed, ParsePositive(v));
+  return parsed * 2;
+}
+
+TEST(ResultTest, ValueAndErrorPaths) {
+  auto ok = Doubled(4);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 8);
+  EXPECT_EQ(*ok, 8);
+
+  auto err = Doubled(-1);
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(5));
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 5);
+}
+
+TEST(StringUtilTest, SplitKeepsEmptyFields) {
+  EXPECT_EQ(Split("a|b|c", '|'),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(Split("a||c", '|'), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(Split("", '|'), (std::vector<std::string>{""}));
+  EXPECT_EQ(Split("|", '|'), (std::vector<std::string>{"", ""}));
+}
+
+TEST(StringUtilTest, SplitNLimitsFields) {
+  EXPECT_EQ(SplitN("a\tb\tc\td", '\t', 2),
+            (std::vector<std::string>{"a", "b\tc\td"}));
+  EXPECT_EQ(SplitN("a", '\t', 3), (std::vector<std::string>{"a"}));
+  EXPECT_EQ(SplitN("a\tb", '\t', 1), (std::vector<std::string>{"a\tb"}));
+}
+
+TEST(StringUtilTest, JoinRoundTripsSplit) {
+  std::vector<std::string> parts{"x", "", "yz"};
+  EXPECT_EQ(Split(Join(parts, ','), ','), parts);
+  EXPECT_EQ(Join(parts, "--"), "x----yz");
+  EXPECT_EQ(Join({}, ','), "");
+}
+
+TEST(StringUtilTest, CaseAndTrim) {
+  EXPECT_EQ(ToLower("MiXeD 123"), "mixed 123");
+  EXPECT_EQ(Trim("  x y\t\n"), "x y");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim(""), "");
+}
+
+TEST(StringUtilTest, ParseUint64) {
+  EXPECT_EQ(ParseUint64("0").value(), 0u);
+  EXPECT_EQ(ParseUint64("18446744073709551615").value(), UINT64_MAX);
+  EXPECT_FALSE(ParseUint64("18446744073709551616").ok());  // overflow
+  EXPECT_FALSE(ParseUint64("").ok());
+  EXPECT_FALSE(ParseUint64("12x").ok());
+  EXPECT_FALSE(ParseUint64("-1").ok());
+}
+
+TEST(StringUtilTest, ParseInt64) {
+  EXPECT_EQ(ParseInt64("-42").value(), -42);
+  EXPECT_EQ(ParseInt64("+7").value(), 7);
+  EXPECT_EQ(ParseInt64("-9223372036854775808").value(), INT64_MIN);
+  EXPECT_FALSE(ParseInt64("-9223372036854775809").ok());
+  EXPECT_EQ(ParseInt64("9223372036854775807").value(), INT64_MAX);
+  EXPECT_FALSE(ParseInt64("9223372036854775808").ok());
+}
+
+TEST(StringUtilTest, ParseDouble) {
+  EXPECT_DOUBLE_EQ(ParseDouble("0.5").value(), 0.5);
+  EXPECT_DOUBLE_EQ(ParseDouble("-1e3").value(), -1000.0);
+  EXPECT_FALSE(ParseDouble("abc").ok());
+  EXPECT_FALSE(ParseDouble("1.5x").ok());
+  EXPECT_FALSE(ParseDouble("").ok());
+}
+
+TEST(StringUtilTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("stage2-pk", "stage2"));
+  EXPECT_FALSE(StartsWith("st", "stage"));
+  EXPECT_TRUE(EndsWith("out.joined", ".joined"));
+  EXPECT_FALSE(EndsWith("x", "long-suffix"));
+}
+
+TEST(HashTest, StableAndSpreading) {
+  EXPECT_EQ(HashString("token"), HashString("token"));
+  EXPECT_NE(HashString("token"), HashString("tokem"));
+  EXPECT_NE(HashInt64(1), HashInt64(2));
+  EXPECT_NE(HashCombine(1, 2), HashCombine(2, 1));
+}
+
+TEST(CounterTest, AddGetMergeMax) {
+  CounterSet a;
+  a.Add("x", 3);
+  a.Add("x", 4);
+  EXPECT_EQ(a.Get("x"), 7);
+  EXPECT_EQ(a.Get("missing"), 0);
+
+  CounterSet b;
+  b.Add("x", 1);
+  b.Add("y", 2);
+  a.MergeFrom(b);
+  EXPECT_EQ(a.Get("x"), 8);
+  EXPECT_EQ(a.Get("y"), 2);
+
+  a.Max("peak", 5);
+  a.Max("peak", 3);
+  a.Max("peak", 9);
+  EXPECT_EQ(a.Get("peak"), 9);
+
+  auto snapshot = a.Snapshot();
+  EXPECT_EQ(snapshot.size(), 3u);
+  a.Clear();
+  EXPECT_EQ(a.Get("x"), 0);
+}
+
+TEST(CounterTest, CopyGetsIndependentState) {
+  CounterSet a;
+  a.Add("x", 1);
+  CounterSet b = a;
+  b.Add("x", 1);
+  EXPECT_EQ(a.Get("x"), 1);
+  EXPECT_EQ(b.Get("x"), 2);
+}
+
+}  // namespace
+}  // namespace fj

@@ -1,0 +1,101 @@
+// Rng / Zipf sampler tests: determinism, range contracts, skew shape.
+#include "common/random.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+namespace fj {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123), c(124);
+  bool all_equal = true, any_diff_seed_differs = false;
+  for (int i = 0; i < 100; ++i) {
+    uint64_t va = a.Next();
+    if (va != b.Next()) all_equal = false;
+    if (va != c.Next()) any_diff_seed_differs = true;
+  }
+  EXPECT_TRUE(all_equal);
+  EXPECT_TRUE(any_diff_seed_differs);
+}
+
+TEST(RngTest, NextBelowStaysInRange) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.NextBelow(7), 7u);
+  }
+  EXPECT_EQ(rng.NextBelow(1), 0u);
+}
+
+TEST(RngTest, NextInRangeInclusive) {
+  Rng rng(6);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    uint64_t v = rng.NextInRange(3, 5);
+    EXPECT_GE(v, 3u);
+    EXPECT_LE(v, 5u);
+    saw_lo |= v == 3;
+    saw_hi |= v == 5;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, NextBoolRespectsProbability) {
+  Rng rng(8);
+  int heads = 0;
+  for (int i = 0; i < 100000; ++i) heads += rng.NextBool(0.2);
+  EXPECT_NEAR(heads / 100000.0, 0.2, 0.01);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(9);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto original = v;
+  rng.Shuffle(&v);
+  auto sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, original);
+}
+
+TEST(ZipfTest, UniformWhenThetaZero) {
+  ZipfSampler zipf(10, 0.0);
+  Rng rng(10);
+  std::map<size_t, int> counts;
+  for (int i = 0; i < 100000; ++i) counts[zipf.Sample(&rng)]++;
+  for (const auto& [rank, count] : counts) {
+    EXPECT_NEAR(count / 100000.0, 0.1, 0.02) << "rank " << rank;
+  }
+}
+
+TEST(ZipfTest, SkewFavorsLowRanks) {
+  ZipfSampler zipf(1000, 1.0);
+  Rng rng(11);
+  std::map<size_t, int> counts;
+  for (int i = 0; i < 100000; ++i) counts[zipf.Sample(&rng)]++;
+  // Rank 0 should dominate rank 99 by roughly 100x under theta = 1.
+  ASSERT_GT(counts[0], 0);
+  EXPECT_GT(counts[0], counts[99] * 20);
+  // Every sample is in range.
+  for (const auto& [rank, count] : counts) EXPECT_LT(rank, 1000u);
+}
+
+TEST(ZipfTest, SingleElementAlwaysSampled) {
+  ZipfSampler zipf(1, 0.9);
+  Rng rng(12);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(zipf.Sample(&rng), 0u);
+}
+
+}  // namespace
+}  // namespace fj

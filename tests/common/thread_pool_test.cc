@@ -1,0 +1,75 @@
+// ThreadPool / RunParallel behaviour.
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+namespace fj {
+namespace {
+
+TEST(ThreadPoolTest, RunsAllTasks) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(4);
+    for (int i = 0; i < 100; ++i) {
+      pool.Submit([&count] { count.fetch_add(1); });
+    }
+    pool.Wait();
+    EXPECT_EQ(count.load(), 100);
+  }
+}
+
+TEST(ThreadPoolTest, WaitBlocksUntilDrained) {
+  std::atomic<int> sum{0};
+  ThreadPool pool(2);
+  for (int i = 1; i <= 50; ++i) {
+    pool.Submit([&sum, i] { sum.fetch_add(i); });
+  }
+  pool.Wait();
+  EXPECT_EQ(sum.load(), 1275);
+  // Pool is reusable after Wait.
+  pool.Submit([&sum] { sum.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(sum.load(), 1276);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsOutstandingWork) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(3);
+    for (int i = 0; i < 20; ++i) pool.Submit([&count] { count.fetch_add(1); });
+  }  // destructor joins
+  EXPECT_EQ(count.load(), 20);
+}
+
+TEST(ThreadPoolTest, AtLeastOneThread) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1u);
+}
+
+TEST(RunParallelTest, SingleThreadRunsInline) {
+  std::vector<int> order;
+  std::vector<std::function<void()>> tasks;
+  for (int i = 0; i < 5; ++i) {
+    tasks.push_back([&order, i] { order.push_back(i); });
+  }
+  RunParallel(tasks, 1);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));  // in-order inline
+}
+
+TEST(RunParallelTest, MultiThreadCompletesEverything) {
+  std::atomic<int> count{0};
+  std::vector<std::function<void()>> tasks(64,
+                                           [&count] { count.fetch_add(1); });
+  RunParallel(tasks, 8);
+  EXPECT_EQ(count.load(), 64);
+}
+
+TEST(RunParallelTest, EmptyTaskList) {
+  RunParallel({}, 4);  // must not hang or crash
+}
+
+}  // namespace
+}  // namespace fj

@@ -1,0 +1,178 @@
+// Section 5 (insufficient memory) tests: the map-based and reduce-based
+// block-processing strategies must produce exactly the same join result as
+// the in-memory BK kernel, while bounding the number of projections
+// resident in reducer memory and (for the reduce-based strategy) paying
+// metered local-disk I/O.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "data/generator.h"
+#include "fuzzyjoin/fuzzyjoin.h"
+
+namespace fj::join {
+namespace {
+
+using data::GenerateRecords;
+using data::Record;
+
+std::vector<Record> TestRecords(size_t n, uint64_t seed) {
+  auto config = data::DblpLikeConfig(n, seed);
+  config.payload_bytes = 16;
+  return GenerateRecords(config);
+}
+
+std::set<std::pair<uint64_t, uint64_t>> RunAndCollect(
+    const std::vector<Record>& records, const JoinConfig& config,
+    fj::CounterSet* counters_out = nullptr,
+    std::vector<mr::JobMetrics>* stage2_jobs = nullptr) {
+  mr::Dfs dfs;
+  EXPECT_TRUE(dfs.WriteFile("records", data::RecordsToLines(records)).ok());
+  auto result = RunSelfJoin(&dfs, "records", "out", config);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  std::set<std::pair<uint64_t, uint64_t>> pairs;
+  if (!result.ok()) return pairs;
+  auto joined = ReadJoinedPairs(dfs, result->output_file);
+  EXPECT_TRUE(joined.ok());
+  if (joined.ok()) {
+    for (const auto& jp : *joined) pairs.emplace(jp.first.rid, jp.second.rid);
+  }
+  if (counters_out != nullptr || stage2_jobs != nullptr) {
+    for (const auto& stage : result->stages) {
+      if (stage.stage_name.rfind("2-", 0) != 0) continue;
+      for (const auto& job : stage.jobs) {
+        if (counters_out != nullptr) counters_out->MergeFrom(job.counters);
+        if (stage2_jobs != nullptr) stage2_jobs->push_back(job);
+      }
+    }
+  }
+  return pairs;
+}
+
+class BlockProcessingTest : public testing::TestWithParam<TokenRouting> {};
+
+TEST_P(BlockProcessingTest, SelfJoinStrategiesAgreeWithInMemoryBK) {
+  std::vector<Record> records = TestRecords(250, 17);
+
+  JoinConfig base;
+  base.stage2 = Stage2Algorithm::kBK;
+  base.routing = GetParam();
+  base.num_groups = 7;
+
+  auto in_memory = RunAndCollect(records, base);
+  ASSERT_FALSE(in_memory.empty());
+
+  for (auto strategy :
+       {BlockProcessing::kMapBased, BlockProcessing::kReduceBased}) {
+    for (uint32_t blocks : {1u, 2u, 5u}) {
+      JoinConfig config = base;
+      config.block_processing = strategy;
+      config.num_blocks = blocks;
+      auto blocked = RunAndCollect(records, config);
+      EXPECT_EQ(blocked, in_memory)
+          << "strategy=" << static_cast<int>(strategy) << " blocks=" << blocks;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Routing, BlockProcessingTest,
+                         testing::Values(TokenRouting::kIndividualTokens,
+                                         TokenRouting::kGroupedTokens),
+                         [](const testing::TestParamInfo<TokenRouting>& info) {
+                           return info.param ==
+                                          TokenRouting::kIndividualTokens
+                                      ? "individual"
+                                      : "grouped";
+                         });
+
+TEST(BlockProcessingTest, RSJoinStrategiesAgreeWithInMemoryBK) {
+  auto r_config = data::DblpLikeConfig(150, 31);
+  r_config.payload_bytes = 16;
+  auto s_config = data::DblpLikeConfig(120, 32);
+  s_config.payload_bytes = 16;
+  std::vector<Record> r = GenerateRecords(r_config);
+  std::vector<Record> s = GenerateRecords(s_config);
+  data::InjectOverlap(r, 0.3, 2, 33, &s);
+
+  auto run = [&](BlockProcessing strategy, uint32_t blocks) {
+    mr::Dfs dfs;
+    EXPECT_TRUE(dfs.WriteFile("r", data::RecordsToLines(r)).ok());
+    EXPECT_TRUE(dfs.WriteFile("s", data::RecordsToLines(s)).ok());
+    JoinConfig config;
+    config.stage2 = Stage2Algorithm::kBK;
+    config.block_processing = strategy;
+    config.num_blocks = blocks;
+    auto result = RunRSJoin(&dfs, "r", "s", "out", config);
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    std::set<std::pair<uint64_t, uint64_t>> pairs;
+    if (!result.ok()) return pairs;
+    auto joined = ReadJoinedPairs(dfs, result->output_file);
+    EXPECT_TRUE(joined.ok());
+    for (const auto& jp : *joined) pairs.emplace(jp.first.rid, jp.second.rid);
+    return pairs;
+  };
+
+  auto in_memory = run(BlockProcessing::kNone, 0);
+  ASSERT_FALSE(in_memory.empty());
+  EXPECT_EQ(run(BlockProcessing::kMapBased, 3), in_memory);
+  EXPECT_EQ(run(BlockProcessing::kReduceBased, 3), in_memory);
+  EXPECT_EQ(run(BlockProcessing::kMapBased, 1), in_memory);
+  EXPECT_EQ(run(BlockProcessing::kReduceBased, 1), in_memory);
+}
+
+TEST(BlockProcessingTest, BlocksBoundReducerMemory) {
+  std::vector<Record> records = TestRecords(400, 19);
+
+  JoinConfig whole;
+  whole.stage2 = Stage2Algorithm::kBK;
+  fj::CounterSet whole_counters;
+  RunAndCollect(records, whole, &whole_counters);
+  int64_t whole_peak = whole_counters.Get("stage2.peak_group_records");
+  ASSERT_GT(whole_peak, 0);
+
+  JoinConfig blocked = whole;
+  blocked.block_processing = BlockProcessing::kMapBased;
+  blocked.num_blocks = 8;
+  fj::CounterSet blocked_counters;
+  RunAndCollect(records, blocked, &blocked_counters);
+  int64_t blocked_peak =
+      blocked_counters.Get("stage2.block.peak_memory_records");
+  ASSERT_GT(blocked_peak, 0);
+
+  // Sub-partitioning into 8 hash blocks should shrink the peak resident
+  // set substantially (not exactly 8x: hash imbalance).
+  EXPECT_LT(blocked_peak, whole_peak);
+  EXPECT_LE(blocked_peak, whole_peak / 2);
+}
+
+TEST(BlockProcessingTest, ReduceBasedStrategySpillsToLocalDisk) {
+  std::vector<Record> records = TestRecords(250, 23);
+
+  JoinConfig map_based;
+  map_based.stage2 = Stage2Algorithm::kBK;
+  map_based.block_processing = BlockProcessing::kMapBased;
+  map_based.num_blocks = 4;
+  std::vector<mr::JobMetrics> map_jobs;
+  RunAndCollect(records, map_based, nullptr, &map_jobs);
+
+  JoinConfig reduce_based = map_based;
+  reduce_based.block_processing = BlockProcessing::kReduceBased;
+  std::vector<mr::JobMetrics> reduce_jobs;
+  RunAndCollect(records, reduce_based, nullptr, &reduce_jobs);
+
+  ASSERT_EQ(map_jobs.size(), 1u);
+  ASSERT_EQ(reduce_jobs.size(), 1u);
+  // Map-based replicates blocks through the shuffle; reduce-based sends
+  // each projection exactly once.
+  EXPECT_GT(map_jobs[0].shuffle_records, reduce_jobs[0].shuffle_records);
+}
+
+TEST(BlockProcessingTest, RequiresBkKernel) {
+  JoinConfig config;
+  config.stage2 = Stage2Algorithm::kPK;
+  config.block_processing = BlockProcessing::kMapBased;
+  EXPECT_EQ(config.Validate().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace fj::join

@@ -1,0 +1,120 @@
+// Reproducibility guarantees: byte-identical outputs across repeated runs
+// and across physical thread counts, and result-equivalence across group
+// assignment policies.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "data/generator.h"
+#include "fuzzyjoin/fuzzyjoin.h"
+
+namespace fj::join {
+namespace {
+
+std::vector<data::Record> TestRecords() {
+  auto config = data::DblpLikeConfig(300, 101);
+  config.payload_bytes = 16;
+  return data::GenerateRecords(config);
+}
+
+const std::vector<std::string>* RunAndReadOutput(mr::Dfs* dfs,
+                                                 const std::string& prefix,
+                                                 const JoinConfig& config) {
+  auto result = RunSelfJoin(dfs, "records", prefix, config);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  if (!result.ok()) return nullptr;
+  auto lines = dfs->ReadFile(result->output_file);
+  EXPECT_TRUE(lines.ok());
+  return lines.ok() ? lines.value() : nullptr;
+}
+
+TEST(DeterminismTest, RepeatedRunsAreByteIdentical) {
+  mr::Dfs dfs;
+  ASSERT_TRUE(
+      dfs.WriteFile("records", data::RecordsToLines(TestRecords())).ok());
+  JoinConfig config;
+  auto* first = RunAndReadOutput(&dfs, "a", config);
+  auto* second = RunAndReadOutput(&dfs, "b", config);
+  ASSERT_NE(first, nullptr);
+  ASSERT_NE(second, nullptr);
+  EXPECT_EQ(*first, *second);
+  EXPECT_FALSE(first->empty());
+}
+
+TEST(DeterminismTest, ThreadCountDoesNotChangeOutput) {
+  mr::Dfs dfs;
+  ASSERT_TRUE(
+      dfs.WriteFile("records", data::RecordsToLines(TestRecords())).ok());
+  JoinConfig single;
+  single.local_threads = 1;
+  JoinConfig multi = single;
+  multi.local_threads = 4;
+  auto* a = RunAndReadOutput(&dfs, "t1", single);
+  auto* b = RunAndReadOutput(&dfs, "t4", multi);
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(*a, *b);
+}
+
+TEST(DeterminismTest, GroupAssignmentPoliciesAgreeOnResults) {
+  mr::Dfs dfs;
+  ASSERT_TRUE(
+      dfs.WriteFile("records", data::RecordsToLines(TestRecords())).ok());
+  std::set<std::pair<uint64_t, uint64_t>> results[2];
+  int idx = 0;
+  for (auto assignment :
+       {GroupAssignment::kRoundRobin, GroupAssignment::kContiguous}) {
+    JoinConfig config;
+    config.routing = TokenRouting::kGroupedTokens;
+    config.num_groups = 17;
+    config.group_assignment = assignment;
+    auto* lines = RunAndReadOutput(
+        &dfs, assignment == GroupAssignment::kRoundRobin ? "rr" : "cg",
+        config);
+    ASSERT_NE(lines, nullptr);
+    for (const auto& line : *lines) {
+      auto pair = JoinedPair::FromLine(line);
+      ASSERT_TRUE(pair.ok());
+      results[idx].emplace(pair->first.rid, pair->second.rid);
+    }
+    ++idx;
+  }
+  EXPECT_EQ(results[0], results[1]);
+  EXPECT_FALSE(results[0].empty());
+}
+
+TEST(DeterminismTest, TaskCountsDoNotChangeResults) {
+  mr::Dfs dfs;
+  ASSERT_TRUE(
+      dfs.WriteFile("records", data::RecordsToLines(TestRecords())).ok());
+  std::set<std::pair<uint64_t, uint64_t>> baseline;
+  bool first = true;
+  int run = 0;
+  for (size_t map_tasks : {1u, 7u, 40u}) {
+    for (size_t reduce_tasks : {1u, 5u, 16u}) {
+      JoinConfig config;
+      config.num_map_tasks = map_tasks;
+      config.num_reduce_tasks = reduce_tasks;
+      auto* lines =
+          RunAndReadOutput(&dfs, "mt" + std::to_string(run++), config);
+      ASSERT_NE(lines, nullptr);
+      std::set<std::pair<uint64_t, uint64_t>> pairs;
+      for (const auto& line : *lines) {
+        auto pair = JoinedPair::FromLine(line);
+        ASSERT_TRUE(pair.ok());
+        pairs.emplace(pair->first.rid, pair->second.rid);
+      }
+      if (first) {
+        baseline = pairs;
+        first = false;
+        ASSERT_FALSE(baseline.empty());
+      } else {
+        EXPECT_EQ(pairs, baseline)
+            << map_tasks << " map / " << reduce_tasks << " reduce tasks";
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fj::join

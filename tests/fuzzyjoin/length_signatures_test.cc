@@ -1,0 +1,100 @@
+// Footnote-2 alternative: routing by length ranges instead of prefix
+// tokens must still produce exactly the ground-truth join result — the
+// paper rejected it for *performance* (length skew), not correctness.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "data/generator.h"
+#include "fuzzyjoin/fuzzyjoin.h"
+
+namespace fj::join {
+namespace {
+
+std::set<std::pair<uint64_t, uint64_t>> Pairs(mr::Dfs* dfs,
+                                              const std::string& prefix,
+                                              const JoinConfig& config) {
+  std::set<std::pair<uint64_t, uint64_t>> pairs;
+  auto result = RunSelfJoin(dfs, "records", prefix, config);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  if (!result.ok()) return pairs;
+  auto joined = ReadJoinedPairs(*dfs, result->output_file);
+  EXPECT_TRUE(joined.ok());
+  for (const auto& jp : *joined) pairs.emplace(jp.first.rid, jp.second.rid);
+  return pairs;
+}
+
+TEST(LengthSignaturesTest, MatchesPrefixRoutedResult) {
+  auto config = data::DblpLikeConfig(300, 111);
+  config.payload_bytes = 8;
+  config.title_tokens_min = 3;
+  config.title_tokens_max = 20;
+  auto records = data::GenerateRecords(config);
+  mr::Dfs dfs;
+  ASSERT_TRUE(dfs.WriteFile("records", data::RecordsToLines(records)).ok());
+
+  JoinConfig prefix_routed;
+  prefix_routed.stage2 = Stage2Algorithm::kBK;
+  auto expected = Pairs(&dfs, "prefix", prefix_routed);
+  ASSERT_FALSE(expected.empty());
+
+  for (uint32_t width : {1u, 2u, 8u}) {
+    JoinConfig length_routed = prefix_routed;
+    length_routed.routing = TokenRouting::kLengthSignatures;
+    length_routed.length_class_width = width;
+    EXPECT_EQ(Pairs(&dfs, "len" + std::to_string(width), length_routed),
+              expected)
+        << "width " << width;
+  }
+}
+
+TEST(LengthSignaturesTest, GeneratesMoreCandidatesThanPrefixRouting) {
+  // The reason the paper rejected it: without the prefix filter every
+  // same-length-range pair is a candidate.
+  auto gen_config = data::DblpLikeConfig(400, 112);
+  gen_config.payload_bytes = 8;
+  auto records = data::GenerateRecords(gen_config);
+  mr::Dfs dfs;
+  ASSERT_TRUE(dfs.WriteFile("records", data::RecordsToLines(records)).ok());
+
+  auto run_counting = [&](TokenRouting routing, const std::string& prefix) {
+    JoinConfig config;
+    config.stage2 = Stage2Algorithm::kBK;
+    config.routing = routing;
+    config.length_class_width = 2;
+    auto result = RunSelfJoin(&dfs, "records", prefix, config);
+    EXPECT_TRUE(result.ok());
+    return result->stages[1].jobs[0].counters.Get(
+        "stage2.bk.pairs_considered");
+  };
+  int64_t prefix_candidates =
+      run_counting(TokenRouting::kIndividualTokens, "p");
+  int64_t length_candidates =
+      run_counting(TokenRouting::kLengthSignatures, "l");
+  EXPECT_GT(length_candidates, 2 * prefix_candidates);
+}
+
+TEST(LengthSignaturesTest, ValidationRules) {
+  JoinConfig config;
+  config.routing = TokenRouting::kLengthSignatures;
+  config.stage2 = Stage2Algorithm::kPK;
+  EXPECT_FALSE(config.Validate().ok());
+  config.stage2 = Stage2Algorithm::kBK;
+  EXPECT_TRUE(config.Validate().ok());
+  config.block_processing = BlockProcessing::kReduceBased;
+  EXPECT_FALSE(config.Validate().ok());
+}
+
+TEST(LengthSignaturesTest, RejectedForRSJoins) {
+  mr::Dfs dfs;
+  ASSERT_TRUE(dfs.WriteFile("r", {"1\tt a b\tx\tp"}).ok());
+  ASSERT_TRUE(dfs.WriteFile("s", {"2\tt a b\ty\tp"}).ok());
+  JoinConfig config;
+  config.routing = TokenRouting::kLengthSignatures;
+  config.stage2 = Stage2Algorithm::kBK;
+  auto result = RunRSJoin(&dfs, "r", "s", "out", config);
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace fj::join

@@ -1,0 +1,84 @@
+// The one-stage full-record alternative (Section 2.2) must produce exactly
+// the same joined pairs as the three-stage pipeline — the paper dropped it
+// for performance, not correctness — while shuffling far more bytes.
+#include "fuzzyjoin/one_stage.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "data/generator.h"
+#include "fuzzyjoin/fuzzyjoin.h"
+
+namespace fj::join {
+namespace {
+
+using PairSet = std::set<std::pair<uint64_t, uint64_t>>;
+
+PairSet CollectPairs(const mr::Dfs& dfs, const std::string& file) {
+  PairSet pairs;
+  auto joined = ReadJoinedPairs(dfs, file);
+  EXPECT_TRUE(joined.ok()) << joined.status().ToString();
+  if (!joined.ok()) return pairs;
+  for (const auto& jp : *joined) {
+    EXPECT_TRUE(pairs.emplace(jp.first.rid, jp.second.rid).second)
+        << "duplicate pair survived dedup";
+  }
+  return pairs;
+}
+
+TEST(OneStageTest, MatchesThreeStagePipeline) {
+  auto records = data::GenerateRecords(data::DblpLikeConfig(300, 61));
+  mr::Dfs dfs;
+  ASSERT_TRUE(dfs.WriteFile("records", data::RecordsToLines(records)).ok());
+
+  JoinConfig config;
+  auto three_stage = RunSelfJoin(&dfs, "records", "threestage", config);
+  ASSERT_TRUE(three_stage.ok()) << three_stage.status().ToString();
+  auto one_stage = RunOneStageSelfJoin(&dfs, "records", "onestage", config);
+  ASSERT_TRUE(one_stage.ok()) << one_stage.status().ToString();
+
+  auto expected = CollectPairs(dfs, three_stage->output_file);
+  auto got = CollectPairs(dfs, one_stage->output_file);
+  ASSERT_FALSE(expected.empty());
+  EXPECT_EQ(got, expected);
+}
+
+TEST(OneStageTest, ShufflesFarMoreBytesThanProjectionKernel) {
+  // The paper's reason for rejecting the alternative: whole records
+  // (payload included) are replicated through the shuffle.
+  auto records = data::GenerateRecords(data::DblpLikeConfig(300, 62));
+  mr::Dfs dfs;
+  ASSERT_TRUE(dfs.WriteFile("records", data::RecordsToLines(records)).ok());
+
+  JoinConfig config;
+  auto three_stage = RunSelfJoin(&dfs, "records", "threestage", config);
+  ASSERT_TRUE(three_stage.ok());
+  auto one_stage = RunOneStageSelfJoin(&dfs, "records", "onestage", config);
+  ASSERT_TRUE(one_stage.ok());
+
+  uint64_t projection_kernel_bytes =
+      three_stage->stages[1].jobs[0].shuffle_bytes;
+  uint64_t full_record_kernel_bytes =
+      one_stage->stages[1].jobs[0].shuffle_bytes;
+  EXPECT_GT(full_record_kernel_bytes, 3 * projection_kernel_bytes);
+}
+
+TEST(OneStageTest, GroupedRoutingAlsoAgrees) {
+  auto records = data::GenerateRecords(data::DblpLikeConfig(250, 63));
+  mr::Dfs dfs;
+  ASSERT_TRUE(dfs.WriteFile("records", data::RecordsToLines(records)).ok());
+
+  JoinConfig config;
+  config.routing = TokenRouting::kGroupedTokens;
+  config.num_groups = 11;
+  auto three_stage = RunSelfJoin(&dfs, "records", "threestage", config);
+  ASSERT_TRUE(three_stage.ok());
+  auto one_stage = RunOneStageSelfJoin(&dfs, "records", "onestage", config);
+  ASSERT_TRUE(one_stage.ok());
+  EXPECT_EQ(CollectPairs(dfs, one_stage->output_file),
+            CollectPairs(dfs, three_stage->output_file));
+}
+
+}  // namespace
+}  // namespace fj::join

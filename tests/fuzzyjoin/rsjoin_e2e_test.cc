@@ -1,0 +1,195 @@
+// End-to-end R-S join validation (Section 4): every algorithm combination
+// must match the naive ground truth — including the subtlety that S may
+// contain tokens R never produced (the stage-1 ordering is built from R
+// alone) and that R/S RID spaces may overlap.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "data/generator.h"
+#include "fuzzyjoin/fuzzyjoin.h"
+#include "ppjoin/naive.h"
+#include "text/token_ordering.h"
+#include "text/tokenizer.h"
+
+namespace fj::join {
+namespace {
+
+using data::GenerateRecords;
+using data::Record;
+using ppjoin::NaiveRSJoin;
+using ppjoin::SimilarPair;
+using ppjoin::TokenSetRecord;
+
+struct RSData {
+  std::vector<Record> r;
+  std::vector<Record> s;
+};
+
+RSData TestData(size_t nr, size_t ns, uint64_t seed) {
+  auto r_config = data::DblpLikeConfig(nr, seed);
+  r_config.payload_bytes = 24;
+  auto s_config = data::CiteseerxLikeConfig(ns, seed + 1);
+  s_config.payload_bytes = 48;
+  // Overlapping RID spaces on purpose: both start at RID 1.
+  RSData out;
+  out.r = GenerateRecords(r_config);
+  out.s = GenerateRecords(s_config);
+  data::InjectOverlap(out.r, 0.25, 2, seed + 2, &out.s);
+  return out;
+}
+
+/// Ground truth built the way the pipeline builds it: ordering from R only,
+/// S's unknown tokens keep hash-derived ids.
+std::vector<SimilarPair> GroundTruth(const RSData& datasets,
+                                     const sim::SimilaritySpec& spec) {
+  text::WordTokenizer tokenizer;
+  std::map<std::string, uint64_t> counts;
+  for (const auto& r : datasets.r) {
+    for (const auto& t : tokenizer.Tokenize(r.JoinAttribute())) counts[t]++;
+  }
+  auto ordering =
+      text::TokenOrdering::FromCounts({counts.begin(), counts.end()});
+
+  auto to_sets = [&](const std::vector<Record>& records) {
+    std::vector<TokenSetRecord> sets;
+    sets.reserve(records.size());
+    for (const auto& rec : records) {
+      sets.push_back(TokenSetRecord{
+          rec.rid,
+          ordering.ToSortedIds(tokenizer.Tokenize(rec.JoinAttribute()))});
+    }
+    return sets;
+  };
+  return NaiveRSJoin(to_sets(datasets.r), to_sets(datasets.s), spec);
+}
+
+struct ComboParam {
+  Stage2Algorithm stage2;
+  Stage3Algorithm stage3;
+  TokenRouting routing;
+};
+
+std::string ComboName(const testing::TestParamInfo<ComboParam>& info) {
+  const ComboParam& p = info.param;
+  return std::string(Stage2Name(p.stage2)) + "_" + Stage3Name(p.stage3) +
+         (p.routing == TokenRouting::kIndividualTokens ? "_individual"
+                                                       : "_grouped");
+}
+
+class RSJoinComboTest : public testing::TestWithParam<ComboParam> {};
+
+TEST_P(RSJoinComboTest, MatchesNaiveGroundTruth) {
+  const ComboParam& p = GetParam();
+  RSData datasets = TestData(250, 180, 21);
+
+  mr::Dfs dfs;
+  ASSERT_TRUE(dfs.WriteFile("r", data::RecordsToLines(datasets.r)).ok());
+  ASSERT_TRUE(dfs.WriteFile("s", data::RecordsToLines(datasets.s)).ok());
+
+  JoinConfig config;
+  config.stage2 = p.stage2;
+  config.stage3 = p.stage3;
+  config.routing = p.routing;
+  config.num_groups = 9;
+  config.num_map_tasks = 5;
+  config.num_reduce_tasks = 3;
+
+  auto result = RunRSJoin(&dfs, "r", "s", "out", config);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  auto joined = ReadJoinedPairs(dfs, result->output_file);
+  ASSERT_TRUE(joined.ok()) << joined.status().ToString();
+
+  auto expected = GroundTruth(datasets, config.MakeSpec());
+
+  std::map<uint64_t, Record> r_by_rid, s_by_rid;
+  for (const auto& r : datasets.r) r_by_rid[r.rid] = r;
+  for (const auto& s : datasets.s) s_by_rid[s.rid] = s;
+
+  std::set<std::pair<uint64_t, uint64_t>> got, want;
+  for (const auto& jp : *joined) {
+    auto inserted = got.emplace(jp.first.rid, jp.second.rid);
+    EXPECT_TRUE(inserted.second)
+        << "duplicate pair " << jp.first.rid << "," << jp.second.rid;
+    // First record must be the R record, second the S record.
+    EXPECT_EQ(jp.first, r_by_rid[jp.first.rid]);
+    EXPECT_EQ(jp.second, s_by_rid[jp.second.rid]);
+  }
+  std::map<std::pair<uint64_t, uint64_t>, double> want_sim;
+  for (const auto& pair : expected) {
+    want.emplace(pair.rid1, pair.rid2);
+    want_sim[{pair.rid1, pair.rid2}] = pair.similarity;
+  }
+  EXPECT_EQ(got, want);
+  for (const auto& jp : *joined) {
+    auto it = want_sim.find({jp.first.rid, jp.second.rid});
+    if (it != want_sim.end()) {
+      EXPECT_NEAR(jp.similarity, it->second, 1e-5);
+    }
+  }
+  EXPECT_FALSE(expected.empty()) << "vacuous test: no ground-truth pairs";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCombos, RSJoinComboTest,
+    testing::Values(
+        ComboParam{Stage2Algorithm::kBK, Stage3Algorithm::kBRJ,
+                   TokenRouting::kIndividualTokens},
+        ComboParam{Stage2Algorithm::kPK, Stage3Algorithm::kBRJ,
+                   TokenRouting::kIndividualTokens},
+        ComboParam{Stage2Algorithm::kBK, Stage3Algorithm::kOPRJ,
+                   TokenRouting::kIndividualTokens},
+        ComboParam{Stage2Algorithm::kPK, Stage3Algorithm::kOPRJ,
+                   TokenRouting::kIndividualTokens},
+        ComboParam{Stage2Algorithm::kBK, Stage3Algorithm::kBRJ,
+                   TokenRouting::kGroupedTokens},
+        ComboParam{Stage2Algorithm::kPK, Stage3Algorithm::kOPRJ,
+                   TokenRouting::kGroupedTokens}),
+    ComboName);
+
+TEST(RSJoinTest, DisjointTokenSpacesProduceEmptyResult) {
+  // S records whose tokens never appear in R: no pair can qualify, and the
+  // pipeline must cope with prefixes made of unknown tokens.
+  std::vector<Record> r, s;
+  for (uint64_t i = 1; i <= 20; ++i) {
+    r.push_back(Record{i, "alpha beta gamma delta " + std::to_string(i),
+                       "mcfoo", "p"});
+    s.push_back(Record{i, "zulu yankee xray whiskey " + std::to_string(i + 100),
+                       "mcbar", "p"});
+  }
+  mr::Dfs dfs;
+  ASSERT_TRUE(dfs.WriteFile("r", data::RecordsToLines(r)).ok());
+  ASSERT_TRUE(dfs.WriteFile("s", data::RecordsToLines(s)).ok());
+  JoinConfig config;
+  auto result = RunRSJoin(&dfs, "r", "s", "out", config);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  auto joined = ReadJoinedPairs(dfs, result->output_file);
+  ASSERT_TRUE(joined.ok());
+  EXPECT_TRUE(joined->empty());
+}
+
+TEST(RSJoinTest, IdenticalRelationsFindAllIdentityPairs) {
+  auto config_r = data::DblpLikeConfig(80, 5);
+  config_r.payload_bytes = 16;
+  config_r.duplicate_fraction = 0;  // distinct records
+  std::vector<Record> r = GenerateRecords(config_r);
+  mr::Dfs dfs;
+  ASSERT_TRUE(dfs.WriteFile("r", data::RecordsToLines(r)).ok());
+  ASSERT_TRUE(dfs.WriteFile("s", data::RecordsToLines(r)).ok());
+  JoinConfig config;
+  auto result = RunRSJoin(&dfs, "r", "s", "out", config);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  auto joined = ReadJoinedPairs(dfs, result->output_file);
+  ASSERT_TRUE(joined.ok());
+  // Every record joins (at least) with its own copy at similarity 1.
+  std::set<std::pair<uint64_t, uint64_t>> got;
+  for (const auto& jp : *joined) got.emplace(jp.first.rid, jp.second.rid);
+  for (const auto& rec : r) {
+    EXPECT_TRUE(got.count({rec.rid, rec.rid}))
+        << "identity pair missing for rid " << rec.rid;
+  }
+}
+
+}  // namespace
+}  // namespace fj::join

@@ -1,0 +1,204 @@
+// End-to-end self-join validation: every algorithm combination the paper
+// evaluates (BTO/OPTO x BK/PK x BRJ/OPRJ, individual/grouped routing) must
+// produce exactly the ground-truth result of a naive O(n^2) join — same
+// pairs, same similarities, with complete records attached.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <tuple>
+
+#include "data/generator.h"
+#include "fuzzyjoin/fuzzyjoin.h"
+#include "ppjoin/naive.h"
+#include "text/token_ordering.h"
+#include "text/tokenizer.h"
+
+namespace fj::join {
+namespace {
+
+using data::GenerateRecords;
+using data::Record;
+using ppjoin::NaiveSelfJoin;
+using ppjoin::SimilarPair;
+using ppjoin::TokenSetRecord;
+
+/// Ground truth: tokenize exactly as the pipeline does and run the naive
+/// joiner.
+std::vector<SimilarPair> GroundTruth(const std::vector<Record>& records,
+                                     const sim::SimilaritySpec& spec) {
+  text::WordTokenizer tokenizer;
+  std::map<std::string, uint64_t> counts;
+  std::vector<std::vector<std::string>> tokenized;
+  tokenized.reserve(records.size());
+  for (const auto& r : records) {
+    tokenized.push_back(tokenizer.Tokenize(r.JoinAttribute()));
+    for (const auto& t : tokenized.back()) counts[t]++;
+  }
+  auto ordering = text::TokenOrdering::FromCounts(
+      {counts.begin(), counts.end()});
+  std::vector<TokenSetRecord> sets;
+  sets.reserve(records.size());
+  for (size_t i = 0; i < records.size(); ++i) {
+    sets.push_back(
+        TokenSetRecord{records[i].rid, ordering.ToSortedIds(tokenized[i])});
+  }
+  return NaiveSelfJoin(sets, spec);
+}
+
+std::vector<Record> TestRecords(size_t n, uint64_t seed) {
+  auto config = data::DblpLikeConfig(n, seed);
+  config.payload_bytes = 24;  // keep the test light
+  return GenerateRecords(config);
+}
+
+struct ComboParam {
+  Stage1Algorithm stage1;
+  Stage2Algorithm stage2;
+  Stage3Algorithm stage3;
+  TokenRouting routing;
+};
+
+std::string ComboName(const testing::TestParamInfo<ComboParam>& info) {
+  const ComboParam& p = info.param;
+  std::string name = std::string(Stage1Name(p.stage1)) + "_" +
+                     Stage2Name(p.stage2) + "_" + Stage3Name(p.stage3);
+  name += p.routing == TokenRouting::kIndividualTokens ? "_individual"
+                                                       : "_grouped";
+  return name;
+}
+
+class SelfJoinComboTest : public testing::TestWithParam<ComboParam> {};
+
+TEST_P(SelfJoinComboTest, MatchesNaiveGroundTruth) {
+  const ComboParam& p = GetParam();
+  std::vector<Record> records = TestRecords(300, 7);
+
+  mr::Dfs dfs;
+  ASSERT_TRUE(dfs.WriteFile("records", data::RecordsToLines(records)).ok());
+
+  JoinConfig config;
+  config.stage1 = p.stage1;
+  config.stage2 = p.stage2;
+  config.stage3 = p.stage3;
+  config.routing = p.routing;
+  config.num_groups = 13;
+  config.num_map_tasks = 4;
+  config.num_reduce_tasks = 3;
+
+  auto result = RunSelfJoin(&dfs, "records", "out", config);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  auto joined = ReadJoinedPairs(dfs, result->output_file);
+  ASSERT_TRUE(joined.ok()) << joined.status().ToString();
+
+  auto expected = GroundTruth(records, config.MakeSpec());
+
+  // Same pair set, canonical order, no duplicates.
+  std::set<std::pair<uint64_t, uint64_t>> got;
+  std::map<uint64_t, Record> by_rid;
+  for (const auto& r : records) by_rid[r.rid] = r;
+  for (const auto& jp : *joined) {
+    EXPECT_LT(jp.first.rid, jp.second.rid);
+    auto inserted = got.emplace(jp.first.rid, jp.second.rid);
+    EXPECT_TRUE(inserted.second)
+        << "duplicate pair " << jp.first.rid << "," << jp.second.rid;
+    // Records are completely reconstructed.
+    EXPECT_EQ(jp.first, by_rid[jp.first.rid]);
+    EXPECT_EQ(jp.second, by_rid[jp.second.rid]);
+  }
+  std::set<std::pair<uint64_t, uint64_t>> want;
+  std::map<std::pair<uint64_t, uint64_t>, double> want_sim;
+  for (const auto& pair : expected) {
+    want.emplace(pair.rid1, pair.rid2);
+    want_sim[{pair.rid1, pair.rid2}] = pair.similarity;
+  }
+  EXPECT_EQ(got, want);
+
+  // Similarities agree.
+  for (const auto& jp : *joined) {
+    auto it = want_sim.find({jp.first.rid, jp.second.rid});
+    if (it != want_sim.end()) {
+      EXPECT_NEAR(jp.similarity, it->second, 1e-5);
+    }
+  }
+  EXPECT_FALSE(expected.empty()) << "test data produced no similar pairs; "
+                                    "the test would be vacuous";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCombos, SelfJoinComboTest,
+    testing::Values(
+        ComboParam{Stage1Algorithm::kBTO, Stage2Algorithm::kBK,
+                   Stage3Algorithm::kBRJ, TokenRouting::kIndividualTokens},
+        ComboParam{Stage1Algorithm::kBTO, Stage2Algorithm::kPK,
+                   Stage3Algorithm::kBRJ, TokenRouting::kIndividualTokens},
+        ComboParam{Stage1Algorithm::kBTO, Stage2Algorithm::kPK,
+                   Stage3Algorithm::kOPRJ, TokenRouting::kIndividualTokens},
+        ComboParam{Stage1Algorithm::kOPTO, Stage2Algorithm::kBK,
+                   Stage3Algorithm::kOPRJ, TokenRouting::kIndividualTokens},
+        ComboParam{Stage1Algorithm::kOPTO, Stage2Algorithm::kPK,
+                   Stage3Algorithm::kBRJ, TokenRouting::kIndividualTokens},
+        ComboParam{Stage1Algorithm::kBTO, Stage2Algorithm::kBK,
+                   Stage3Algorithm::kBRJ, TokenRouting::kGroupedTokens},
+        ComboParam{Stage1Algorithm::kBTO, Stage2Algorithm::kPK,
+                   Stage3Algorithm::kOPRJ, TokenRouting::kGroupedTokens},
+        ComboParam{Stage1Algorithm::kOPTO, Stage2Algorithm::kPK,
+                   Stage3Algorithm::kOPRJ, TokenRouting::kGroupedTokens}),
+    ComboName);
+
+TEST(SelfJoinTest, DifferentSimilarityFunctionsMatchGroundTruth) {
+  std::vector<Record> records = TestRecords(200, 11);
+  mr::Dfs dfs;
+  ASSERT_TRUE(dfs.WriteFile("records", data::RecordsToLines(records)).ok());
+
+  for (auto fn : {sim::SimilarityFunction::kJaccard,
+                  sim::SimilarityFunction::kCosine,
+                  sim::SimilarityFunction::kDice}) {
+    JoinConfig config;
+    config.function = fn;
+    config.tau = 0.85;
+    std::string prefix = std::string("out-") + sim::SimilarityFunctionName(fn);
+    auto result = RunSelfJoin(&dfs, "records", prefix, config);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    auto joined = ReadJoinedPairs(dfs, result->output_file);
+    ASSERT_TRUE(joined.ok());
+
+    auto expected = GroundTruth(records, config.MakeSpec());
+    std::set<std::pair<uint64_t, uint64_t>> got, want;
+    for (const auto& jp : *joined) got.emplace(jp.first.rid, jp.second.rid);
+    for (const auto& pair : expected) want.emplace(pair.rid1, pair.rid2);
+    EXPECT_EQ(got, want) << sim::SimilarityFunctionName(fn);
+  }
+}
+
+TEST(SelfJoinTest, OprjMemoryLimitTriggersResourceExhausted) {
+  std::vector<Record> records = TestRecords(300, 7);
+  mr::Dfs dfs;
+  ASSERT_TRUE(dfs.WriteFile("records", data::RecordsToLines(records)).ok());
+
+  JoinConfig config;
+  config.stage3 = Stage3Algorithm::kOPRJ;
+  config.oprj_memory_limit_bytes = 16;  // absurdly small
+  auto result = RunSelfJoin(&dfs, "records", "out", config);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(SelfJoinTest, EmptyInputYieldsEmptyOutput) {
+  mr::Dfs dfs;
+  ASSERT_TRUE(dfs.WriteFile("records",
+                            {data::Record{1, "only one", "author", "p"}
+                                 .ToLine()})
+                  .ok());
+  JoinConfig config;
+  auto result = RunSelfJoin(&dfs, "records", "out", config);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  auto joined = ReadJoinedPairs(dfs, result->output_file);
+  ASSERT_TRUE(joined.ok());
+  EXPECT_TRUE(joined->empty());
+}
+
+}  // namespace
+}  // namespace fj::join

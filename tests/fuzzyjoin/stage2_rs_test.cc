@@ -1,0 +1,155 @@
+// Stage-2 R-S unit tests pinning the Section 4 / Figure 6 machinery:
+// length-class key assignment, the R-before-S arrival order within a
+// class, the "discard unknown S tokens from routing but keep them in the
+// set" rule, and BK/PK agreement on crafted length distributions.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "data/record.h"
+#include "fuzzyjoin/stage1.h"
+#include "fuzzyjoin/stage2.h"
+#include "mapreduce/dfs.h"
+
+namespace fj::join {
+namespace {
+
+using data::Record;
+
+/// Builds a title of `n` distinct shared words drawn from a base phrase.
+std::string TitleOfLength(size_t n, size_t offset = 0) {
+  std::string title;
+  for (size_t i = 0; i < n; ++i) {
+    if (!title.empty()) title += ' ';
+    title += "w" + std::to_string(offset + i);
+  }
+  return title;
+}
+
+std::set<std::pair<uint64_t, uint64_t>> RunRSKernel(
+    const std::vector<Record>& r, const std::vector<Record>& s,
+    JoinConfig config, fj::CounterSet* counters = nullptr) {
+  mr::Dfs dfs;
+  EXPECT_TRUE(dfs.WriteFile("r", data::RecordsToLines(r)).ok());
+  EXPECT_TRUE(dfs.WriteFile("s", data::RecordsToLines(s)).ok());
+  EXPECT_TRUE(RunStage1(&dfs, "r", "ordering", config).ok());
+  auto result = RunStage2RSJoin(&dfs, "r", "s", "ordering", "pairs", config);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  std::set<std::pair<uint64_t, uint64_t>> pairs;
+  if (!result.ok()) return pairs;
+  if (counters != nullptr) counters->MergeFrom(result->jobs[0].counters);
+  for (const auto& line : *dfs.ReadFile("pairs").value()) {
+    auto parsed = ParseRidPairLine(line);
+    EXPECT_TRUE(parsed.ok()) << line;
+    auto [rid1, rid2, sim] = parsed.value();
+    (void)sim;
+    pairs.emplace(rid1, rid2);
+  }
+  return pairs;
+}
+
+TEST(Stage2RSTest, LongerRRecordsJoinShorterSRecords) {
+  // The Figure 6 scenario: R records LONGER than their S partners must be
+  // indexed before the S record probes (R length class = lower bound of
+  // its length). R has 10 tokens, S has 9 of them: jaccard = 9/10 = 0.9.
+  std::vector<Record> r{{1, TitleOfLength(10), "", "p"}};
+  std::vector<Record> s{{2, TitleOfLength(9), "", "p"}};
+  JoinConfig config;
+  config.tau = 0.85;
+  for (auto alg : {Stage2Algorithm::kPK, Stage2Algorithm::kBK}) {
+    config.stage2 = alg;
+    auto pairs = RunRSKernel(r, s, config);
+    EXPECT_EQ(pairs, (std::set<std::pair<uint64_t, uint64_t>>{{1, 2}}))
+        << Stage2Name(alg);
+  }
+}
+
+TEST(Stage2RSTest, ShorterRRecordsJoinLongerSRecords) {
+  std::vector<Record> r{{1, TitleOfLength(9), "", "p"}};
+  std::vector<Record> s{{2, TitleOfLength(10), "", "p"}};
+  JoinConfig config;
+  config.tau = 0.85;
+  for (auto alg : {Stage2Algorithm::kPK, Stage2Algorithm::kBK}) {
+    config.stage2 = alg;
+    auto pairs = RunRSKernel(r, s, config);
+    EXPECT_EQ(pairs, (std::set<std::pair<uint64_t, uint64_t>>{{1, 2}}))
+        << Stage2Name(alg);
+  }
+}
+
+TEST(Stage2RSTest, MixedLengthSpreadBkEqualsPk) {
+  // Many length classes at once: R and S records of lengths 2..40 with
+  // planted matches across class boundaries.
+  std::vector<Record> r, s;
+  uint64_t rid = 1;
+  for (size_t len = 2; len <= 40; len += 3) {
+    r.push_back(Record{rid++, TitleOfLength(len), "", "p"});
+    // Same-length copy (jaccard 1.0).
+    s.push_back(Record{rid++, TitleOfLength(len), "", "p"});
+    // One-longer copy (jaccard len/(len+1)).
+    s.push_back(Record{rid++, TitleOfLength(len + 1), "", "p"});
+  }
+  JoinConfig config;
+  config.tau = 0.9;
+  config.stage2 = Stage2Algorithm::kBK;
+  auto bk = RunRSKernel(r, s, config);
+  config.stage2 = Stage2Algorithm::kPK;
+  auto pk = RunRSKernel(r, s, config);
+  EXPECT_EQ(bk, pk);
+  EXPECT_FALSE(pk.empty());
+  // Every same-length identity pair must be present.
+  for (size_t i = 0; i < r.size(); ++i) {
+    EXPECT_TRUE(pk.count({r[i].rid, r[i].rid + 1}))
+        << "identity pair missing for length record " << r[i].rid;
+  }
+}
+
+TEST(Stage2RSTest, UnknownSTokensCountTowardSimilarity) {
+  // S record shares all 9 of R's tokens but carries 3 extra tokens that R
+  // never produced: jaccard = 9/12 = 0.75. At tau 0.8 the pair must be
+  // REJECTED — if unknown tokens were dropped from the set the similarity
+  // would wrongly be 1.0.
+  std::vector<Record> r{{1, TitleOfLength(9), "", "p"}};
+  std::vector<Record> s{
+      {2, TitleOfLength(9) + " zonly1 zonly2 zonly3", "", "p"}};
+  JoinConfig config;
+  config.tau = 0.8;
+  EXPECT_TRUE(RunRSKernel(r, s, config).empty());
+  // At tau 0.75 it qualifies, with the correct similarity.
+  config.tau = 0.75;
+  auto pairs = RunRSKernel(r, s, config);
+  EXPECT_EQ(pairs, (std::set<std::pair<uint64_t, uint64_t>>{{1, 2}}));
+}
+
+TEST(Stage2RSTest, AllUnknownSRecordProducesNothingAndDoesNotCrash) {
+  std::vector<Record> r{{1, TitleOfLength(5), "", "p"}};
+  std::vector<Record> s{{2, "qq ww ee rr tt", "", "p"}};
+  JoinConfig config;
+  for (auto alg : {Stage2Algorithm::kPK, Stage2Algorithm::kBK}) {
+    config.stage2 = alg;
+    EXPECT_TRUE(RunRSKernel(r, s, config).empty());
+  }
+}
+
+TEST(Stage2RSTest, PkEvictsRRecordsBelowProbeBounds) {
+  // A spread of R lengths with S probing only at the top: short R records
+  // must be evicted as the length classes advance.
+  std::vector<Record> r, s;
+  uint64_t rid = 1;
+  for (size_t len = 2; len <= 30; ++len) {
+    r.push_back(Record{rid++, TitleOfLength(len), "", "p"});
+  }
+  s.push_back(Record{1000, TitleOfLength(30), "", "p"});
+  JoinConfig config;
+  config.stage2 = Stage2Algorithm::kPK;
+  config.routing = TokenRouting::kGroupedTokens;
+  config.num_groups = 1;
+  config.num_reduce_tasks = 1;
+  fj::CounterSet counters;
+  auto pairs = RunRSKernel(r, s, config, &counters);
+  EXPECT_TRUE(pairs.count({rid - 1, 1000}));  // the length-30 R record
+  EXPECT_GT(counters.Get("stage2.pk.evicted_records"), 0);
+}
+
+}  // namespace
+}  // namespace fj::join

@@ -1,0 +1,183 @@
+// Stage-3 (record join) unit tests: BRJ and OPRJ must agree, duplicates
+// from stage 2 must collapse, missing records must be counted not crash,
+// and the joined lines must round-trip complete records.
+#include "fuzzyjoin/stage3.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "data/record.h"
+#include "fuzzyjoin/stage2.h"
+#include "mapreduce/dfs.h"
+
+namespace fj::join {
+namespace {
+
+using data::Record;
+
+std::vector<Record> SmallRecords() {
+  return {
+      {1, "alpha beta", "mcone", "payload-1"},
+      {2, "alpha beta", "mcone", "payload-2"},
+      {3, "gamma delta", "mctwo", "payload-3"},
+      {4, "gamma delta epsilon", "mctwo", "payload-4"},
+  };
+}
+
+std::vector<std::string> PairLines() {
+  return {
+      FormatRidPairLine(1, 2, 1.0),
+      FormatRidPairLine(3, 4, 0.8),
+      FormatRidPairLine(1, 2, 1.0),  // duplicate from another reducer
+  };
+}
+
+std::multiset<std::pair<uint64_t, uint64_t>> JoinWith(Stage3Algorithm alg) {
+  mr::Dfs dfs;
+  EXPECT_TRUE(
+      dfs.WriteFile("records", data::RecordsToLines(SmallRecords())).ok());
+  EXPECT_TRUE(dfs.WriteFile("pairs", PairLines()).ok());
+  JoinConfig config;
+  config.stage3 = alg;
+  auto result = RunStage3SelfJoin(&dfs, "records", "pairs", "out", config);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  std::multiset<std::pair<uint64_t, uint64_t>> pairs;
+  if (!result.ok()) return pairs;
+  auto joined = ReadJoinedPairs(dfs, "out");
+  EXPECT_TRUE(joined.ok());
+  for (const auto& jp : *joined) {
+    pairs.emplace(jp.first.rid, jp.second.rid);
+    // Full records reconstructed, including payloads stage 2 never saw.
+    EXPECT_EQ(jp.first.payload,
+              "payload-" + std::to_string(jp.first.rid));
+    EXPECT_EQ(jp.second.payload,
+              "payload-" + std::to_string(jp.second.rid));
+  }
+  return pairs;
+}
+
+TEST(Stage3Test, BrjJoinsAndDeduplicates) {
+  auto pairs = JoinWith(Stage3Algorithm::kBRJ);
+  EXPECT_EQ(pairs, (std::multiset<std::pair<uint64_t, uint64_t>>{{1, 2},
+                                                                 {3, 4}}));
+}
+
+TEST(Stage3Test, OprjJoinsAndDeduplicates) {
+  auto pairs = JoinWith(Stage3Algorithm::kOPRJ);
+  EXPECT_EQ(pairs, (std::multiset<std::pair<uint64_t, uint64_t>>{{1, 2},
+                                                                 {3, 4}}));
+}
+
+TEST(Stage3Test, SimilarityTravelsThrough) {
+  mr::Dfs dfs;
+  ASSERT_TRUE(
+      dfs.WriteFile("records", data::RecordsToLines(SmallRecords())).ok());
+  ASSERT_TRUE(dfs.WriteFile("pairs", {FormatRidPairLine(3, 4, 0.8)}).ok());
+  JoinConfig config;
+  config.stage3 = Stage3Algorithm::kBRJ;
+  ASSERT_TRUE(RunStage3SelfJoin(&dfs, "records", "pairs", "out", config).ok());
+  auto joined = ReadJoinedPairs(dfs, "out");
+  ASSERT_TRUE(joined.ok());
+  ASSERT_EQ(joined->size(), 1u);
+  EXPECT_NEAR((*joined)[0].similarity, 0.8, 1e-9);
+}
+
+TEST(Stage3Test, MissingRecordCountedNotFatal) {
+  mr::Dfs dfs;
+  ASSERT_TRUE(
+      dfs.WriteFile("records", data::RecordsToLines(SmallRecords())).ok());
+  ASSERT_TRUE(dfs.WriteFile("pairs",
+                            {FormatRidPairLine(1, 2, 1.0),
+                             FormatRidPairLine(7, 9, 0.9)})  // no rid 7/9
+                  .ok());
+  JoinConfig config;
+  config.stage3 = Stage3Algorithm::kBRJ;
+  auto result = RunStage3SelfJoin(&dfs, "records", "pairs", "out", config);
+  ASSERT_TRUE(result.ok());
+  auto joined = ReadJoinedPairs(dfs, "out");
+  ASSERT_TRUE(joined.ok());
+  EXPECT_EQ(joined->size(), 1u);
+  EXPECT_EQ(result->jobs[0].counters.Get("stage3.missing_records"), 2);
+}
+
+TEST(Stage3Test, EmptyPairListProducesEmptyOutput) {
+  for (auto alg : {Stage3Algorithm::kBRJ, Stage3Algorithm::kOPRJ}) {
+    mr::Dfs dfs;
+    ASSERT_TRUE(
+        dfs.WriteFile("records", data::RecordsToLines(SmallRecords())).ok());
+    ASSERT_TRUE(dfs.WriteFile("pairs", {}).ok());
+    JoinConfig config;
+    config.stage3 = alg;
+    auto result = RunStage3SelfJoin(&dfs, "records", "pairs", "out", config);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_TRUE(ReadJoinedPairs(dfs, "out")->empty());
+  }
+}
+
+TEST(Stage3Test, RSJoinOverlappingRidSpaces) {
+  // R and S both contain rid 1; pair (1, 1) must join R's record with S's.
+  std::vector<Record> r{{1, "r title", "mcr", "r-payload"}};
+  std::vector<Record> s{{1, "s title", "mcs", "s-payload"}};
+  for (auto alg : {Stage3Algorithm::kBRJ, Stage3Algorithm::kOPRJ}) {
+    mr::Dfs dfs;
+    ASSERT_TRUE(dfs.WriteFile("r", data::RecordsToLines(r)).ok());
+    ASSERT_TRUE(dfs.WriteFile("s", data::RecordsToLines(s)).ok());
+    ASSERT_TRUE(dfs.WriteFile("pairs", {FormatRidPairLine(1, 1, 0.9)}).ok());
+    JoinConfig config;
+    config.stage3 = alg;
+    auto result = RunStage3RSJoin(&dfs, "r", "s", "pairs", "out", config);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    auto joined = ReadJoinedPairs(dfs, "out");
+    ASSERT_TRUE(joined.ok());
+    ASSERT_EQ(joined->size(), 1u) << Stage3Name(alg);
+    EXPECT_EQ((*joined)[0].first.payload, "r-payload");
+    EXPECT_EQ((*joined)[0].second.payload, "s-payload");
+  }
+}
+
+TEST(Stage3Test, OprjMemoryBudgetEnforced) {
+  mr::Dfs dfs;
+  ASSERT_TRUE(
+      dfs.WriteFile("records", data::RecordsToLines(SmallRecords())).ok());
+  ASSERT_TRUE(dfs.WriteFile("pairs", PairLines()).ok());
+  JoinConfig config;
+  config.stage3 = Stage3Algorithm::kOPRJ;
+  config.oprj_memory_limit_bytes = 10;
+  auto result = RunStage3SelfJoin(&dfs, "records", "pairs", "out", config);
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+  // A generous budget passes.
+  config.oprj_memory_limit_bytes = 1 << 20;
+  EXPECT_TRUE(
+      RunStage3SelfJoin(&dfs, "records", "pairs", "out2", config).ok());
+}
+
+TEST(JoinedPairTest, LineRoundTrip) {
+  JoinedPair jp;
+  jp.similarity = 0.875;
+  jp.first = Record{5, "t one", "a one", "p one"};
+  jp.second = Record{9, "t two", "a two", "p two"};
+  auto parsed = JoinedPair::FromLine(jp.ToLine());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->first, jp.first);
+  EXPECT_EQ(parsed->second, jp.second);
+  EXPECT_NEAR(parsed->similarity, 0.875, 1e-9);
+}
+
+TEST(JoinedPairTest, PayloadTabsSanitized) {
+  JoinedPair jp;
+  jp.first = Record{1, "t", "a", "tab\there"};
+  jp.second = Record{2, "t", "a", "p"};
+  auto parsed = JoinedPair::FromLine(jp.ToLine());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->first.payload, "tab here");
+}
+
+TEST(JoinedPairTest, RejectsMalformedLines) {
+  EXPECT_FALSE(JoinedPair::FromLine("").ok());
+  EXPECT_FALSE(JoinedPair::FromLine("1\t2\t0.5").ok());
+}
+
+}  // namespace
+}  // namespace fj::join

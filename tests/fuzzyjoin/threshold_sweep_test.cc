@@ -1,0 +1,132 @@
+// Property sweep: the full pipeline must equal the naive ground truth for
+// every similarity threshold, not just the paper's 0.80 — lower thresholds
+// stress longer prefixes, bigger candidate sets, and wider length bounds;
+// higher thresholds stress the boundary arithmetic (ceil/floor robustness).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "data/generator.h"
+#include "fuzzyjoin/fuzzyjoin.h"
+#include "ppjoin/naive.h"
+#include "text/token_ordering.h"
+#include "text/tokenizer.h"
+
+namespace fj::join {
+namespace {
+
+using data::Record;
+
+std::set<std::pair<uint64_t, uint64_t>> NaivePairs(
+    const std::vector<Record>& records, const sim::SimilaritySpec& spec) {
+  text::WordTokenizer tokenizer;
+  std::map<std::string, uint64_t> counts;
+  std::vector<std::vector<std::string>> tokenized;
+  for (const auto& r : records) {
+    tokenized.push_back(tokenizer.Tokenize(r.JoinAttribute()));
+    for (const auto& t : tokenized.back()) counts[t]++;
+  }
+  auto ordering =
+      text::TokenOrdering::FromCounts({counts.begin(), counts.end()});
+  std::vector<ppjoin::TokenSetRecord> sets;
+  for (size_t i = 0; i < records.size(); ++i) {
+    sets.push_back(ppjoin::TokenSetRecord{
+        records[i].rid, ordering.ToSortedIds(tokenized[i])});
+  }
+  std::set<std::pair<uint64_t, uint64_t>> out;
+  for (const auto& pair : ppjoin::NaiveSelfJoin(sets, spec)) {
+    out.emplace(pair.rid1, pair.rid2);
+  }
+  return out;
+}
+
+class ThresholdSweepTest : public testing::TestWithParam<double> {};
+
+TEST_P(ThresholdSweepTest, PipelineMatchesNaiveAtEveryTau) {
+  double tau = GetParam();
+  auto gen_config = data::DblpLikeConfig(220, 91);
+  gen_config.payload_bytes = 8;
+  auto records = data::GenerateRecords(gen_config);
+
+  mr::Dfs dfs;
+  ASSERT_TRUE(dfs.WriteFile("records", data::RecordsToLines(records)).ok());
+
+  for (auto stage2 : {Stage2Algorithm::kBK, Stage2Algorithm::kPK}) {
+    JoinConfig config;
+    config.tau = tau;
+    config.stage2 = stage2;
+    std::string prefix =
+        "out-" + std::string(Stage2Name(stage2)) + std::to_string(tau * 100);
+    auto result = RunSelfJoin(&dfs, "records", prefix, config);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    auto joined = ReadJoinedPairs(dfs, result->output_file);
+    ASSERT_TRUE(joined.ok());
+    std::set<std::pair<uint64_t, uint64_t>> got;
+    for (const auto& jp : *joined) got.emplace(jp.first.rid, jp.second.rid);
+    EXPECT_EQ(got, NaivePairs(records, config.MakeSpec()))
+        << Stage2Name(stage2) << " tau=" << tau;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Taus, ThresholdSweepTest,
+                         testing::Values(0.5, 0.6, 0.7, 0.75, 0.8, 0.9, 0.95,
+                                         1.0),
+                         [](const testing::TestParamInfo<double>& info) {
+                           return "tau" +
+                                  std::to_string(
+                                      static_cast<int>(info.param * 100));
+                         });
+
+TEST(TokenizerPolicyTest, NumberedDuplicatesFlowThroughThePipeline) {
+  // Records whose titles contain repeated words: with the kNumber policy
+  // repetitions count, so "ba ba zu" and "ba zu" differ more than under
+  // kRemove. Validate against naive ground truth built with the SAME
+  // tokenizer.
+  std::vector<Record> records;
+  for (uint64_t i = 1; i <= 60; ++i) {
+    std::string title = (i % 3 == 0) ? "ba ba zula kemo"
+                        : (i % 3 == 1) ? "ba zula kemo"
+                                       : "ba ba zula kemo rin" +
+                                             std::to_string(i);
+    records.push_back(Record{i, title, "mcfoo", "p"});
+  }
+  auto tokenizer =
+      std::make_shared<text::WordTokenizer>(text::DuplicatePolicy::kNumber);
+
+  mr::Dfs dfs;
+  ASSERT_TRUE(dfs.WriteFile("records", data::RecordsToLines(records)).ok());
+  JoinConfig config;
+  config.tokenizer = tokenizer;
+  config.tau = 0.7;
+  auto result = RunSelfJoin(&dfs, "records", "out", config);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  auto joined = ReadJoinedPairs(dfs, result->output_file);
+  ASSERT_TRUE(joined.ok());
+
+  // Ground truth with the numbering tokenizer.
+  std::map<std::string, uint64_t> counts;
+  std::vector<std::vector<std::string>> tokenized;
+  for (const auto& r : records) {
+    tokenized.push_back(tokenizer->Tokenize(r.JoinAttribute()));
+    for (const auto& t : tokenized.back()) counts[t]++;
+  }
+  auto ordering =
+      text::TokenOrdering::FromCounts({counts.begin(), counts.end()});
+  std::vector<ppjoin::TokenSetRecord> sets;
+  for (size_t i = 0; i < records.size(); ++i) {
+    sets.push_back(ppjoin::TokenSetRecord{
+        records[i].rid, ordering.ToSortedIds(tokenized[i])});
+  }
+  std::set<std::pair<uint64_t, uint64_t>> want, got;
+  for (const auto& pair :
+       ppjoin::NaiveSelfJoin(sets, config.MakeSpec())) {
+    want.emplace(pair.rid1, pair.rid2);
+  }
+  for (const auto& jp : *joined) got.emplace(jp.first.rid, jp.second.rid);
+  EXPECT_EQ(got, want);
+  EXPECT_FALSE(want.empty());
+}
+
+}  // namespace
+}  // namespace fj::join

@@ -1,0 +1,144 @@
+// Cluster cost model: makespan scheduling, shuffle time, job overhead, and
+// the qualitative effects the paper's evaluation depends on (single-reducer
+// stages don't scale; balanced task sets do).
+#include "mapreduce/cluster_model.h"
+
+#include <gtest/gtest.h>
+
+#include "mapreduce/task_context.h"
+
+namespace fj::mr {
+namespace {
+
+TEST(MakespanTest, EmptyAndSingle) {
+  EXPECT_DOUBLE_EQ(Makespan({}, 4), 0.0);
+  EXPECT_DOUBLE_EQ(Makespan({5.0}, 4), 5.0);
+  EXPECT_DOUBLE_EQ(Makespan({5.0}, 1), 5.0);
+}
+
+TEST(MakespanTest, OneSlotSumsEverything) {
+  EXPECT_DOUBLE_EQ(Makespan({1, 2, 3}, 1), 6.0);
+}
+
+TEST(MakespanTest, PerfectlyDivisibleTasks) {
+  // 8 unit tasks on 4 slots -> 2 waves.
+  std::vector<double> tasks(8, 1.0);
+  EXPECT_DOUBLE_EQ(Makespan(tasks, 4), 2.0);
+  EXPECT_DOUBLE_EQ(Makespan(tasks, 8), 1.0);
+  EXPECT_DOUBLE_EQ(Makespan(tasks, 16), 1.0);  // can't beat one task
+}
+
+TEST(MakespanTest, LongestTaskDominates) {
+  // A 10-second straggler bounds the makespan regardless of slots.
+  EXPECT_DOUBLE_EQ(Makespan({10, 1, 1, 1, 1}, 8), 10.0);
+}
+
+TEST(MakespanTest, LptBalancesSkew) {
+  // LPT: {4,3,3} on 2 slots -> slots {4, 3+3} = 6, not the naive 7.
+  EXPECT_DOUBLE_EQ(Makespan({4, 3, 3}, 2), 6.0);
+}
+
+TEST(SimulateJobTest, ComponentsAddUp) {
+  JobMetrics metrics;
+  metrics.map_tasks = {TaskMetrics{2.0}, TaskMetrics{2.0}};
+  metrics.reduce_tasks = {TaskMetrics{3.0}};
+  metrics.shuffle_bytes = 100 * 1024 * 1024;
+
+  ClusterConfig cluster;
+  cluster.nodes = 1;
+  cluster.map_slots_per_node = 1;
+  cluster.reduce_slots_per_node = 1;
+  cluster.shuffle_bytes_per_second_per_node = 100 * 1024 * 1024;
+  cluster.job_startup_seconds = 5.0;
+
+  auto simulated = SimulateJob(metrics, cluster);
+  EXPECT_DOUBLE_EQ(simulated.startup_seconds, 5.0);
+  EXPECT_DOUBLE_EQ(simulated.map_seconds, 4.0);     // sequential on 1 slot
+  EXPECT_DOUBLE_EQ(simulated.shuffle_seconds, 1.0);  // 100MB over 100MB/s
+  EXPECT_DOUBLE_EQ(simulated.reduce_seconds, 3.0);
+  EXPECT_DOUBLE_EQ(simulated.total(), 13.0);
+}
+
+TEST(SimulateJobTest, ParallelPhasesScaleWithNodesButOverheadDoesNot) {
+  JobMetrics metrics;
+  for (int i = 0; i < 40; ++i) metrics.map_tasks.push_back(TaskMetrics{1.0});
+  for (int i = 0; i < 40; ++i) {
+    metrics.reduce_tasks.push_back(TaskMetrics{1.0});
+  }
+  metrics.shuffle_bytes = 0;
+
+  ClusterConfig small;
+  small.nodes = 2;
+  ClusterConfig large = small;
+  large.nodes = 10;
+
+  auto t_small = SimulateJob(metrics, small);
+  auto t_large = SimulateJob(metrics, large);
+  EXPECT_GT(t_small.map_seconds, t_large.map_seconds);
+  EXPECT_DOUBLE_EQ(t_small.startup_seconds, t_large.startup_seconds);
+  // 40 unit tasks on 2 nodes x 4 slots = 5 waves; on 10 nodes = 1 wave.
+  EXPECT_DOUBLE_EQ(t_small.map_seconds, 5.0);
+  EXPECT_DOUBLE_EQ(t_large.map_seconds, 1.0);
+}
+
+TEST(SimulateJobTest, SingleReducerStageDoesNotScale) {
+  // The paper's stage-1 sort phase: one reduce task caps the speedup.
+  JobMetrics metrics;
+  metrics.reduce_tasks = {TaskMetrics{30.0}};
+  ClusterConfig two, ten;
+  two.nodes = 2;
+  ten.nodes = 10;
+  EXPECT_DOUBLE_EQ(SimulateJob(metrics, two).reduce_seconds,
+                   SimulateJob(metrics, ten).reduce_seconds);
+}
+
+TEST(SimulateJobTest, ShuffleScalesWithAggregateBandwidth) {
+  JobMetrics metrics;
+  metrics.shuffle_bytes = 1000;
+  ClusterConfig cluster;
+  cluster.shuffle_bytes_per_second_per_node = 100;
+  cluster.nodes = 2;
+  EXPECT_DOUBLE_EQ(SimulateJob(metrics, cluster).shuffle_seconds, 5.0);
+  cluster.nodes = 10;
+  EXPECT_DOUBLE_EQ(SimulateJob(metrics, cluster).shuffle_seconds, 1.0);
+}
+
+TEST(SimulatePipelineTest, SumsJobs) {
+  JobMetrics a, b;
+  a.map_tasks = {TaskMetrics{1.0}};
+  b.map_tasks = {TaskMetrics{2.0}};
+  ClusterConfig cluster;
+  cluster.job_startup_seconds = 3.0;
+  EXPECT_DOUBLE_EQ(SimulatePipelineSeconds({a, b}, cluster),
+                   (3.0 + 1.0) + (3.0 + 2.0));
+}
+
+TEST(LocalScratchTest, MetersIO) {
+  LocalScratch scratch(1e-6);
+  scratch.Put("k", {"0123456789"});  // 11 bytes with newline
+  EXPECT_EQ(scratch.bytes_written(), 11u);
+  auto got = scratch.Get("k");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(scratch.bytes_read(), 11u);
+  // Re-reading meters again (the reduce-based strategy re-reads blocks).
+  ASSERT_TRUE(scratch.Get("k").ok());
+  EXPECT_EQ(scratch.bytes_read(), 22u);
+  EXPECT_DOUBLE_EQ(scratch.io_seconds(), 33e-6);
+  EXPECT_EQ(scratch.Get("missing").status().code(), StatusCode::kNotFound);
+  scratch.Erase("k");
+  EXPECT_FALSE(scratch.Get("k").ok());
+}
+
+TEST(TaskContextTest, ChargesAccumulate) {
+  CounterSet counters;
+  TaskContext ctx(3, &counters);
+  EXPECT_EQ(ctx.task_id(), 3u);
+  ctx.ChargeSeconds(1.5);
+  ctx.ChargeSeconds(0.5);
+  EXPECT_DOUBLE_EQ(ctx.charged_seconds(), 2.0);
+  ctx.counters().Add("c", 2);
+  EXPECT_EQ(counters.Get("c"), 2);
+}
+
+}  // namespace
+}  // namespace fj::mr

@@ -1,0 +1,109 @@
+// In-memory DFS: file lifecycle, stable line storage, split computation.
+#include "mapreduce/dfs.h"
+
+#include <gtest/gtest.h>
+
+namespace fj::mr {
+namespace {
+
+TEST(DfsTest, WriteReadDelete) {
+  Dfs dfs;
+  ASSERT_TRUE(dfs.WriteFile("f", {"a", "b"}).ok());
+  EXPECT_TRUE(dfs.Exists("f"));
+  auto lines = dfs.ReadFile("f");
+  ASSERT_TRUE(lines.ok());
+  EXPECT_EQ(*lines.value(), (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(dfs.FileLines("f").value(), 2u);
+  EXPECT_EQ(dfs.FileBytes("f").value(), 4u);  // "a\n" + "b\n"
+  ASSERT_TRUE(dfs.DeleteFile("f").ok());
+  EXPECT_FALSE(dfs.Exists("f"));
+  EXPECT_EQ(dfs.ReadFile("f").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(dfs.DeleteFile("f").code(), StatusCode::kNotFound);
+}
+
+TEST(DfsTest, WriteRefusesOverwrite) {
+  Dfs dfs;
+  ASSERT_TRUE(dfs.WriteFile("f", {"a"}).ok());
+  EXPECT_EQ(dfs.WriteFile("f", {"b"}).code(), StatusCode::kAlreadyExists);
+}
+
+TEST(DfsTest, AppendCreatesAndExtends) {
+  Dfs dfs;
+  ASSERT_TRUE(dfs.AppendToFile("f", {"1"}).ok());
+  ASSERT_TRUE(dfs.AppendToFile("f", {"2", "3"}).ok());
+  EXPECT_EQ(*dfs.ReadFile("f").value(),
+            (std::vector<std::string>{"1", "2", "3"}));
+}
+
+TEST(DfsTest, LinePointersStableAcrossOtherWrites) {
+  Dfs dfs;
+  ASSERT_TRUE(dfs.WriteFile("f", {"x"}).ok());
+  const std::vector<std::string>* before = dfs.ReadFile("f").value();
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(dfs.WriteFile("g" + std::to_string(i), {"y"}).ok());
+  }
+  EXPECT_EQ(before, dfs.ReadFile("f").value());
+  EXPECT_EQ((*before)[0], "x");
+}
+
+TEST(DfsTest, ListFilesSorted) {
+  Dfs dfs;
+  ASSERT_TRUE(dfs.WriteFile("b", {}).ok());
+  ASSERT_TRUE(dfs.WriteFile("a", {}).ok());
+  EXPECT_EQ(dfs.ListFiles(), (std::vector<std::string>{"a", "b"}));
+  dfs.Clear();
+  EXPECT_TRUE(dfs.ListFiles().empty());
+}
+
+TEST(DfsTest, SplitsCoverEveryLineExactlyOnce) {
+  Dfs dfs;
+  std::vector<std::string> lines(103, "l");
+  ASSERT_TRUE(dfs.WriteFile("f", lines).ok());
+  for (size_t target : {0u, 1u, 4u, 7u, 103u, 200u}) {
+    auto splits = dfs.MakeSplits({"f"}, target);
+    ASSERT_TRUE(splits.ok()) << target;
+    size_t covered = 0;
+    size_t expect_begin = 0;
+    for (const auto& s : *splits) {
+      EXPECT_EQ(s.begin_line, expect_begin);
+      EXPECT_GT(s.end_line, s.begin_line);  // no empty splits
+      covered += s.end_line - s.begin_line;
+      expect_begin = s.end_line;
+    }
+    EXPECT_EQ(covered, 103u) << "target " << target;
+  }
+}
+
+TEST(DfsTest, SplitsProportionalAcrossFiles) {
+  Dfs dfs;
+  ASSERT_TRUE(dfs.WriteFile("big", std::vector<std::string>(90, "x")).ok());
+  ASSERT_TRUE(dfs.WriteFile("small", std::vector<std::string>(10, "y")).ok());
+  auto splits = dfs.MakeSplits({"big", "small"}, 10);
+  ASSERT_TRUE(splits.ok());
+  size_t big_splits = 0, small_splits = 0;
+  for (const auto& s : *splits) {
+    EXPECT_EQ(s.file_name, s.file_index == 0 ? "big" : "small");
+    (s.file_index == 0 ? big_splits : small_splits)++;
+  }
+  EXPECT_GT(big_splits, small_splits);
+  EXPECT_GE(small_splits, 1u);  // non-empty files always get a split
+}
+
+TEST(DfsTest, SplitsSkipEmptyFiles) {
+  Dfs dfs;
+  ASSERT_TRUE(dfs.WriteFile("empty", {}).ok());
+  ASSERT_TRUE(dfs.WriteFile("full", {"a"}).ok());
+  auto splits = dfs.MakeSplits({"empty", "full"}, 4);
+  ASSERT_TRUE(splits.ok());
+  ASSERT_EQ(splits->size(), 1u);
+  EXPECT_EQ((*splits)[0].file_index, 1u);
+}
+
+TEST(DfsTest, SplitsMissingFileFails) {
+  Dfs dfs;
+  EXPECT_EQ(dfs.MakeSplits({"nope"}, 2).status().code(),
+            StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace fj::mr

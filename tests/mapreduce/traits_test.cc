@@ -1,0 +1,96 @@
+// ByteSizeOf / KeyHashOf trait machinery: built-in types, composites, and
+// ADL extension points (the hooks custom keys like Stage2Key use).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "fuzzyjoin/projection.h"
+#include "fuzzyjoin/stage2.h"
+#include "mapreduce/byte_size.h"
+#include "mapreduce/key_traits.h"
+
+namespace fj::mr {
+namespace {
+
+TEST(ByteSizeTest, Strings) {
+  EXPECT_EQ(ByteSizeOf(std::string("")), 4u);
+  EXPECT_EQ(ByteSizeOf(std::string("abcd")), 8u);
+}
+
+TEST(ByteSizeTest, TrivialTypes) {
+  EXPECT_EQ(ByteSizeOf(uint64_t{7}), 8u);
+  EXPECT_EQ(ByteSizeOf(uint8_t{7}), 1u);
+  EXPECT_EQ(ByteSizeOf(3.5), 8u);
+}
+
+TEST(ByteSizeTest, Composites) {
+  EXPECT_EQ(ByteSizeOf(std::pair<uint64_t, std::string>(1, "ab")), 8u + 6u);
+  EXPECT_EQ(ByteSizeOf(std::tuple<uint8_t, uint8_t, uint64_t>(1, 2, 3)), 10u);
+  std::vector<uint64_t> v{1, 2, 3};
+  EXPECT_EQ(ByteSizeOf(v), 4u + 24u);
+}
+
+TEST(ByteSizeTest, AdlExtensionPoints) {
+  join::Stage2Key key{1, 2, 3, 4};
+  EXPECT_EQ(ByteSizeOf(key), 10u);
+  ppjoin::TokenSetRecord projection{42, {1, 2, 3}};
+  EXPECT_EQ(ByteSizeOf(projection), 8u + 12u);
+  // Composites of ADL types work too.
+  EXPECT_EQ(ByteSizeOf(std::pair<join::Stage2Key, ppjoin::TokenSetRecord>(
+                key, projection)),
+            10u + 20u);
+}
+
+TEST(KeyHashTest, StableAndTypeAware) {
+  EXPECT_EQ(KeyHashOf(std::string("x")), KeyHashOf(std::string("x")));
+  EXPECT_NE(KeyHashOf(std::string("x")), KeyHashOf(std::string("y")));
+  EXPECT_EQ(KeyHashOf(uint64_t{5}), KeyHashOf(uint64_t{5}));
+  EXPECT_NE(KeyHashOf(uint64_t{5}), KeyHashOf(uint64_t{6}));
+}
+
+TEST(KeyHashTest, PairsAndTuples) {
+  using P = std::pair<std::string, uint64_t>;
+  EXPECT_EQ(KeyHashOf(P("a", 1)), KeyHashOf(P("a", 1)));
+  EXPECT_NE(KeyHashOf(P("a", 1)), KeyHashOf(P("a", 2)));
+  using T = std::tuple<uint32_t, uint32_t>;
+  EXPECT_NE(KeyHashOf(T(1, 2)), KeyHashOf(T(2, 1)));
+}
+
+TEST(KeyHashTest, Stage2KeyHashesGroupOnly) {
+  // The stage-2 partitioning contract: keys differing only in the
+  // secondary-sort fields land on the same reducer.
+  join::Stage2Key a{7, 1, 2, 3};
+  join::Stage2Key b{7, 9, 9, 9};
+  join::Stage2Key c{8, 1, 2, 3};
+  EXPECT_EQ(KeyHashOf(a), KeyHashOf(b));
+  EXPECT_NE(KeyHashOf(a), KeyHashOf(c));
+}
+
+TEST(KeyHashTest, DistributesAcrossPartitions) {
+  // Sanity: the default partitioner spreads sequential integer keys.
+  std::map<size_t, int> buckets;
+  const size_t partitions = 8;
+  for (uint64_t k = 0; k < 8000; ++k) {
+    buckets[KeyHashOf(k) % partitions]++;
+  }
+  ASSERT_EQ(buckets.size(), partitions);
+  for (const auto& [bucket, count] : buckets) {
+    EXPECT_GT(count, 700) << "bucket " << bucket << " underfilled";
+    EXPECT_LT(count, 1300) << "bucket " << bucket << " overfilled";
+  }
+}
+
+TEST(Stage2KeyTest, OrderingIsLexicographic) {
+  using join::Stage2Key;
+  EXPECT_LT((Stage2Key{1, 9, 9, 9}), (Stage2Key{2, 0, 0, 0}));
+  EXPECT_LT((Stage2Key{1, 1, 9, 9}), (Stage2Key{1, 2, 0, 0}));
+  EXPECT_LT((Stage2Key{1, 1, 1, 9}), (Stage2Key{1, 1, 2, 0}));
+  EXPECT_LT((Stage2Key{1, 1, 1, 1}), (Stage2Key{1, 1, 1, 2}));
+  EXPECT_EQ((Stage2Key{1, 2, 3, 4}), (Stage2Key{1, 2, 3, 4}));
+}
+
+}  // namespace
+}  // namespace fj::mr

@@ -1,0 +1,220 @@
+// Kernel correctness: PPJoin, PPJoin+, and All-Pairs must produce exactly
+// the naive ground truth on randomized inputs, for self-joins and R-S
+// joins, across similarity functions and thresholds. Also checks the
+// memory-footprint behaviour (length-filter eviction) and filter stats.
+#include "ppjoin/ppjoin.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/random.h"
+#include "ppjoin/allpairs.h"
+#include "ppjoin/naive.h"
+
+namespace fj::ppjoin {
+namespace {
+
+using sim::SimilarityFunction;
+using sim::SimilaritySpec;
+
+/// Random record collection over a Zipf-ish universe, with injected
+/// near-duplicates so joins have results.
+std::vector<TokenSetRecord> RandomRecords(size_t n, uint64_t seed,
+                                          size_t universe = 120,
+                                          size_t max_len = 14) {
+  fj::Rng rng(seed);
+  std::vector<TokenSetRecord> records;
+  records.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    TokenSetRecord record;
+    record.rid = 1000 + i;
+    if (!records.empty() && rng.NextBool(0.3)) {
+      // Mutated copy of an earlier record.
+      record.tokens = records[rng.NextBelow(records.size())].tokens;
+      if (!record.tokens.empty() && rng.NextBool(0.6)) {
+        record.tokens.erase(record.tokens.begin() +
+                            static_cast<ptrdiff_t>(
+                                rng.NextBelow(record.tokens.size())));
+      }
+      if (rng.NextBool(0.6)) {
+        record.tokens.push_back(rng.NextBelow(universe));
+      }
+      std::sort(record.tokens.begin(), record.tokens.end());
+      record.tokens.erase(
+          std::unique(record.tokens.begin(), record.tokens.end()),
+          record.tokens.end());
+    } else {
+      size_t len = 1 + rng.NextBelow(max_len);
+      while (record.tokens.size() < len) {
+        record.tokens.push_back(rng.NextBelow(universe));
+        std::sort(record.tokens.begin(), record.tokens.end());
+        record.tokens.erase(
+            std::unique(record.tokens.begin(), record.tokens.end()),
+            record.tokens.end());
+      }
+    }
+    records.push_back(std::move(record));
+  }
+  return records;
+}
+
+struct KernelParam {
+  SimilarityFunction fn;
+  double tau;
+  bool positional;
+  bool suffix;
+};
+
+std::string KernelName(const testing::TestParamInfo<KernelParam>& info) {
+  const KernelParam& p = info.param;
+  std::string name = sim::SimilarityFunctionName(p.fn);
+  name += "_" + std::to_string(static_cast<int>(p.tau * 100));
+  if (p.positional && p.suffix) {
+    name += "_ppjoinplus";
+  } else if (p.positional) {
+    name += "_ppjoin";
+  } else {
+    name += "_allpairs";
+  }
+  return name;
+}
+
+class KernelEquivalenceTest : public testing::TestWithParam<KernelParam> {};
+
+TEST_P(KernelEquivalenceTest, SelfJoinMatchesNaive) {
+  const KernelParam& p = GetParam();
+  SimilaritySpec spec(p.fn, p.tau);
+  PPJoinOptions options;
+  options.use_positional_filter = p.positional;
+  options.use_suffix_filter = p.suffix;
+
+  for (uint64_t seed : {1u, 2u, 3u}) {
+    auto records = RandomRecords(150, seed);
+    auto expected = NaiveSelfJoin(records, spec);
+    auto got = PPJoinSelfJoin(records, spec, options);
+    EXPECT_EQ(got, expected) << "seed " << seed;
+  }
+}
+
+TEST_P(KernelEquivalenceTest, RSJoinMatchesNaive) {
+  const KernelParam& p = GetParam();
+  SimilaritySpec spec(p.fn, p.tau);
+  PPJoinOptions options;
+  options.use_positional_filter = p.positional;
+  options.use_suffix_filter = p.suffix;
+
+  auto r_records = RandomRecords(120, 5);
+  auto s_records = RandomRecords(100, 6);
+  // Make some S records near-duplicates of R records.
+  fj::Rng rng(7);
+  for (size_t i = 0; i < s_records.size(); i += 4) {
+    s_records[i].tokens = r_records[rng.NextBelow(r_records.size())].tokens;
+  }
+  auto expected = NaiveRSJoin(r_records, s_records, spec);
+  auto got = PPJoinRSJoin(r_records, s_records, spec, options);
+  EXPECT_EQ(got, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Kernels, KernelEquivalenceTest,
+    testing::Values(
+        KernelParam{SimilarityFunction::kJaccard, 0.8, true, true},
+        KernelParam{SimilarityFunction::kJaccard, 0.8, true, false},
+        KernelParam{SimilarityFunction::kJaccard, 0.8, false, false},
+        KernelParam{SimilarityFunction::kJaccard, 0.5, true, true},
+        KernelParam{SimilarityFunction::kJaccard, 0.95, true, true},
+        KernelParam{SimilarityFunction::kCosine, 0.8, true, true},
+        KernelParam{SimilarityFunction::kCosine, 0.9, false, false},
+        KernelParam{SimilarityFunction::kDice, 0.8, true, true},
+        KernelParam{SimilarityFunction::kDice, 0.7, true, false},
+        KernelParam{SimilarityFunction::kOverlap, 0.8, true, true}),
+    KernelName);
+
+TEST(PPJoinStreamTest, EmptyAndSingletonInputs) {
+  SimilaritySpec spec(SimilarityFunction::kJaccard, 0.8);
+  PPJoinStream stream(spec);
+  std::vector<SimilarPair> out;
+  stream.ProbeAndInsert(TokenSetRecord{1, {}}, &out);  // empty record
+  stream.ProbeAndInsert(TokenSetRecord{2, {5}}, &out);
+  EXPECT_TRUE(out.empty());
+  stream.ProbeAndInsert(TokenSetRecord{3, {5}}, &out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], (SimilarPair{2, 3, 1.0}));
+}
+
+TEST(PPJoinStreamTest, LengthFilterEvictsShortRecords) {
+  SimilaritySpec spec(SimilarityFunction::kJaccard, 0.8);
+  PPJoinStream stream(spec);
+  std::vector<SimilarPair> out;
+  // Insert records of strictly growing lengths; once a probe's lower bound
+  // passes a record's length it must be evicted.
+  for (size_t len = 1; len <= 40; ++len) {
+    TokenSetRecord record;
+    record.rid = len;
+    for (size_t t = 0; t < len; ++t) {
+      record.tokens.push_back(1000 * len + t);  // all-distinct universes
+    }
+    stream.ProbeAndInsert(record, &out);
+  }
+  EXPECT_TRUE(out.empty());
+  EXPECT_GT(stream.stats().evicted_records, 0u);
+  // Peak residency must be far below the total token count (sum 1..40).
+  EXPECT_LT(stream.stats().peak_resident_tokens, 820u / 2);
+}
+
+TEST(PPJoinStreamTest, StatsCountFilterActivity) {
+  SimilaritySpec spec(SimilarityFunction::kJaccard, 0.8);
+  auto records = RandomRecords(300, 17);
+  PPJoinStats plus_stats;
+  auto with_plus = PPJoinSelfJoin(records, spec, PPJoinOptions{}, &plus_stats);
+
+  PPJoinOptions no_suffix;
+  no_suffix.use_suffix_filter = false;
+  PPJoinStats ppjoin_stats;
+  auto without = PPJoinSelfJoin(records, spec, no_suffix, &ppjoin_stats);
+
+  EXPECT_EQ(with_plus, without);
+  EXPECT_EQ(plus_stats.probes, records.size());
+  EXPECT_GT(plus_stats.candidates, 0u);
+  // The suffix filter removes candidates before verification.
+  EXPECT_EQ(ppjoin_stats.suffix_pruned, 0u);
+  EXPECT_LE(plus_stats.verified, ppjoin_stats.verified);
+
+  PPJoinStats allpairs_stats;
+  auto allpairs = AllPairsSelfJoin(records, spec, &allpairs_stats);
+  EXPECT_EQ(allpairs, with_plus);
+  // All-Pairs verifies at least as many candidates as PPJoin.
+  EXPECT_GE(allpairs_stats.verified, ppjoin_stats.verified);
+  EXPECT_EQ(allpairs_stats.positional_pruned, 0u);
+}
+
+TEST(PPJoinStreamTest, SelfJoinOfIdenticalRecordsFindsAllPairs) {
+  SimilaritySpec spec(SimilarityFunction::kJaccard, 0.9);
+  std::vector<TokenSetRecord> records;
+  for (uint64_t i = 0; i < 10; ++i) {
+    records.push_back(TokenSetRecord{i, {1, 2, 3, 4, 5}});
+  }
+  auto got = PPJoinSelfJoin(records, spec);
+  EXPECT_EQ(got.size(), 45u);  // C(10,2)
+  for (const auto& pair : got) EXPECT_DOUBLE_EQ(pair.similarity, 1.0);
+}
+
+TEST(TokenSetTest, SortByLengthIsDeterministic) {
+  std::vector<TokenSetRecord> records{
+      {3, {1, 2}}, {1, {5, 6}}, {2, {1, 2, 3}}, {4, {9}}};
+  SortByLength(&records);
+  EXPECT_EQ(records[0].rid, 4u);
+  EXPECT_EQ(records[1].rid, 1u);  // ties by rid
+  EXPECT_EQ(records[2].rid, 3u);
+  EXPECT_EQ(records[3].rid, 2u);
+}
+
+TEST(TokenSetTest, MakeSelfJoinPairCanonicalizes) {
+  auto pair = MakeSelfJoinPair(9, 4, 0.5);
+  EXPECT_EQ(pair.rid1, 4u);
+  EXPECT_EQ(pair.rid2, 9u);
+}
+
+}  // namespace
+}  // namespace fj::ppjoin

@@ -1,0 +1,162 @@
+// Edit-distance support (paper footnote 1): exact DP, banded early-exit
+// verification, and the q-gram-filtered self-join, all validated against
+// brute force on randomized inputs.
+#include "similarity/edit_distance.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace fj::sim {
+namespace {
+
+TEST(LevenshteinTest, KnownDistances) {
+  EXPECT_EQ(LevenshteinDistance("", ""), 0u);
+  EXPECT_EQ(LevenshteinDistance("abc", "abc"), 0u);
+  EXPECT_EQ(LevenshteinDistance("", "abc"), 3u);
+  EXPECT_EQ(LevenshteinDistance("kitten", "sitting"), 3u);
+  EXPECT_EQ(LevenshteinDistance("flaw", "lawn"), 2u);
+  EXPECT_EQ(LevenshteinDistance("intention", "execution"), 5u);
+  EXPECT_EQ(LevenshteinDistance("a", "b"), 1u);
+}
+
+TEST(LevenshteinTest, Symmetric) {
+  EXPECT_EQ(LevenshteinDistance("sunday", "saturday"),
+            LevenshteinDistance("saturday", "sunday"));
+}
+
+std::string RandomString(Rng* rng, size_t max_len, int alphabet = 4) {
+  size_t len = rng->NextBelow(max_len + 1);
+  std::string s;
+  for (size_t i = 0; i < len; ++i) {
+    s += static_cast<char>('a' + rng->NextBelow(alphabet));
+  }
+  return s;
+}
+
+TEST(BandedEditDistanceTest, AgreesWithFullDPOnRandomStrings) {
+  Rng rng(77);
+  for (int trial = 0; trial < 5000; ++trial) {
+    std::string a = RandomString(&rng, 12);
+    std::string b = RandomString(&rng, 12);
+    size_t truth = LevenshteinDistance(a, b);
+    for (size_t d = 0; d <= 6; ++d) {
+      EXPECT_EQ(WithinEditDistance(a, b, d), truth <= d)
+          << "a=" << a << " b=" << b << " d=" << d << " truth=" << truth;
+    }
+  }
+}
+
+TEST(BandedEditDistanceTest, LengthGapShortCircuits) {
+  EXPECT_FALSE(WithinEditDistance("ab", "abcdefgh", 3));
+  EXPECT_TRUE(WithinEditDistance("ab", "abcde", 3));
+}
+
+TEST(BandedEditDistanceTest, ZeroDistanceMeansEquality) {
+  EXPECT_TRUE(WithinEditDistance("same", "same", 0));
+  EXPECT_FALSE(WithinEditDistance("same", "sane", 0));
+}
+
+class EditJoinTest : public testing::TestWithParam<size_t> {};
+
+TEST_P(EditJoinTest, MatchesBruteForce) {
+  size_t max_distance = GetParam();
+  Rng rng(31 + max_distance);
+  // Strings with injected near-duplicates so joins have results.
+  std::vector<std::string> strings;
+  for (int i = 0; i < 150; ++i) {
+    if (!strings.empty() && rng.NextBool(0.4)) {
+      std::string mutated = strings[rng.NextBelow(strings.size())];
+      size_t edits = rng.NextBelow(3);
+      for (size_t e = 0; e < edits && !mutated.empty(); ++e) {
+        size_t pos = rng.NextBelow(mutated.size());
+        switch (rng.NextBelow(3)) {
+          case 0:
+            mutated[pos] = static_cast<char>('a' + rng.NextBelow(6));
+            break;
+          case 1:
+            mutated.erase(pos, 1);
+            break;
+          default:
+            mutated.insert(pos, 1, static_cast<char>('a' + rng.NextBelow(6)));
+        }
+      }
+      strings.push_back(mutated);
+    } else {
+      strings.push_back(RandomString(&rng, 16, 6));
+    }
+  }
+  auto expected = NaiveEditDistanceSelfJoin(strings, max_distance);
+  for (size_t q : {2u, 3u, 4u}) {
+    auto got = EditDistanceSelfJoin(strings, max_distance, q);
+    EXPECT_EQ(got, expected) << "q=" << q << " d=" << max_distance;
+  }
+  EXPECT_FALSE(expected.empty()) << "vacuous test";
+}
+
+INSTANTIATE_TEST_SUITE_P(Thresholds, EditJoinTest,
+                         testing::Values(0u, 1u, 2u, 3u),
+                         [](const testing::TestParamInfo<size_t>& info) {
+                           return "d" + std::to_string(info.param);
+                         });
+
+TEST(EditJoinTest, EmptyInputAndEmptyStrings) {
+  EXPECT_TRUE(EditDistanceSelfJoin({}, 2).empty());
+  std::vector<std::string> strings{"", "", "a"};
+  auto pairs = EditDistanceSelfJoin(strings, 1);
+  // ("", "") at distance 0; ("", "a") twice at distance 1.
+  EXPECT_EQ(pairs.size(), 3u);
+}
+
+TEST(EditJoinTest, RSJoinMatchesBruteForce) {
+  Rng rng(47);
+  std::vector<std::string> r_strings, s_strings;
+  for (int i = 0; i < 100; ++i) r_strings.push_back(RandomString(&rng, 14, 5));
+  for (int i = 0; i < 80; ++i) {
+    if (rng.NextBool(0.5)) {
+      std::string mutated = r_strings[rng.NextBelow(r_strings.size())];
+      if (!mutated.empty()) {
+        mutated[rng.NextBelow(mutated.size())] =
+            static_cast<char>('a' + rng.NextBelow(5));
+      }
+      s_strings.push_back(mutated);
+    } else {
+      s_strings.push_back(RandomString(&rng, 14, 5));
+    }
+  }
+  for (size_t d : {0u, 1u, 2u, 3u}) {
+    auto expected = NaiveEditDistanceRSJoin(r_strings, s_strings, d);
+    for (size_t q : {2u, 3u}) {
+      EXPECT_EQ(EditDistanceRSJoin(r_strings, s_strings, d, q), expected)
+          << "d=" << d << " q=" << q;
+    }
+  }
+}
+
+TEST(EditJoinTest, RSJoinEmptySides) {
+  EXPECT_TRUE(EditDistanceRSJoin({}, {"a"}, 2).empty());
+  EXPECT_TRUE(EditDistanceRSJoin({"a"}, {}, 2).empty());
+  auto pairs = EditDistanceRSJoin({"abc"}, {"abd", "xyz"}, 1);
+  ASSERT_EQ(pairs.size(), 1u);
+  EXPECT_EQ(pairs[0], (EditDistancePair{0, 0, 1}));
+}
+
+TEST(EditJoinTest, RSJoinShortStringsOnBothSides) {
+  // Strings below the q*d gram prefix threshold on either side.
+  std::vector<std::string> r{"", "a", "abcdefgh"};
+  std::vector<std::string> s{"b", "", "abcdefgx"};
+  auto expected = NaiveEditDistanceRSJoin(r, s, 2);
+  EXPECT_EQ(EditDistanceRSJoin(r, s, 2, 3), expected);
+  EXPECT_FALSE(expected.empty());
+}
+
+TEST(EditJoinTest, ReportsExactDistances) {
+  std::vector<std::string> strings{"vernica", "varnica", "carey", "care"};
+  auto pairs = EditDistanceSelfJoin(strings, 2);
+  ASSERT_EQ(pairs.size(), 2u);
+  EXPECT_EQ(pairs[0], (EditDistancePair{0, 1, 1}));
+  EXPECT_EQ(pairs[1], (EditDistancePair{2, 3, 1}));
+}
+
+}  // namespace
+}  // namespace fj::sim

@@ -1,0 +1,143 @@
+// Positional- and suffix-filter tests: both must be *sound* (never prune a
+// pair that meets the overlap requirement) — checked property-style — and
+// should actually prune in the easy cases.
+#include "similarity/filters.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/random.h"
+#include "similarity/similarity.h"
+
+namespace fj::sim {
+namespace {
+
+TEST(PositionalFilterTest, BoundsMatchHandComputation) {
+  // |x|=5, |y|=5, first match at x[0] / y[2], nothing accumulated:
+  // at most 1 + min(4, 2) = 3 total.
+  EXPECT_EQ(PositionalUpperBound(5, 5, 0, 2, 0), 3u);
+  EXPECT_TRUE(PassesPositionalFilter(5, 5, 0, 2, 0, 3));
+  EXPECT_FALSE(PassesPositionalFilter(5, 5, 0, 2, 0, 4));
+}
+
+TEST(PositionalFilterTest, AccumulatedMatchesRaiseTheBound) {
+  EXPECT_EQ(PositionalUpperBound(10, 10, 4, 4, 3), 3 + 1 + 5u);
+}
+
+TEST(PositionalFilterTest, IsSound) {
+  // For random sets and every common token position, the positional bound
+  // must be >= the true overlap.
+  Rng rng(99);
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::vector<TokenId> x, y;
+    for (TokenId t = 0; t < 30; ++t) {
+      if (rng.NextBool(0.35)) x.push_back(t);
+      if (rng.NextBool(0.35)) y.push_back(t);
+    }
+    if (x.empty() || y.empty()) continue;
+    size_t overlap = OverlapSize(x, y);
+    for (size_t i = 0; i < x.size(); ++i) {
+      for (size_t j = 0; j < y.size(); ++j) {
+        if (x[i] != y[j]) continue;
+        // Overlap accumulated strictly before (i, j):
+        std::vector<TokenId> xp(x.begin(), x.begin() + i);
+        std::vector<TokenId> yp(y.begin(), y.begin() + j);
+        size_t acc = OverlapSize(xp, yp);
+        EXPECT_GE(PositionalUpperBound(x.size(), y.size(), i, j, acc),
+                  overlap)
+            << "positional bound under-estimated the overlap";
+      }
+    }
+  }
+}
+
+TEST(SuffixFilterTest, HammingBoundNeverExceedsTruth) {
+  // BoundHamming must be a LOWER bound on the true Hamming (symmetric
+  // difference) distance whenever it is <= hmax (the early-exit contract:
+  // values above hmax only need to stay above hmax).
+  Rng rng(7);
+  SuffixFilter filter(/*max_depth=*/3);
+  for (int trial = 0; trial < 3000; ++trial) {
+    std::vector<TokenId> x, y;
+    for (TokenId t = 0; t < 24; ++t) {
+      if (rng.NextBool(0.4)) x.push_back(t);
+      if (rng.NextBool(0.4)) y.push_back(t);
+    }
+    size_t overlap = OverlapSize(x, y);
+    int64_t truth =
+        static_cast<int64_t>(x.size() + y.size()) - 2 * static_cast<int64_t>(overlap);
+    int64_t bound = filter.BoundHamming(x, y, /*hmax=*/1000, 1);
+    EXPECT_LE(bound, truth) << "suffix filter over-estimated Hamming";
+  }
+}
+
+TEST(SuffixFilterTest, MayQualifyIsSound) {
+  // If the true overlap of the suffixes is >= required, MayQualify must
+  // return true.
+  Rng rng(13);
+  SuffixFilter filter(2);
+  int pruned = 0, kept = 0;
+  for (int trial = 0; trial < 4000; ++trial) {
+    std::vector<TokenId> x, y;
+    for (TokenId t = 0; t < 20; ++t) {
+      if (rng.NextBool(0.45)) x.push_back(t);
+      if (rng.NextBool(0.45)) y.push_back(t);
+    }
+    size_t overlap = OverlapSize(x, y);
+    for (size_t required = 0; required <= overlap; ++required) {
+      EXPECT_TRUE(filter.MayQualify(x, y, required))
+          << "pruned a pair with overlap " << overlap << " >= " << required;
+    }
+    // Count pruning effectiveness one step beyond the truth.
+    if (overlap + 1 <= std::min(x.size(), y.size())) {
+      if (filter.MayQualify(x, y, overlap + 1)) {
+        ++kept;
+      } else {
+        ++pruned;
+      }
+    }
+  }
+  // The filter is a bounded-depth heuristic, not exact: at the tightest
+  // possible requirement (truth + 1) it still prunes a meaningful share.
+  EXPECT_GT(pruned, 100);
+  EXPECT_GT(kept, 0);  // and it is not vacuously rejecting everything
+}
+
+TEST(SuffixFilterTest, PrunesObviouslyImpossiblePairs) {
+  SuffixFilter filter(2);
+  std::vector<TokenId> x{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<TokenId> y{101, 102, 103, 104, 105, 106, 107, 108};
+  EXPECT_FALSE(filter.MayQualify(x, y, 7));
+}
+
+TEST(SuffixFilterTest, RequiredOverlapBeyondSizesPrunes) {
+  SuffixFilter filter(2);
+  std::vector<TokenId> x{1, 2};
+  std::vector<TokenId> y{1, 2};
+  EXPECT_TRUE(filter.MayQualify(x, y, 2));
+  EXPECT_FALSE(filter.MayQualify(x, y, 3));  // overlap can't exceed min size
+}
+
+TEST(SuffixFilterTest, EmptySuffixes) {
+  SuffixFilter filter(2);
+  std::vector<TokenId> empty;
+  std::vector<TokenId> x{1, 2, 3};
+  EXPECT_TRUE(filter.MayQualify(empty, empty, 0));
+  EXPECT_FALSE(filter.MayQualify(empty, x, 1));
+  EXPECT_TRUE(filter.MayQualify(empty, x, 0));
+}
+
+TEST(SuffixFilterTest, DepthZeroDegradesToLengthDifference) {
+  SuffixFilter filter(0);
+  std::vector<TokenId> x{1, 2, 3, 4};
+  std::vector<TokenId> y{9, 10, 11, 12};
+  // depth 1 > max_depth 0 immediately: bound = |4 - 4| = 0, so nothing is
+  // pruned — still sound, just toothless.
+  EXPECT_EQ(filter.BoundHamming(x, y, 100, 1), 0);
+  EXPECT_TRUE(filter.MayQualify(x, y, 4));
+}
+
+}  // namespace
+}  // namespace fj::sim

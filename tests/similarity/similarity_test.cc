@@ -1,0 +1,223 @@
+// Filter-bound arithmetic: the prefix-filter, length-filter, and
+// min-overlap formulas must be *sound* (never exclude a qualifying pair)
+// and *consistent* with the exact similarity computation. Soundness is
+// checked property-style over parameter sweeps.
+#include "similarity/similarity.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/random.h"
+
+namespace fj::sim {
+namespace {
+
+std::vector<TokenId> MakeSet(std::initializer_list<TokenId> ids) {
+  std::vector<TokenId> v(ids);
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+TEST(SimilarityTest, JaccardMatchesPaperExample) {
+  // "I will call back" vs "I will call you soon": 3 shared of 6 distinct.
+  auto x = MakeSet({1, 2, 3, 4});      // i will call back
+  auto y = MakeSet({1, 2, 3, 5, 6});   // i will call you soon
+  SimilaritySpec spec(SimilarityFunction::kJaccard, 0.5);
+  EXPECT_DOUBLE_EQ(spec.Similarity(x, y), 0.5);
+  EXPECT_TRUE(spec.Satisfies(x, y));
+}
+
+TEST(SimilarityTest, IdenticalSetsHaveSimilarityOne) {
+  auto x = MakeSet({3, 7, 9, 20});
+  for (auto fn : {SimilarityFunction::kJaccard, SimilarityFunction::kCosine,
+                  SimilarityFunction::kDice, SimilarityFunction::kOverlap}) {
+    SimilaritySpec spec(fn, 1.0);
+    EXPECT_DOUBLE_EQ(spec.Similarity(x, x), 1.0) << SimilarityFunctionName(fn);
+    EXPECT_TRUE(spec.Satisfies(x, x));
+  }
+}
+
+TEST(SimilarityTest, DisjointSetsHaveSimilarityZero) {
+  auto x = MakeSet({1, 2, 3});
+  auto y = MakeSet({4, 5, 6});
+  for (auto fn : {SimilarityFunction::kJaccard, SimilarityFunction::kCosine,
+                  SimilarityFunction::kDice, SimilarityFunction::kOverlap}) {
+    SimilaritySpec spec(fn, 0.5);
+    EXPECT_DOUBLE_EQ(spec.Similarity(x, y), 0.0);
+    EXPECT_FALSE(spec.Satisfies(x, y));
+  }
+}
+
+TEST(SimilarityTest, EmptySetsNeverSatisfy) {
+  std::vector<TokenId> empty;
+  auto x = MakeSet({1, 2});
+  SimilaritySpec spec(SimilarityFunction::kJaccard, 0.1);
+  EXPECT_FALSE(spec.Satisfies(empty, x));
+  EXPECT_FALSE(spec.Satisfies(x, empty));
+  EXPECT_FALSE(spec.Satisfies(empty, empty));
+}
+
+TEST(SimilarityTest, CeilTimesIsRobustToFloatingPoint) {
+  // 0.8 * 5 == 4.000000000000001 in doubles; ceil must give 4, not 5.
+  EXPECT_EQ(CeilTimes(0.8, 5), 4u);
+  EXPECT_EQ(CeilTimes(0.8, 10), 8u);
+  EXPECT_EQ(CeilTimes(0.1, 10), 1u);
+  EXPECT_EQ(CeilTimes(0.3, 10), 3u);
+  EXPECT_EQ(CeilTimes(0.8, 0), 0u);
+  EXPECT_EQ(CeilTimes(0.85, 10), 9u);  // 8.5 -> 9
+  EXPECT_EQ(FloorTimes(1.0 / 0.8, 8), 10u);
+  EXPECT_EQ(FloorTimes(0.3, 10), 3u);
+}
+
+TEST(SimilarityTest, KnownJaccardBounds) {
+  SimilaritySpec spec(SimilarityFunction::kJaccard, 0.8);
+  // |x| = 10: partners in [8, 12]; overlap with |y|=10 must be >= 9.
+  EXPECT_EQ(spec.LengthLowerBound(10), 8u);
+  EXPECT_EQ(spec.LengthUpperBound(10), 12u);
+  EXPECT_EQ(spec.MinOverlap(10, 10), 9u);
+  // Prefix = 10 - alpha(10, 8) + 1 = 10 - 8 + 1 = 3.
+  EXPECT_EQ(spec.MinOverlap(10, 8), 8u);
+  EXPECT_EQ(spec.PrefixLength(10), 3u);
+}
+
+TEST(SimilarityTest, OverlapFunctionHasDegeneratePrefix) {
+  // overlap/min admits partners of any size, so the whole record is prefix.
+  SimilaritySpec spec(SimilarityFunction::kOverlap, 0.8);
+  EXPECT_EQ(spec.LengthLowerBound(10), 1u);
+  EXPECT_EQ(spec.LengthUpperBound(10),
+            std::numeric_limits<size_t>::max());
+  EXPECT_EQ(spec.PrefixLength(10), 10u);
+}
+
+TEST(SimilarityTest, VerifyOverlapEarlyTermination) {
+  auto x = MakeSet({1, 2, 3, 4, 5});
+  auto y = MakeSet({6, 7, 8, 9, 10});
+  // Requiring any overlap fails immediately.
+  EXPECT_EQ(VerifyOverlap(x, y, 0, 0, 0, 1), kOverlapFailed);
+  auto z = MakeSet({1, 2, 3, 11, 12});
+  EXPECT_EQ(VerifyOverlap(x, z, 0, 0, 0, 3), 3u);
+  EXPECT_EQ(VerifyOverlap(x, z, 0, 0, 0, 4), kOverlapFailed);
+}
+
+TEST(SimilarityTest, VerifyOverlapResumesMidway) {
+  auto x = MakeSet({1, 2, 3, 4});
+  auto y = MakeSet({1, 2, 3, 5});
+  // Resume after both position 1 with 2 matches already accumulated.
+  EXPECT_EQ(VerifyOverlap(x, y, 2, 2, 2, 3), 3u);
+}
+
+TEST(SimilarityTest, NameRoundTrip) {
+  for (auto fn : {SimilarityFunction::kJaccard, SimilarityFunction::kCosine,
+                  SimilarityFunction::kDice, SimilarityFunction::kOverlap}) {
+    auto parsed = SimilarityFunctionFromName(SimilarityFunctionName(fn));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed.value(), fn);
+  }
+  EXPECT_FALSE(SimilarityFunctionFromName("euclidean").ok());
+}
+
+// ----------------------------------------------------------------- sweeps
+
+struct SweepParam {
+  SimilarityFunction fn;
+  double tau;
+};
+
+class BoundSoundnessTest : public testing::TestWithParam<SweepParam> {};
+
+// Property: for every pair of random sets that satisfies the predicate,
+// (a) the partner's size lies within the length bounds,
+// (b) the overlap is at least MinOverlap, and
+// (c) the two prefixes share at least one token (the prefix-filter
+//     pigeonhole guarantee the whole paper rests on).
+TEST_P(BoundSoundnessTest, FiltersNeverExcludeQualifyingPairs) {
+  const SweepParam& p = GetParam();
+  SimilaritySpec spec(p.fn, p.tau);
+  Rng rng(0xC0FFEE ^ static_cast<uint64_t>(p.tau * 1000));
+
+  int qualifying = 0;
+  for (int trial = 0; trial < 3000; ++trial) {
+    // Correlated pairs: y is a mutation of x, so a healthy share of trials
+    // lands above even high thresholds.
+    std::vector<TokenId> x, y;
+    for (size_t i = 0; i < 40 && x.size() < 12; ++i) {
+      if (rng.NextBool(0.4)) x.push_back(i);
+    }
+    if (x.empty()) continue;
+    y = x;
+    size_t edits = rng.NextBelow(4);
+    for (size_t e = 0; e < edits; ++e) {
+      if (rng.NextBool() && y.size() > 1) {
+        y.erase(y.begin() + static_cast<ptrdiff_t>(rng.NextBelow(y.size())));
+      } else {
+        y.push_back(40 + rng.NextBelow(10));
+      }
+    }
+    std::sort(y.begin(), y.end());
+    y.erase(std::unique(y.begin(), y.end()), y.end());
+    if (y.empty()) continue;
+
+    double similarity = spec.Similarity(x, y);
+    if (similarity < p.tau) continue;
+    ++qualifying;
+
+    EXPECT_GE(y.size(), spec.LengthLowerBound(x.size()));
+    EXPECT_LE(y.size(), spec.LengthUpperBound(x.size()));
+    EXPECT_GE(OverlapSize(x, y), spec.MinOverlap(x.size(), y.size()));
+
+    size_t px = spec.PrefixLength(x.size());
+    size_t py = spec.PrefixLength(y.size());
+    std::vector<TokenId> x_prefix(x.begin(), x.begin() + px);
+    std::vector<TokenId> y_prefix(y.begin(), y.begin() + py);
+    EXPECT_GT(OverlapSize(x_prefix, y_prefix), 0u)
+        << "prefix filter violated at sim=" << similarity;
+
+    // Satisfies agrees with the exact computation.
+    EXPECT_TRUE(spec.Satisfies(x, y));
+  }
+  EXPECT_GT(qualifying, 100) << "sweep produced too few qualifying pairs";
+}
+
+// Property: MinOverlap is exactly the satisfiability boundary — an overlap
+// of MinOverlap achieves sim >= tau, one less does not.
+TEST_P(BoundSoundnessTest, MinOverlapIsTight) {
+  const SweepParam& p = GetParam();
+  SimilaritySpec spec(p.fn, p.tau);
+  for (size_t lx = 1; lx <= 30; ++lx) {
+    for (size_t ly = 1; ly <= 30; ++ly) {
+      size_t alpha = spec.MinOverlap(lx, ly);
+      if (alpha <= std::min(lx, ly)) {
+        double at_alpha = SimilarityFromOverlap(p.fn, alpha, lx, ly);
+        EXPECT_GE(at_alpha, p.tau - 1e-9)
+            << "fn=" << SimilarityFunctionName(p.fn) << " lx=" << lx
+            << " ly=" << ly << " alpha=" << alpha;
+      }
+      if (alpha >= 1) {
+        double below = SimilarityFromOverlap(p.fn, alpha - 1, lx, ly);
+        EXPECT_LT(below, p.tau)
+            << "fn=" << SimilarityFunctionName(p.fn) << " lx=" << lx
+            << " ly=" << ly << " alpha=" << alpha;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FunctionsAndThresholds, BoundSoundnessTest,
+    testing::Values(SweepParam{SimilarityFunction::kJaccard, 0.5},
+                    SweepParam{SimilarityFunction::kJaccard, 0.8},
+                    SweepParam{SimilarityFunction::kJaccard, 0.9},
+                    SweepParam{SimilarityFunction::kCosine, 0.8},
+                    SweepParam{SimilarityFunction::kCosine, 0.95},
+                    SweepParam{SimilarityFunction::kDice, 0.8},
+                    SweepParam{SimilarityFunction::kDice, 0.6},
+                    SweepParam{SimilarityFunction::kOverlap, 0.8}),
+    [](const testing::TestParamInfo<SweepParam>& info) {
+      return std::string(SimilarityFunctionName(info.param.fn)) + "_" +
+             std::to_string(static_cast<int>(info.param.tau * 100));
+    });
+
+}  // namespace
+}  // namespace fj::sim

@@ -1,0 +1,122 @@
+// Tokenizers and the global token ordering.
+#include <gtest/gtest.h>
+
+#include "text/token_ordering.h"
+#include "text/tokenizer.h"
+
+namespace fj::text {
+namespace {
+
+TEST(WordTokenizerTest, PaperExample) {
+  WordTokenizer tokenizer;
+  EXPECT_EQ(tokenizer.Tokenize("I will call back"),
+            (std::vector<std::string>{"i", "will", "call", "back"}));
+}
+
+TEST(WordTokenizerTest, PunctuationAndCase) {
+  WordTokenizer tokenizer;
+  EXPECT_EQ(tokenizer.Tokenize("Smith, John W."),
+            (std::vector<std::string>{"smith", "john", "w"}));
+  EXPECT_EQ(tokenizer.Tokenize("  --  "), (std::vector<std::string>{}));
+  EXPECT_EQ(tokenizer.Tokenize(""), (std::vector<std::string>{}));
+  EXPECT_EQ(tokenizer.Tokenize("a1b2"), (std::vector<std::string>{"a1b2"}));
+}
+
+TEST(WordTokenizerTest, DuplicatePolicies) {
+  WordTokenizer remove_dups(DuplicatePolicy::kRemove);
+  EXPECT_EQ(remove_dups.Tokenize("to be or not to be"),
+            (std::vector<std::string>{"to", "be", "or", "not"}));
+  WordTokenizer number_dups(DuplicatePolicy::kNumber);
+  EXPECT_EQ(number_dups.Tokenize("to be or not to be"),
+            (std::vector<std::string>{"to", "be", "or", "not", "to#1",
+                                      "be#1"}));
+}
+
+TEST(QGramTokenizerTest, PaddedGrams) {
+  QGramTokenizer tokenizer(3, DuplicatePolicy::kRemove);
+  auto grams = tokenizer.Tokenize("ab");
+  // "$$ab##" -> $$a, $ab, ab#, b##
+  EXPECT_EQ(grams, (std::vector<std::string>{"$$a", "$ab", "ab#", "b##"}));
+  EXPECT_EQ(tokenizer.Name(), "qgram3");
+}
+
+TEST(QGramTokenizerTest, NormalizesWhitespaceAndCase) {
+  QGramTokenizer tokenizer(2, DuplicatePolicy::kRemove);
+  EXPECT_EQ(tokenizer.Tokenize("A  B"), tokenizer.Tokenize("a b"));
+  EXPECT_EQ(tokenizer.Tokenize("-a"), tokenizer.Tokenize("a"));
+}
+
+TEST(QGramTokenizerTest, EmptyAndDegenerate) {
+  QGramTokenizer tokenizer(3);
+  EXPECT_EQ(tokenizer.Tokenize("").size(), 2u);  // "$$##" -> $$#, $##
+  QGramTokenizer q1(1);
+  EXPECT_TRUE(q1.Tokenize("").empty());
+  EXPECT_EQ(q1.Tokenize("ab"), (std::vector<std::string>{"a", "b"}));
+  QGramTokenizer q0(0);  // clamped to 1
+  EXPECT_EQ(q0.q(), 1u);
+}
+
+TEST(TokenOrderingTest, RanksByFrequencyThenToken) {
+  auto ordering = TokenOrdering::FromCounts(
+      {{"common", 10}, {"rare", 1}, {"mid", 5}, {"also1", 1}});
+  // rare ties broken lexicographically: also1 < rare.
+  EXPECT_EQ(ordering.Rank("also1").value(), 0u);
+  EXPECT_EQ(ordering.Rank("rare").value(), 1u);
+  EXPECT_EQ(ordering.Rank("mid").value(), 2u);
+  EXPECT_EQ(ordering.Rank("common").value(), 3u);
+  EXPECT_FALSE(ordering.Rank("absent").has_value());
+  EXPECT_EQ(ordering.size(), 4u);
+  EXPECT_EQ(ordering.TokenOfRank(2), "mid");
+  EXPECT_EQ(ordering.FrequencyOfRank(3), 10u);
+}
+
+TEST(TokenOrderingTest, LinesRoundTrip) {
+  auto ordering =
+      TokenOrdering::FromCounts({{"a", 3}, {"b", 1}, {"c", 2}});
+  auto lines = ordering.ToLines();
+  EXPECT_EQ(lines, (std::vector<std::string>{"b\t1", "c\t2", "a\t3"}));
+  auto parsed = TokenOrdering::FromLines(lines);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->Rank("b").value(), 0u);
+  EXPECT_EQ(parsed->Rank("a").value(), 2u);
+  EXPECT_EQ(parsed->ToLines(), lines);
+}
+
+TEST(TokenOrderingTest, FromLinesRejectsGarbage) {
+  EXPECT_FALSE(TokenOrdering::FromLines({"no-tab-here"}).ok());
+  EXPECT_FALSE(TokenOrdering::FromLines({"a\tnotanumber"}).ok());
+  EXPECT_FALSE(TokenOrdering::FromLines({"a\t1", "a\t2"}).ok());  // dup
+}
+
+TEST(TokenOrderingTest, UnknownTokensGetStableHighIds) {
+  auto ordering = TokenOrdering::FromCounts({{"known", 2}});
+  TokenId unknown = ordering.IdOf("mystery");
+  EXPECT_TRUE(IsUnknownToken(unknown));
+  EXPECT_EQ(unknown, ordering.IdOf("mystery"));  // stable
+  EXPECT_FALSE(IsUnknownToken(ordering.IdOf("known")));
+  EXPECT_NE(ordering.IdOf("mystery"), ordering.IdOf("mystery2"));
+}
+
+TEST(TokenOrderingTest, ToSortedIdsOrdersRareFirstUnknownLast) {
+  auto ordering = TokenOrdering::FromCounts({{"freq", 9}, {"rare", 1}});
+  auto ids = ordering.ToSortedIds({"freq", "mystery", "rare"});
+  ASSERT_EQ(ids.size(), 3u);
+  EXPECT_EQ(ids[0], ordering.Rank("rare").value());
+  EXPECT_EQ(ids[1], ordering.Rank("freq").value());
+  EXPECT_TRUE(IsUnknownToken(ids[2]));
+}
+
+TEST(TokenOrderingTest, ToSortedIdsDeduplicates) {
+  auto ordering = TokenOrdering::FromCounts({{"a", 1}, {"b", 2}});
+  EXPECT_EQ(ordering.ToSortedIds({"b", "a", "b", "a"}).size(), 2u);
+}
+
+TEST(TokenOrderingTest, EmptyOrdering) {
+  TokenOrdering ordering;
+  EXPECT_TRUE(ordering.empty());
+  EXPECT_TRUE(IsUnknownToken(ordering.IdOf("anything")));
+  EXPECT_TRUE(ordering.ToSortedIds({}).empty());
+}
+
+}  // namespace
+}  // namespace fj::text

@@ -1,0 +1,305 @@
+// fuzzyjoin — command-line front end to the library.
+//
+// Subcommands:
+//   generate  --out=FILE --records=N [--kind=dblp|citeseerx] [--seed=S]
+//             [--increase=n]                 synthesize a record file
+//   selfjoin  --input=FILE --out=FILE [--tau=0.8] [--function=jaccard]
+//             [--stage1=bto|opto] [--stage2=bk|pk] [--stage3=brj|oprj]
+//             [--routing=individual|grouped] [--groups=N] [--qgram=Q]
+//             [--stats]                      set-similarity self-join
+//   rsjoin    --r=FILE --s=FILE --out=FILE [same tuning flags]
+//   editjoin  --input=FILE --out=FILE --distance=D [--qgram=3]
+//             edit-distance join over the join attribute strings
+//
+// Record files are tab-separated "rid<TAB>title<TAB>authors<TAB>payload"
+// lines (see data/record.h); join output files are JoinedPair lines (see
+// fuzzyjoin/stage3.h).
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "common/flags.h"
+#include "data/generator.h"
+#include "data/increase.h"
+#include "fuzzyjoin/fuzzyjoin.h"
+#include "similarity/edit_distance.h"
+#include "text/tokenizer.h"
+
+namespace {
+
+using fj::Flags;
+using fj::Result;
+using fj::Status;
+
+Result<std::vector<std::string>> ReadLines(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open " + path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(std::move(line));
+  return lines;
+}
+
+Status WriteLines(const std::string& path,
+                  const std::vector<std::string>& lines) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  for (const auto& line : lines) out << line << '\n';
+  return Status::OK();
+}
+
+Result<fj::join::JoinConfig> ConfigFromFlags(const Flags& flags) {
+  fj::join::JoinConfig config;
+  config.tau = flags.GetDouble("tau", 0.8);
+  FJ_ASSIGN_OR_RETURN(config.function,
+                      fj::sim::SimilarityFunctionFromName(
+                          flags.GetString("function", "jaccard")));
+  std::string stage1 = flags.GetString("stage1", "bto");
+  if (stage1 == "bto") {
+    config.stage1 = fj::join::Stage1Algorithm::kBTO;
+  } else if (stage1 == "opto") {
+    config.stage1 = fj::join::Stage1Algorithm::kOPTO;
+  } else {
+    return Status::InvalidArgument("unknown --stage1: " + stage1);
+  }
+  std::string stage2 = flags.GetString("stage2", "pk");
+  if (stage2 == "bk") {
+    config.stage2 = fj::join::Stage2Algorithm::kBK;
+  } else if (stage2 == "pk") {
+    config.stage2 = fj::join::Stage2Algorithm::kPK;
+  } else {
+    return Status::InvalidArgument("unknown --stage2: " + stage2);
+  }
+  std::string stage3 = flags.GetString("stage3", "brj");
+  if (stage3 == "brj") {
+    config.stage3 = fj::join::Stage3Algorithm::kBRJ;
+  } else if (stage3 == "oprj") {
+    config.stage3 = fj::join::Stage3Algorithm::kOPRJ;
+  } else {
+    return Status::InvalidArgument("unknown --stage3: " + stage3);
+  }
+  std::string routing = flags.GetString("routing", "individual");
+  if (routing == "individual") {
+    config.routing = fj::join::TokenRouting::kIndividualTokens;
+  } else if (routing == "grouped") {
+    config.routing = fj::join::TokenRouting::kGroupedTokens;
+  } else {
+    return Status::InvalidArgument("unknown --routing: " + routing);
+  }
+  config.num_groups = static_cast<uint32_t>(flags.GetInt("groups", 64));
+  config.num_map_tasks = static_cast<size_t>(flags.GetInt("map_tasks", 8));
+  config.num_reduce_tasks =
+      static_cast<size_t>(flags.GetInt("reduce_tasks", 8));
+  if (flags.Has("qgram")) {
+    config.tokenizer = std::make_shared<fj::text::QGramTokenizer>(
+        static_cast<size_t>(flags.GetInt("qgram", 3)));
+  }
+  FJ_RETURN_IF_ERROR(config.Validate());
+  return config;
+}
+
+void PrintStats(const fj::join::JoinRunResult& result) {
+  std::fprintf(stderr, "stages:\n");
+  for (const auto& stage : result.stages) {
+    double seconds = 0;
+    uint64_t shuffle = 0;
+    for (const auto& job : stage.jobs) {
+      seconds += job.wall_seconds;
+      shuffle += job.shuffle_bytes;
+    }
+    std::fprintf(stderr, "  %-12s %7.3fs  %9.1f KB shuffled  (%zu job%s)\n",
+                 stage.stage_name.c_str(), seconds, shuffle / 1024.0,
+                 stage.jobs.size(), stage.jobs.size() == 1 ? "" : "s");
+    for (const auto& job : stage.jobs) {
+      for (const auto& [name, value] : job.counters.Snapshot()) {
+        std::fprintf(stderr, "    %-40s %lld\n", name.c_str(),
+                     static_cast<long long>(value));
+      }
+    }
+  }
+}
+
+int Generate(const Flags& flags) {
+  std::string out = flags.GetString("out", "");
+  if (out.empty()) {
+    std::fprintf(stderr, "generate: --out=FILE is required\n");
+    return 2;
+  }
+  uint64_t records = flags.GetInt("records", 10000);
+  uint64_t seed = flags.GetInt("seed", 42);
+  std::string kind = flags.GetString("kind", "dblp");
+  fj::data::GeneratorConfig config;
+  if (kind == "dblp") {
+    config = fj::data::DblpLikeConfig(records, seed);
+  } else if (kind == "citeseerx") {
+    config = fj::data::CiteseerxLikeConfig(records, seed);
+  } else {
+    std::fprintf(stderr, "generate: unknown --kind=%s\n", kind.c_str());
+    return 2;
+  }
+  auto dataset = fj::data::GenerateRecords(config);
+  size_t factor = flags.GetInt("increase", 1);
+  if (factor > 1) {
+    auto increased = fj::data::IncreaseDataset(dataset, factor);
+    if (!increased.ok()) {
+      std::fprintf(stderr, "%s\n", increased.status().ToString().c_str());
+      return 1;
+    }
+    dataset = std::move(increased).value();
+  }
+  auto status = WriteLines(out, fj::data::RecordsToLines(dataset));
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "wrote %zu records to %s\n", dataset.size(),
+               out.c_str());
+  return 0;
+}
+
+int SelfJoin(const Flags& flags) {
+  std::string input = flags.GetString("input", "");
+  std::string out = flags.GetString("out", "");
+  if (input.empty() || out.empty()) {
+    std::fprintf(stderr, "selfjoin: --input=FILE and --out=FILE required\n");
+    return 2;
+  }
+  auto config = ConfigFromFlags(flags);
+  if (!config.ok()) {
+    std::fprintf(stderr, "%s\n", config.status().ToString().c_str());
+    return 2;
+  }
+  auto lines = ReadLines(input);
+  if (!lines.ok()) {
+    std::fprintf(stderr, "%s\n", lines.status().ToString().c_str());
+    return 1;
+  }
+  fj::mr::Dfs dfs;
+  (void)dfs.WriteFile("input", std::move(lines).value());
+  auto result = fj::join::RunSelfJoin(&dfs, "input", "join", *config);
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  auto output = dfs.ReadFile(result->output_file);
+  if (!output.ok()) {
+    std::fprintf(stderr, "%s\n", output.status().ToString().c_str());
+    return 1;
+  }
+  if (auto status = WriteLines(out, *output.value()); !status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "%zu joined pairs -> %s\n", output.value()->size(),
+               out.c_str());
+  if (flags.Has("stats")) PrintStats(*result);
+  return 0;
+}
+
+int RSJoin(const Flags& flags) {
+  std::string r_path = flags.GetString("r", "");
+  std::string s_path = flags.GetString("s", "");
+  std::string out = flags.GetString("out", "");
+  if (r_path.empty() || s_path.empty() || out.empty()) {
+    std::fprintf(stderr, "rsjoin: --r=FILE --s=FILE --out=FILE required\n");
+    return 2;
+  }
+  auto config = ConfigFromFlags(flags);
+  if (!config.ok()) {
+    std::fprintf(stderr, "%s\n", config.status().ToString().c_str());
+    return 2;
+  }
+  auto r_lines = ReadLines(r_path);
+  auto s_lines = ReadLines(s_path);
+  if (!r_lines.ok() || !s_lines.ok()) {
+    std::fprintf(stderr, "cannot read inputs\n");
+    return 1;
+  }
+  fj::mr::Dfs dfs;
+  (void)dfs.WriteFile("r", std::move(r_lines).value());
+  (void)dfs.WriteFile("s", std::move(s_lines).value());
+  auto result = fj::join::RunRSJoin(&dfs, "r", "s", "join", *config);
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  auto output = dfs.ReadFile(result->output_file);
+  if (!output.ok()) {
+    std::fprintf(stderr, "%s\n", output.status().ToString().c_str());
+    return 1;
+  }
+  if (auto status = WriteLines(out, *output.value()); !status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "%zu joined pairs -> %s\n", output.value()->size(),
+               out.c_str());
+  if (flags.Has("stats")) PrintStats(*result);
+  return 0;
+}
+
+int EditJoin(const Flags& flags) {
+  std::string input = flags.GetString("input", "");
+  std::string out = flags.GetString("out", "");
+  if (input.empty() || out.empty()) {
+    std::fprintf(stderr, "editjoin: --input=FILE and --out=FILE required\n");
+    return 2;
+  }
+  size_t distance = flags.GetInt("distance", 2);
+  size_t q = flags.GetInt("qgram", 3);
+  auto lines = ReadLines(input);
+  if (!lines.ok()) {
+    std::fprintf(stderr, "%s\n", lines.status().ToString().c_str());
+    return 1;
+  }
+  auto records = fj::data::RecordsFromLines(*lines);
+  if (!records.ok()) {
+    std::fprintf(stderr, "%s\n", records.status().ToString().c_str());
+    return 1;
+  }
+  std::vector<std::string> strings;
+  strings.reserve(records->size());
+  for (const auto& record : *records) {
+    strings.push_back(record.JoinAttribute());
+  }
+  auto pairs = fj::sim::EditDistanceSelfJoin(strings, distance, q);
+  std::vector<std::string> output;
+  output.reserve(pairs.size());
+  for (const auto& pair : pairs) {
+    std::ostringstream line;
+    line << (*records)[pair.index1].rid << '\t'
+         << (*records)[pair.index2].rid << '\t' << pair.distance;
+    output.push_back(line.str());
+  }
+  if (auto status = WriteLines(out, output); !status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "%zu pairs within edit distance %zu -> %s\n",
+               pairs.size(), distance, out.c_str());
+  return 0;
+}
+
+void Usage() {
+  std::fprintf(stderr,
+               "usage: fuzzyjoin <generate|selfjoin|rsjoin|editjoin> "
+               "[--flags]\n(see the header of tools/fuzzyjoin_cli.cc)\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  if (flags.positional().empty()) {
+    Usage();
+    return 2;
+  }
+  const std::string& command = flags.positional()[0];
+  if (command == "generate") return Generate(flags);
+  if (command == "selfjoin") return SelfJoin(flags);
+  if (command == "rsjoin") return RSJoin(flags);
+  if (command == "editjoin") return EditJoin(flags);
+  Usage();
+  return 2;
+}
