@@ -47,6 +47,10 @@ int main(int argc, char** argv) {
   config.stage3 = fj::join::Stage3Algorithm::kBRJ;
   config.num_map_tasks = 16;
   config.num_reduce_tasks = 40;  // 10 nodes x 4 reduce slots
+  // Hadoop-style bounded map-side sort buffer (io.sort.mb): map output
+  // beyond this spills to task-local disk as sorted runs that the reduce
+  // side merges. The join result is identical; only memory/disk shift.
+  config.sort_buffer_bytes = 64 << 10;
 
   auto result = fj::join::RunSelfJoin(&dfs, "dblp", "dedup", config);
   if (!result.ok()) {

@@ -81,6 +81,9 @@ Status JoinConfig::Validate() const {
   if (num_reduce_tasks == 0) {
     return Status::InvalidArgument("num_reduce_tasks must be >= 1");
   }
+  if (merge_factor < 2) {
+    return Status::InvalidArgument("merge_factor must be >= 2");
+  }
   if (tokenizer == nullptr) {
     return Status::InvalidArgument("tokenizer must be set");
   }

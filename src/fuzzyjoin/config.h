@@ -111,6 +111,19 @@ struct JoinConfig {
   /// Host threads executing tasks (physical concurrency only).
   size_t local_threads = 1;
 
+  /// Per-map-task sort buffer budget in bytes, applied to every job in the
+  /// pipeline (JobSpec::sort_buffer_bytes — the analogue of Hadoop's
+  /// io.sort.mb). When a task's intermediate output exceeds the budget it
+  /// is sorted and spilled to task-local disk as sorted runs, and the
+  /// reduce side k-way merges them; the cluster model charges the spill
+  /// I/O. 0 = unbounded (no spilling). Join results are identical either
+  /// way.
+  uint64_t sort_buffer_bytes = 0;
+
+  /// Maximum sorted runs merged per reduce-side pass when spilling is on
+  /// (JobSpec::merge_factor, Hadoop's io.sort.factor).
+  size_t merge_factor = 16;
+
   /// OPRJ loads the whole RID-pair list in every mapper. If the estimated
   /// in-memory size exceeds this budget, stage 3 fails with
   /// ResourceExhausted — reproducing the paper's OPRJ out-of-memory

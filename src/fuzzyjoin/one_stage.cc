@@ -215,6 +215,8 @@ Result<JoinRunResult> RunOneStageSelfJoin(mr::Dfs* dfs,
   kernel.num_map_tasks = config.num_map_tasks;
   kernel.num_reduce_tasks = config.num_reduce_tasks;
   kernel.local_threads = config.local_threads;
+  kernel.sort_buffer_bytes = config.sort_buffer_bytes;
+  kernel.merge_factor = config.merge_factor;
   kernel.group_equal = [](const Stage2Key& a, const Stage2Key& b) {
     return a.group == b.group;
   };
@@ -240,6 +242,8 @@ Result<JoinRunResult> RunOneStageSelfJoin(mr::Dfs* dfs,
   dedup.num_map_tasks = config.num_map_tasks;
   dedup.num_reduce_tasks = config.num_reduce_tasks;
   dedup.local_threads = config.local_threads;
+  dedup.sort_buffer_bytes = config.sort_buffer_bytes;
+  dedup.merge_factor = config.merge_factor;
   dedup.mapper_factory = [] { return std::make_unique<DedupMapper>(); };
   dedup.reducer_factory = [] { return std::make_unique<DedupReducer>(); };
   mr::Job<std::pair<uint64_t, uint64_t>, std::string> dedup_job(

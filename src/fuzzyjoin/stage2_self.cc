@@ -363,6 +363,8 @@ Result<Stage2Result> RunStage2SelfJoin(mr::Dfs* dfs,
   spec.num_map_tasks = config.num_map_tasks;
   spec.num_reduce_tasks = config.num_reduce_tasks;
   spec.local_threads = config.local_threads;
+  spec.sort_buffer_bytes = config.sort_buffer_bytes;
+  spec.merge_factor = config.merge_factor;
   spec.group_equal = [](const Stage2Key& a, const Stage2Key& b) {
     return a.group == b.group;
   };

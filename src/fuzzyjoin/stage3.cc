@@ -346,6 +346,8 @@ Result<Stage3Result> RunBrj(mr::Dfs* dfs,
   phase1.num_map_tasks = config.num_map_tasks;
   phase1.num_reduce_tasks = config.num_reduce_tasks;
   phase1.local_threads = config.local_threads;
+  phase1.sort_buffer_bytes = config.sort_buffer_bytes;
+  phase1.merge_factor = config.merge_factor;
   phase1.mapper_factory = [pairs_file_index, is_rs] {
     return std::make_unique<Phase1Mapper>(pairs_file_index, is_rs);
   };
@@ -364,6 +366,8 @@ Result<Stage3Result> RunBrj(mr::Dfs* dfs,
   phase2.num_map_tasks = config.num_map_tasks;
   phase2.num_reduce_tasks = config.num_reduce_tasks;
   phase2.local_threads = config.local_threads;
+  phase2.sort_buffer_bytes = config.sort_buffer_bytes;
+  phase2.merge_factor = config.merge_factor;
   phase2.mapper_factory = [] { return std::make_unique<Phase2Mapper>(); };
   phase2.reducer_factory = [] { return std::make_unique<Phase2Reducer>(); };
   mr::Job<PairKey, HalfPair> job2(dfs, std::move(phase2));
@@ -404,6 +408,8 @@ Result<Stage3Result> RunOprj(mr::Dfs* dfs,
   spec.num_map_tasks = config.num_map_tasks;
   spec.num_reduce_tasks = config.num_reduce_tasks;
   spec.local_threads = config.local_threads;
+  spec.sort_buffer_bytes = config.sort_buffer_bytes;
+  spec.merge_factor = config.merge_factor;
   spec.mapper_factory = [pair_lines, is_rs] {
     return std::make_unique<OprjMapper>(pair_lines, is_rs);
   };

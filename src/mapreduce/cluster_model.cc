@@ -50,6 +50,17 @@ SimulatedJobTime SimulateJob(const JobMetrics& metrics,
         static_cast<double>(metrics.shuffle_bytes) * scale / bandwidth;
   }
 
+  // Sort-spill-merge disk traffic: each spilled byte is written once and
+  // re-read once per consuming merge pass (spilled_bytes already counts
+  // intermediate merge re-spills as fresh writes), so the disk moves
+  // 2 x spilled_bytes in total.
+  double disk_bandwidth = cluster.local_disk_bytes_per_second_per_node *
+                          static_cast<double>(cluster.nodes);
+  if (metrics.spilled_bytes > 0 && disk_bandwidth > 0) {
+    out.spill_seconds = 2.0 * static_cast<double>(metrics.spilled_bytes) *
+                        scale / disk_bandwidth;
+  }
+
   std::vector<double> reduce_costs;
   reduce_costs.reserve(metrics.reduce_tasks.size());
   for (const auto& t : metrics.reduce_tasks) {

@@ -7,6 +7,7 @@
 //   job_time = startup_overhead
 //            + makespan(map task costs on nodes*map_slots slots)
 //            + shuffle_bytes / (nodes * per_node_shuffle_bandwidth)
+//            + 2 * spilled_bytes / (nodes * per_node_local_disk_bandwidth)
 //            + makespan(reduce task costs on nodes*reduce_slots slots)
 //
 // Makespans use LPT (longest-processing-time-first) list scheduling, which
@@ -33,6 +34,14 @@ struct ClusterConfig {
   /// Aggregate shuffle bandwidth contributed by each node, bytes/second.
   double shuffle_bytes_per_second_per_node = 50.0 * 1024 * 1024;
 
+  /// Aggregate local-disk bandwidth contributed by each node for
+  /// sort-spill-merge I/O (map-side spill files, reduce-side merge
+  /// passes), bytes/second. Every spilled byte is written once and
+  /// re-read once per consuming merge pass, so the priced traffic is
+  /// 2 x JobMetrics::spilled_bytes. Jobs running with an unbounded sort
+  /// buffer never spill and pay nothing here.
+  double local_disk_bytes_per_second_per_node = 80.0 * 1024 * 1024;
+
   /// Fixed cost of launching one MapReduce job (Hadoop job startup,
   /// scheduling, JVM spawn). Charged once per job.
   double job_startup_seconds = 3.0;
@@ -58,10 +67,14 @@ struct SimulatedJobTime {
   double startup_seconds = 0;
   double map_seconds = 0;
   double shuffle_seconds = 0;
+  /// Local-disk time of the sort-spill-merge shuffle (spill writes plus
+  /// merge re-reads). Zero for jobs that never spill.
+  double spill_seconds = 0;
   double reduce_seconds = 0;
 
   double total() const {
-    return startup_seconds + map_seconds + shuffle_seconds + reduce_seconds;
+    return startup_seconds + map_seconds + shuffle_seconds + spill_seconds +
+           reduce_seconds;
   }
 };
 

@@ -15,20 +15,30 @@
 //     (stage 3 BRJ distinguishes record files from RID-pair files);
 //   - counters, and per-task cost metering for the cluster cost model.
 //
-// Execution: map tasks run over input splits, partition their output into
-// one bucket per reduce task (running the combiner locally if configured);
-// each reduce task merges its buckets from all map tasks, sorts with the
-// sort comparator (stable, so ties preserve map-task order and runs are
-// deterministic), groups adjacent keys with the group comparator, and calls
-// Reduce once per group. Reduce output lines are written to the job's
-// output file in the Dfs, concatenated in reduce-task order.
+// Execution is layered like Hadoop's shuffle (see DESIGN.md):
+//
+//   map task   -> SortBuffer (job_spec.h + sort_buffer.h): pairs buffer
+//                 against JobSpec::sort_buffer_bytes, are stable-sorted by
+//                 (partition, key), combined per spill, and written out as
+//                 sorted runs — spill I/O charged to the task's scratch;
+//   reduce task-> RunMerger (run_merger.h): a streaming k-way merge over
+//                 the partition's runs (heap over run cursors, ties broken
+//                 by map-task-then-spill rank) feeds Reduce one contiguous
+//                 key group at a time — the whole partition is never
+//                 re-sorted or re-materialized.
+//
+// Determinism: runs are internally in emit order (stable sort) and the
+// merge breaks ties toward earlier runs, so output is byte-identical to
+// the legacy unbounded path (sort_buffer_bytes == 0, a single in-memory
+// run per map task). Reduce output lines are written to the job's output
+// file in the Dfs, concatenated in reduce-task order.
 #pragma once
 
 #include <algorithm>
-#include <cassert>
+#include <cstdint>
 #include <functional>
+#include <limits>
 #include <memory>
-#include <span>
 #include <string>
 #include <utility>
 #include <vector>
@@ -37,131 +47,15 @@
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
-#include "mapreduce/byte_size.h"
 #include "mapreduce/dfs.h"
 #include "mapreduce/input.h"
-#include "mapreduce/key_traits.h"
+#include "mapreduce/job_spec.h"
 #include "mapreduce/metrics.h"
+#include "mapreduce/run_merger.h"
+#include "mapreduce/sort_buffer.h"
 #include "mapreduce/task_context.h"
 
 namespace fj::mr {
-
-/// Receives intermediate (key, value) pairs from map or combine functions.
-template <typename K, typename V>
-class Emitter {
- public:
-  virtual ~Emitter() = default;
-  virtual void Emit(K key, V value) = 0;
-};
-
-/// Receives final output lines from reduce functions.
-class OutputEmitter {
- public:
-  virtual ~OutputEmitter() = default;
-  virtual void Emit(std::string line) = 0;
-};
-
-/// User map function. One instance is created per map task.
-template <typename K, typename V>
-class Mapper {
- public:
-  virtual ~Mapper() = default;
-  /// Called once before the first record (Hadoop "configure").
-  virtual void Setup(TaskContext* ctx) { (void)ctx; }
-  virtual void Map(const InputRecord& record, Emitter<K, V>* out,
-                   TaskContext* ctx) = 0;
-  /// Called once after the last record (Hadoop "close").
-  virtual void Teardown(Emitter<K, V>* out, TaskContext* ctx) {
-    (void)out;
-    (void)ctx;
-  }
-};
-
-/// User reduce function. One instance is created per reduce task.
-///
-/// `group` is the run of sorted (key, value) pairs that compare equal under
-/// the job's group comparator. Individual keys within the group may differ
-/// in secondary-sort fields — exactly Hadoop's value-iteration behaviour
-/// under a custom grouping comparator, which the PK kernel relies on to see
-/// projections in increasing length order.
-template <typename K, typename V>
-class Reducer {
- public:
-  virtual ~Reducer() = default;
-  virtual void Setup(TaskContext* ctx) { (void)ctx; }
-  virtual void Reduce(const K& key, std::span<const std::pair<K, V>> group,
-                      OutputEmitter* out, TaskContext* ctx) = 0;
-  virtual void Teardown(OutputEmitter* out, TaskContext* ctx) {
-    (void)out;
-    (void)ctx;
-  }
-};
-
-/// Functional adapters for small jobs.
-template <typename K, typename V>
-class LambdaMapper : public Mapper<K, V> {
- public:
-  using MapFn =
-      std::function<void(const InputRecord&, Emitter<K, V>*, TaskContext*)>;
-  explicit LambdaMapper(MapFn fn) : fn_(std::move(fn)) {}
-  void Map(const InputRecord& record, Emitter<K, V>* out,
-           TaskContext* ctx) override {
-    fn_(record, out, ctx);
-  }
-
- private:
-  MapFn fn_;
-};
-
-template <typename K, typename V>
-class LambdaReducer : public Reducer<K, V> {
- public:
-  using ReduceFn = std::function<void(
-      const K&, std::span<const std::pair<K, V>>, OutputEmitter*, TaskContext*)>;
-  explicit LambdaReducer(ReduceFn fn) : fn_(std::move(fn)) {}
-  void Reduce(const K& key, std::span<const std::pair<K, V>> group,
-              OutputEmitter* out, TaskContext* ctx) override {
-    fn_(key, group, out, ctx);
-  }
-
- private:
-  ReduceFn fn_;
-};
-
-/// Full description of one MapReduce job.
-template <typename K, typename V>
-struct JobSpec {
-  std::string name = "job";
-
-  std::vector<std::string> input_files;
-  std::string output_file;
-
-  /// Target number of map tasks; 0 means one split per input file.
-  size_t num_map_tasks = 0;
-  size_t num_reduce_tasks = 1;
-
-  /// Host threads used to execute tasks (physical concurrency only; the
-  /// simulated cluster size lives in ClusterConfig, not here).
-  size_t local_threads = 1;
-
-  std::function<std::unique_ptr<Mapper<K, V>>()> mapper_factory;
-  std::function<std::unique_ptr<Reducer<K, V>>()> reducer_factory;
-
-  /// Optional local aggregation of map output before the shuffle. Receives
-  /// one key group at a time (grouped with the job's comparators) and emits
-  /// replacement pairs.
-  std::function<void(const K&, std::vector<V>&&, Emitter<K, V>*)> combiner;
-
-  /// Partition function; nullptr = hash(key) % num_reduce_tasks.
-  std::function<size_t(const K&, size_t num_partitions)> partitioner;
-
-  /// Sort comparator; nullptr = std::less<K>. Must be a strict weak order.
-  std::function<bool(const K&, const K&)> sort_less;
-
-  /// Group comparator; nullptr = equality under sort_less. Keys equal under
-  /// group_equal MUST be contiguous under sort_less.
-  std::function<bool(const K&, const K&)> group_equal;
-};
 
 /// Executes JobSpecs against a Dfs.
 template <typename K, typename V>
@@ -175,32 +69,6 @@ class Job {
 
  private:
   using Pair = std::pair<K, V>;
-  using Bucket = std::vector<Pair>;
-
-  // Emitter that partitions pairs into per-reduce-task buckets.
-  class PartitioningEmitter : public Emitter<K, V> {
-   public:
-    PartitioningEmitter(const JobSpec<K, V>* spec, std::vector<Bucket>* buckets,
-                        TaskMetrics* metrics)
-        : spec_(spec), buckets_(buckets), metrics_(metrics) {}
-
-    void Emit(K key, V value) override {
-      size_t p = spec_->partitioner
-                     ? spec_->partitioner(key, spec_->num_reduce_tasks)
-                     : KeyHashOf(key) % spec_->num_reduce_tasks;
-      assert(p < buckets_->size());
-      if (metrics_ != nullptr) {
-        metrics_->output_records++;
-        metrics_->output_bytes += ByteSizeOf(key) + ByteSizeOf(value);
-      }
-      (*buckets_)[p].emplace_back(std::move(key), std::move(value));
-    }
-
-   private:
-    const JobSpec<K, V>* spec_;
-    std::vector<Bucket>* buckets_;
-    TaskMetrics* metrics_;
-  };
 
   class VectorOutputEmitter : public OutputEmitter {
    public:
@@ -218,33 +86,20 @@ class Job {
     TaskMetrics* metrics_;
   };
 
-  bool SortLess(const Pair& a, const Pair& b) const {
-    if (spec_.sort_less) return spec_.sort_less(a.first, b.first);
-    return a.first < b.first;
-  }
-
-  bool GroupEqual(const K& a, const K& b) const {
-    if (spec_.group_equal) return spec_.group_equal(a, b);
-    if (spec_.sort_less) return !spec_.sort_less(a, b) && !spec_.sort_less(b, a);
-    return !(a < b) && !(b < a);
-  }
-
-  // Sorts a bucket and applies `fn` to each contiguous key group.
-  template <typename Fn>
-  void ForEachGroup(Bucket* bucket, Fn fn) {
-    std::stable_sort(bucket->begin(), bucket->end(),
-                     [this](const Pair& a, const Pair& b) {
-                       return SortLess(a, b);
-                     });
-    size_t begin = 0;
-    while (begin < bucket->size()) {
-      size_t end = begin + 1;
-      while (end < bucket->size() &&
-             GroupEqual((*bucket)[begin].first, (*bucket)[end].first)) {
-        ++end;
-      }
-      fn(std::span<const Pair>(bucket->data() + begin, end - begin));
-      begin = end;
+  // Copies a finished task's scratch I/O into the job-wide counters.
+  static void AccountScratch(const TaskContext& ctx, CounterSet* counters) {
+    const LocalScratch& scratch = ctx.scratch();
+    if (scratch.bytes_written() > 0 || scratch.bytes_read() > 0) {
+      counters->Add("scratch.bytes_written",
+                    static_cast<int64_t>(scratch.bytes_written()));
+      counters->Add("scratch.bytes_read",
+                    static_cast<int64_t>(scratch.bytes_read()));
+    }
+    if (scratch.spill_bytes_written() > 0 || scratch.spill_bytes_read() > 0) {
+      counters->Add("scratch.spill_bytes_written",
+                    static_cast<int64_t>(scratch.spill_bytes_written()));
+      counters->Add("scratch.spill_bytes_read",
+                    static_cast<int64_t>(scratch.spill_bytes_read()));
     }
   }
 
@@ -263,6 +118,10 @@ Result<JobMetrics> Job<K, V>::Run() {
   if (spec_.num_reduce_tasks == 0) {
     return Status::InvalidArgument("job '" + spec_.name +
                                    "': num_reduce_tasks must be >= 1");
+  }
+  if (spec_.merge_factor < 2) {
+    return Status::InvalidArgument("job '" + spec_.name +
+                                   "': merge_factor must be >= 2");
   }
   if (spec_.input_files.empty()) {
     return Status::InvalidArgument("job '" + spec_.name + "': no input files");
@@ -285,130 +144,108 @@ Result<JobMetrics> Job<K, V>::Run() {
 
   const size_t num_map_tasks = splits.size();
   const size_t num_reduce_tasks = spec_.num_reduce_tasks;
+  const SpecOrdering<K, V> ordering(&spec_);
 
   metrics.map_tasks.resize(num_map_tasks);
-  // map_buckets[m][r] = pairs emitted by map task m for reduce task r.
-  std::vector<std::vector<Bucket>> map_buckets(num_map_tasks);
+  std::vector<MapTaskOutput<K, V>> map_outputs(num_map_tasks);
 
-  // ---- Map phase ----
+  // ---- Map phase: run mappers through the sort-spill buffer ----
   std::vector<std::function<void()>> map_fns;
   map_fns.reserve(num_map_tasks);
   for (size_t m = 0; m < num_map_tasks; ++m) {
-    map_fns.push_back([this, m, &splits, &file_lines, &metrics, &map_buckets,
-                       num_reduce_tasks] {
+    map_fns.push_back([this, m, &splits, &file_lines, &metrics, &map_outputs,
+                       &ordering] {
       const InputSplit& split = splits[m];
       TaskMetrics& task_metrics = metrics.map_tasks[m];
-      std::vector<Bucket>& buckets = map_buckets[m];
-      buckets.resize(num_reduce_tasks);
 
       WallTimer timer;
       TaskContext ctx(m, &metrics.counters);
-      PartitioningEmitter emitter(&spec_, &buckets, &task_metrics);
+      SortBuffer<K, V> buffer(&spec_, &ordering, &ctx, &task_metrics,
+                              &map_outputs[m]);
 
       auto mapper = spec_.mapper_factory();
       mapper->Setup(&ctx);
       const std::vector<std::string>& lines = *file_lines[split.file_index];
       for (size_t i = split.begin_line; i < split.end_line; ++i) {
         InputRecord record{split.file_index, &split.file_name, i, &lines[i]};
-        mapper->Map(record, &emitter, &ctx);
+        mapper->Map(record, &buffer, &ctx);
         task_metrics.input_records++;
+        task_metrics.input_bytes += lines[i].size() + 1;
       }
-      mapper->Teardown(&emitter, &ctx);
+      mapper->Teardown(&buffer, &ctx);
+      buffer.Flush();
 
+      AccountScratch(ctx, &metrics.counters);
       task_metrics.seconds = timer.ElapsedSeconds() + ctx.charged_seconds();
     });
   }
-
   RunParallel(map_fns, spec_.local_threads);
 
-  // ---- Combine pass (if configured) ----
-  // Runs on the map side (its cost is charged to the map task), re-grouping
-  // each bucket locally and letting the combiner emit replacement pairs.
-  if (spec_.combiner) {
-    std::vector<std::function<void()>> combine_fns;
-    combine_fns.reserve(num_map_tasks);
-    for (size_t m = 0; m < num_map_tasks; ++m) {
-      combine_fns.push_back([this, m, &metrics, &map_buckets,
-                             num_reduce_tasks] {
-        WallTimer timer;
-        std::vector<Bucket> combined(num_reduce_tasks);
-        PartitioningEmitter combine_out(&spec_, &combined, nullptr);
-        for (Bucket& bucket : map_buckets[m]) {
-          ForEachGroup(&bucket,
-                       [this, &combine_out](std::span<const Pair> group) {
-                         std::vector<V> values;
-                         values.reserve(group.size());
-                         for (const Pair& p : group)
-                           values.push_back(p.second);
-                         spec_.combiner(group.front().first, std::move(values),
-                                        &combine_out);
-                       });
-        }
-        map_buckets[m] = std::move(combined);
-        metrics.map_tasks[m].seconds += timer.ElapsedSeconds();
-      });
-    }
-    RunParallel(combine_fns, spec_.local_threads);
-  }
-
-  // ---- Accounting: map output vs shuffled bytes ----
-  for (size_t m = 0; m < num_map_tasks; ++m) {
-    metrics.map_output_records += metrics.map_tasks[m].output_records;
-    metrics.map_output_bytes += metrics.map_tasks[m].output_bytes;
-    for (const Bucket& bucket : map_buckets[m]) {
-      metrics.shuffle_records += bucket.size();
-      for (const Pair& p : bucket) {
-        metrics.shuffle_bytes += ByteSizeOf(p.first) + ByteSizeOf(p.second);
-      }
-    }
-  }
-
-  // ---- Reduce phase ----
+  // ---- Reduce phase: streaming k-way merge over sorted runs ----
   metrics.reduce_tasks.resize(num_reduce_tasks);
   std::vector<std::vector<std::string>> reduce_outputs(num_reduce_tasks);
+
+  // Unbounded runs are plain in-memory vectors; a single merge pass over
+  // any number of them is free, so the multi-pass collapse (and its disk
+  // charges) only applies when the job actually spills.
+  const size_t merge_factor = spec_.sort_buffer_bytes > 0
+                                  ? spec_.merge_factor
+                                  : std::numeric_limits<size_t>::max();
 
   std::vector<std::function<void()>> reduce_fns;
   reduce_fns.reserve(num_reduce_tasks);
   for (size_t r = 0; r < num_reduce_tasks; ++r) {
-    reduce_fns.push_back([this, r, num_map_tasks, &metrics, &map_buckets,
-                          &reduce_outputs] {
+    reduce_fns.push_back([this, r, num_map_tasks, &metrics, &map_outputs,
+                          &reduce_outputs, &ordering, merge_factor] {
       TaskMetrics& task_metrics = metrics.reduce_tasks[r];
       WallTimer timer;
       TaskContext ctx(r, &metrics.counters);
       VectorOutputEmitter out(&reduce_outputs[r], &task_metrics);
 
-      // Merge this partition's buckets from every map task, in task order.
-      Bucket merged;
-      size_t total = 0;
+      // This partition's runs from every map task, in map-task-then-spill
+      // order — the rank order the merger's tie-break relies on.
+      std::vector<SortedRun<K, V>*> runs;
       for (size_t m = 0; m < num_map_tasks; ++m) {
-        total += map_buckets[m][r].size();
+        for (auto& spill : map_outputs[m].spills) {
+          SortedRun<K, V>& run = spill[r];
+          if (run.pairs.empty()) continue;
+          task_metrics.input_records += run.pairs.size();
+          task_metrics.input_bytes += run.bytes;
+          runs.push_back(&run);
+        }
       }
-      merged.reserve(total);
-      for (size_t m = 0; m < num_map_tasks; ++m) {
-        std::move(map_buckets[m][r].begin(), map_buckets[m][r].end(),
-                  std::back_inserter(merged));
-        map_buckets[m][r].clear();
-      }
-      task_metrics.input_records = merged.size();
 
       auto reducer = spec_.reducer_factory();
       reducer->Setup(&ctx);
-      ForEachGroup(&merged, [&reducer, &out, &ctx](std::span<const Pair> group) {
+      RunMerger<K, V> merger(&ordering, std::move(runs), merge_factor, &ctx,
+                             &task_metrics);
+      merger.ForEachGroup([&reducer, &out, &ctx](std::span<const Pair> group) {
         reducer->Reduce(group.front().first, group, &out, &ctx);
       });
       reducer->Teardown(&out, &ctx);
 
-      if (ctx.scratch().bytes_written() > 0 || ctx.scratch().bytes_read() > 0) {
-        metrics.counters.Add(
-            "scratch.bytes_written",
-            static_cast<int64_t>(ctx.scratch().bytes_written()));
-        metrics.counters.Add("scratch.bytes_read",
-                             static_cast<int64_t>(ctx.scratch().bytes_read()));
-      }
+      AccountScratch(ctx, &metrics.counters);
       task_metrics.seconds = timer.ElapsedSeconds() + ctx.charged_seconds();
     });
   }
   RunParallel(reduce_fns, spec_.local_threads);
+
+  // ---- Job-level accounting (O(tasks): totals were metered on the emit
+  // and spill paths, never by re-walking the intermediate data) ----
+  for (const TaskMetrics& t : metrics.map_tasks) {
+    metrics.map_output_records += t.output_records;
+    metrics.map_output_bytes += t.output_bytes;
+    metrics.shuffle_records += t.shuffle_records;
+    metrics.shuffle_bytes += t.shuffle_bytes;
+    metrics.input_bytes += t.input_bytes;
+    metrics.spill_count += t.spill_count;
+    metrics.spilled_bytes += t.spilled_bytes;
+  }
+  for (const TaskMetrics& t : metrics.reduce_tasks) {
+    metrics.spill_count += t.spill_count;
+    metrics.spilled_bytes += t.spilled_bytes;
+    metrics.merge_passes += t.merge_passes;
+  }
 
   // ---- Output ----
   if (!spec_.output_file.empty()) {

@@ -1,0 +1,192 @@
+// Job description layer: the user-facing MapReduce contract.
+//
+// This header holds everything a job author touches — the Emitter /
+// Mapper / Reducer hooks, the functional adapters, and JobSpec, the full
+// declarative description of one job (inputs, task counts, comparators,
+// combiner, and the shuffle memory budget). The execution machinery lives
+// in separate layers: sort_buffer.h (map-side buffering and spilling),
+// run_merger.h (reduce-side k-way merging), and job.h (the engine that
+// wires them together).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "mapreduce/input.h"
+#include "mapreduce/key_traits.h"
+#include "mapreduce/task_context.h"
+
+namespace fj::mr {
+
+/// Receives intermediate (key, value) pairs from map or combine functions.
+template <typename K, typename V>
+class Emitter {
+ public:
+  virtual ~Emitter() = default;
+  virtual void Emit(K key, V value) = 0;
+};
+
+/// Receives final output lines from reduce functions.
+class OutputEmitter {
+ public:
+  virtual ~OutputEmitter() = default;
+  virtual void Emit(std::string line) = 0;
+};
+
+/// User map function. One instance is created per map task.
+template <typename K, typename V>
+class Mapper {
+ public:
+  virtual ~Mapper() = default;
+  /// Called once before the first record (Hadoop "configure").
+  virtual void Setup(TaskContext* ctx) { (void)ctx; }
+  virtual void Map(const InputRecord& record, Emitter<K, V>* out,
+                   TaskContext* ctx) = 0;
+  /// Called once after the last record (Hadoop "close").
+  virtual void Teardown(Emitter<K, V>* out, TaskContext* ctx) {
+    (void)out;
+    (void)ctx;
+  }
+};
+
+/// User reduce function. One instance is created per reduce task.
+///
+/// `group` is the run of sorted (key, value) pairs that compare equal under
+/// the job's group comparator. Individual keys within the group may differ
+/// in secondary-sort fields — exactly Hadoop's value-iteration behaviour
+/// under a custom grouping comparator, which the PK kernel relies on to see
+/// projections in increasing length order.
+template <typename K, typename V>
+class Reducer {
+ public:
+  virtual ~Reducer() = default;
+  virtual void Setup(TaskContext* ctx) { (void)ctx; }
+  virtual void Reduce(const K& key, std::span<const std::pair<K, V>> group,
+                      OutputEmitter* out, TaskContext* ctx) = 0;
+  virtual void Teardown(OutputEmitter* out, TaskContext* ctx) {
+    (void)out;
+    (void)ctx;
+  }
+};
+
+/// Functional adapters for small jobs.
+template <typename K, typename V>
+class LambdaMapper : public Mapper<K, V> {
+ public:
+  using MapFn =
+      std::function<void(const InputRecord&, Emitter<K, V>*, TaskContext*)>;
+  explicit LambdaMapper(MapFn fn) : fn_(std::move(fn)) {}
+  void Map(const InputRecord& record, Emitter<K, V>* out,
+           TaskContext* ctx) override {
+    fn_(record, out, ctx);
+  }
+
+ private:
+  MapFn fn_;
+};
+
+template <typename K, typename V>
+class LambdaReducer : public Reducer<K, V> {
+ public:
+  using ReduceFn = std::function<void(
+      const K&, std::span<const std::pair<K, V>>, OutputEmitter*, TaskContext*)>;
+  explicit LambdaReducer(ReduceFn fn) : fn_(std::move(fn)) {}
+  void Reduce(const K& key, std::span<const std::pair<K, V>> group,
+              OutputEmitter* out, TaskContext* ctx) override {
+    fn_(key, group, out, ctx);
+  }
+
+ private:
+  ReduceFn fn_;
+};
+
+/// Full description of one MapReduce job.
+template <typename K, typename V>
+struct JobSpec {
+  std::string name = "job";
+
+  std::vector<std::string> input_files;
+  std::string output_file;
+
+  /// Target number of map tasks; 0 means one split per input file.
+  size_t num_map_tasks = 0;
+  size_t num_reduce_tasks = 1;
+
+  /// Host threads used to execute tasks (physical concurrency only; the
+  /// simulated cluster size lives in ClusterConfig, not here).
+  size_t local_threads = 1;
+
+  std::function<std::unique_ptr<Mapper<K, V>>()> mapper_factory;
+  std::function<std::unique_ptr<Reducer<K, V>>()> reducer_factory;
+
+  /// Optional local aggregation of map output before the shuffle. Receives
+  /// one key group at a time (grouped with the job's comparators) and emits
+  /// replacement pairs. With spilling enabled the combiner runs once per
+  /// spill (exactly Hadoop's behaviour), so it must be algebraic: feeding
+  /// its own output back through it must not change the reduce result.
+  std::function<void(const K&, std::vector<V>&&, Emitter<K, V>*)> combiner;
+
+  /// Partition function; nullptr = hash(key) % num_reduce_tasks.
+  std::function<size_t(const K&, size_t num_partitions)> partitioner;
+
+  /// Sort comparator; nullptr = std::less<K>. Must be a strict weak order.
+  std::function<bool(const K&, const K&)> sort_less;
+
+  /// Group comparator; nullptr = equality under sort_less. Keys equal under
+  /// group_equal MUST be contiguous under sort_less.
+  std::function<bool(const K&, const K&)> group_equal;
+
+  /// Map-side sort buffer budget in bytes — the analogue of Hadoop's
+  /// io.sort.mb. Emitted pairs accumulate in a per-task SortBuffer; when
+  /// their estimated serialized size would exceed this budget, the buffer
+  /// is sorted, combined, and spilled to the task's local scratch as one
+  /// sorted run per reduce partition. The reduce side then k-way merges
+  /// the runs instead of re-sorting a materialized partition. 0 =
+  /// unbounded: the whole map output becomes a single in-memory run and no
+  /// spill I/O is charged (the legacy behaviour). Output is byte-identical
+  /// either way.
+  uint64_t sort_buffer_bytes = 0;
+
+  /// Maximum number of sorted runs merged in one reduce-side pass — the
+  /// analogue of Hadoop's io.sort.factor. When a partition accumulates
+  /// more runs, contiguous groups are first collapsed into intermediate
+  /// on-disk runs (extra merge passes that re-read and re-write the data)
+  /// until one streaming pass suffices.
+  size_t merge_factor = 16;
+};
+
+/// The job's resolved key ordering: comparators and partitioner with the
+/// spec's nullptr defaults filled in. Shared by the map-side SortBuffer
+/// and the reduce-side RunMerger so both layers agree on one order.
+template <typename K, typename V>
+class SpecOrdering {
+ public:
+  explicit SpecOrdering(const JobSpec<K, V>* spec) : spec_(spec) {}
+
+  bool SortLess(const K& a, const K& b) const {
+    if (spec_->sort_less) return spec_->sort_less(a, b);
+    return a < b;
+  }
+
+  bool GroupEqual(const K& a, const K& b) const {
+    if (spec_->group_equal) return spec_->group_equal(a, b);
+    if (spec_->sort_less) return !spec_->sort_less(a, b) && !spec_->sort_less(b, a);
+    return !(a < b) && !(b < a);
+  }
+
+  size_t PartitionOf(const K& key) const {
+    return spec_->partitioner
+               ? spec_->partitioner(key, spec_->num_reduce_tasks)
+               : KeyHashOf(key) % spec_->num_reduce_tasks;
+  }
+
+ private:
+  const JobSpec<K, V>* spec_;
+};
+
+}  // namespace fj::mr

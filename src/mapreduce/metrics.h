@@ -1,6 +1,10 @@
 // Cost metering for executed jobs. Every map/reduce task records its
 // measured wall time plus any simulated charges; the cluster cost model
 // (cluster_model.h) turns these into simulated cluster running times.
+//
+// All byte/record totals are metered on the emit, spill, and merge paths
+// as the data flows — nothing re-walks the intermediate dataset to count
+// it. Job-level totals are O(tasks) sums over the per-task records.
 #pragma once
 
 #include <cstdint>
@@ -15,8 +19,31 @@ namespace fj::mr {
 struct TaskMetrics {
   double seconds = 0;          ///< measured wall time + charged seconds
   uint64_t input_records = 0;
+  /// Map tasks: split bytes read (lines + terminators). Reduce tasks:
+  /// serialized bytes of the partition's merged runs.
+  uint64_t input_bytes = 0;
+  /// Map tasks: records emitted by Map/Teardown, BEFORE the combiner.
+  /// Reduce tasks: output lines.
   uint64_t output_records = 0;
   uint64_t output_bytes = 0;
+  /// Map tasks only: records/bytes actually crossing the shuffle, AFTER
+  /// the combiner ran (equal to output_* when no combiner is configured).
+  uint64_t shuffle_records = 0;
+  uint64_t shuffle_bytes = 0;
+  /// Sort-spill-merge accounting. Map tasks: budget-triggered buffer
+  /// spills. Reduce tasks: intermediate merge passes that re-spilled
+  /// collapsed runs. spilled_bytes counts each spilled byte once at write
+  /// time (it is re-read once per consuming merge pass).
+  uint64_t spill_count = 0;
+  uint64_t spilled_bytes = 0;
+  /// Map tasks only: high-water mark of bytes resident in the sort buffer.
+  /// Bounded by JobSpec::sort_buffer_bytes (when > 0) unless a single
+  /// pair exceeds the whole budget.
+  uint64_t peak_buffer_bytes = 0;
+  /// Reduce tasks only: merge passes over this partition's runs (the
+  /// final streaming merge plus any intermediate collapses; 0 when the
+  /// partition arrived as a single run).
+  uint64_t merge_passes = 0;
 };
 
 /// Everything the engine measured about one MapReduce job execution.
@@ -32,6 +59,13 @@ struct JobMetrics {
   uint64_t map_output_bytes = 0;
   uint64_t map_output_records = 0;
   uint64_t shuffle_records = 0;
+
+  /// Total input bytes read by map tasks.
+  uint64_t input_bytes = 0;
+  /// Sort-spill-merge totals over all tasks (see TaskMetrics).
+  uint64_t spill_count = 0;
+  uint64_t spilled_bytes = 0;
+  uint64_t merge_passes = 0;
 
   /// Real wall time of the whole (local) execution.
   double wall_seconds = 0;

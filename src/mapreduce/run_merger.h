@@ -1,0 +1,176 @@
+// Reduce-side shuffle layer: streaming k-way merge of sorted runs — the
+// analogue of Hadoop's reduce-side Merger.
+//
+// A reduce task collects every run of its partition (from all map tasks,
+// in map-task-then-spill order) and feeds them to a RunMerger instead of
+// materializing and re-sorting the whole partition. The merger holds a
+// min-heap over one cursor per run and hands the reducer one contiguous
+// key group at a time, so peak memory is the largest single group, not the
+// partition.
+//
+// Ties (keys equal under the sort comparator) are broken toward the run
+// with the lower rank — runs are ranked in map-task-then-spill order, and
+// each run is internally in emit order, so tied pairs surface in exactly
+// the order the legacy concatenate-then-stable-sort produced. Output is
+// byte-identical to the unbounded path.
+//
+// When a partition has more runs than JobSpec::merge_factor, contiguous
+// rank ranges are first collapsed into intermediate runs (Hadoop's
+// multi-pass merge under a small io.sort.factor). Every intermediate pass
+// re-reads its inputs and re-writes the merged run; that I/O is charged to
+// the reduce task's scratch and counted in its metrics.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "mapreduce/job_spec.h"
+#include "mapreduce/metrics.h"
+#include "mapreduce/sort_buffer.h"
+#include "mapreduce/task_context.h"
+
+namespace fj::mr {
+
+template <typename K, typename V>
+class RunMerger {
+ public:
+  using Pair = std::pair<K, V>;
+
+  /// `runs` must be ordered by rank (map task first, then spill index);
+  /// empty runs may be included and are skipped. The merger consumes the
+  /// runs' pairs (they are moved out as groups stream).
+  RunMerger(const SpecOrdering<K, V>* ordering,
+            std::vector<SortedRun<K, V>*> runs, size_t merge_factor,
+            TaskContext* ctx, TaskMetrics* metrics)
+      : ordering_(ordering), merge_factor_(std::max<size_t>(2, merge_factor)),
+        ctx_(ctx), metrics_(metrics) {
+    for (SortedRun<K, V>* run : runs) {
+      if (run != nullptr && !run->pairs.empty()) runs_.push_back(run);
+    }
+  }
+
+  /// Streams each contiguous key group to `fn` as a span (valid only for
+  /// the duration of the call), smallest keys first.
+  template <typename Fn>
+  void ForEachGroup(Fn fn) {
+    CollapseToSinglePass();
+    if (runs_.empty()) return;
+
+    // Reading the surviving runs is the final merge pass.
+    for (SortedRun<K, V>* run : runs_) {
+      if (run->on_disk) ctx_->scratch().ChargeSpillRead(run->bytes);
+    }
+    if (runs_.size() > 1) metrics_->merge_passes++;
+
+    InitHeap();
+    std::vector<Pair> group;
+    while (!heap_.empty()) {
+      if (!group.empty() &&
+          !ordering_->GroupEqual(group.front().first, TopKey())) {
+        fn(std::span<const Pair>(group.data(), group.size()));
+        group.clear();
+      }
+      group.push_back(PopMin());
+    }
+    if (!group.empty()) {
+      fn(std::span<const Pair>(group.data(), group.size()));
+    }
+  }
+
+ private:
+  struct Cursor {
+    SortedRun<K, V>* run;
+    size_t pos;
+    size_t rank;
+    const Pair& Current() const { return run->pairs[pos]; }
+  };
+
+  // Intermediate passes: while too many runs remain, merge the
+  // `merge_factor` lowest-ranked (contiguous, so stability is preserved)
+  // into one on-disk run that inherits the lowest rank.
+  void CollapseToSinglePass() {
+    while (runs_.size() > merge_factor_) {
+      auto merged = std::make_unique<SortedRun<K, V>>();
+      std::vector<SortedRun<K, V>*> inputs(
+          runs_.begin(), runs_.begin() + merge_factor_);
+      size_t total = 0;
+      for (SortedRun<K, V>* run : inputs) {
+        total += run->pairs.size();
+        merged->bytes += run->bytes;
+        if (run->on_disk) ctx_->scratch().ChargeSpillRead(run->bytes);
+      }
+      merged->pairs.reserve(total);
+
+      RunMerger sub(ordering_, std::move(inputs), merge_factor_, ctx_,
+                    metrics_);
+      sub.InitHeap();
+      while (!sub.heap_.empty()) merged->pairs.push_back(sub.PopMin());
+
+      merged->on_disk = true;
+      ctx_->scratch().ChargeSpillWrite(merged->bytes);
+      metrics_->spill_count++;
+      metrics_->spilled_bytes += merged->bytes;
+      metrics_->merge_passes++;
+
+      runs_.erase(runs_.begin(), runs_.begin() + merge_factor_);
+      runs_.insert(runs_.begin(), merged.get());
+      owned_.push_back(std::move(merged));
+    }
+  }
+
+  void InitHeap() {
+    heap_.clear();
+    heap_.reserve(runs_.size());
+    for (size_t i = 0; i < runs_.size(); ++i) {
+      heap_.push_back(Cursor{runs_[i], 0, i});
+    }
+    std::make_heap(heap_.begin(), heap_.end(),
+                   [this](const Cursor& a, const Cursor& b) {
+                     return CursorAfter(a, b);
+                   });
+  }
+
+  // Heap comparator: true if `a` surfaces after `b` (min-heap through
+  // std::make_heap's max-heap semantics). Ties go to the lower rank.
+  bool CursorAfter(const Cursor& a, const Cursor& b) const {
+    const K& ka = a.Current().first;
+    const K& kb = b.Current().first;
+    if (ordering_->SortLess(ka, kb)) return false;
+    if (ordering_->SortLess(kb, ka)) return true;
+    return a.rank > b.rank;
+  }
+
+  const K& TopKey() const { return heap_.front().Current().first; }
+
+  // Removes and returns the smallest pair, advancing its cursor.
+  Pair PopMin() {
+    auto after = [this](const Cursor& a, const Cursor& b) {
+      return CursorAfter(a, b);
+    };
+    std::pop_heap(heap_.begin(), heap_.end(), after);
+    Cursor& cursor = heap_.back();
+    Pair pair = std::move(cursor.run->pairs[cursor.pos]);
+    cursor.pos++;
+    if (cursor.pos < cursor.run->pairs.size()) {
+      std::push_heap(heap_.begin(), heap_.end(), after);
+    } else {
+      heap_.pop_back();
+    }
+    return pair;
+  }
+
+  const SpecOrdering<K, V>* ordering_;
+  size_t merge_factor_;
+  TaskContext* ctx_;
+  TaskMetrics* metrics_;
+
+  std::vector<SortedRun<K, V>*> runs_;
+  std::vector<std::unique_ptr<SortedRun<K, V>>> owned_;
+  std::vector<Cursor> heap_;
+};
+
+}  // namespace fj::mr

@@ -1,0 +1,211 @@
+// Map-side shuffle layer: memory-bounded buffering, sorting, combining,
+// and spilling of map output — the analogue of Hadoop's MapOutputBuffer.
+//
+// Every map task owns one SortBuffer. Emitted pairs accumulate against the
+// job's byte budget (JobSpec::sort_buffer_bytes); when the next pair would
+// overflow it, the buffer is stable-sorted by (partition, sort comparator),
+// the combiner (if any) runs once per key group, and the result is written
+// out as one sorted run per reduce partition — a "spill". Spill bytes are
+// charged through the task's LocalScratch so the cost model sees the I/O.
+// With a zero budget the whole map output becomes a single in-memory run
+// at Flush() and nothing is charged — the legacy unbounded behaviour.
+//
+// Determinism: the sort is stable, so pairs with equal keys stay in emit
+// order within a run, and spills are numbered in temporal order. The
+// reduce-side RunMerger breaks ties toward earlier (map task, spill) runs,
+// which reproduces the legacy concatenate-then-stable-sort order exactly;
+// job output is byte-identical with spilling on or off.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "mapreduce/byte_size.h"
+#include "mapreduce/job_spec.h"
+#include "mapreduce/metrics.h"
+#include "mapreduce/task_context.h"
+
+namespace fj::mr {
+
+/// One sorted run of shuffle pairs for a single reduce partition. Runs are
+/// the unit the reduce side merges; `bytes` is the estimated serialized
+/// size (computed while the run was built, so nothing re-walks the data).
+template <typename K, typename V>
+struct SortedRun {
+  std::vector<std::pair<K, V>> pairs;
+  uint64_t bytes = 0;
+  /// True when the run was spilled: its write was charged to the producing
+  /// task's scratch and its read will be charged to the consuming task.
+  bool on_disk = false;
+};
+
+/// Everything one map task ships to the shuffle: spills in temporal order,
+/// each holding one sorted run per reduce partition.
+template <typename K, typename V>
+struct MapTaskOutput {
+  std::vector<std::vector<SortedRun<K, V>>> spills;
+};
+
+/// The Emitter handed to mappers. Buffers, sorts, combines, and spills.
+template <typename K, typename V>
+class SortBuffer : public Emitter<K, V> {
+ public:
+  using Pair = std::pair<K, V>;
+
+  SortBuffer(const JobSpec<K, V>* spec, const SpecOrdering<K, V>* ordering,
+             TaskContext* ctx, TaskMetrics* metrics, MapTaskOutput<K, V>* out)
+      : spec_(spec), ordering_(ordering), ctx_(ctx), metrics_(metrics),
+        out_(out) {}
+
+  void Emit(K key, V value) override {
+    const uint64_t pair_bytes = ByteSizeOf(key) + ByteSizeOf(value);
+    metrics_->output_records++;
+    metrics_->output_bytes += pair_bytes;
+
+    // Spill-before-insert keeps the buffered bytes at or under the budget
+    // (a single pair larger than the whole budget still gets buffered —
+    // it has to live somewhere before it can be spilled).
+    const uint64_t budget = spec_->sort_buffer_bytes;
+    if (budget > 0 && !entries_.empty() &&
+        buffered_bytes_ + pair_bytes > budget) {
+      Spill(/*to_disk=*/true);
+    }
+
+    const size_t partition = ordering_->PartitionOf(key);
+    assert(partition < spec_->num_reduce_tasks);
+    entries_.push_back(
+        Entry{partition, pair_bytes, Pair(std::move(key), std::move(value))});
+    buffered_bytes_ += pair_bytes;
+    metrics_->peak_buffer_bytes =
+        std::max(metrics_->peak_buffer_bytes, buffered_bytes_);
+  }
+
+  /// Finalizes the map task's output. With a budget every spill is a disk
+  /// spill (Hadoop always writes map output to local disk); without one
+  /// the single final run stays an uncharged in-memory run.
+  void Flush() {
+    if (!entries_.empty()) Spill(/*to_disk=*/spec_->sort_buffer_bytes > 0);
+  }
+
+ private:
+  struct Entry {
+    size_t partition;
+    uint64_t bytes;
+    Pair pair;
+  };
+
+  // Routes combiner output into per-partition accumulators. The combiner
+  // may emit any key, so the partition is recomputed per emitted pair, and
+  // the combined output is metered here — this is where post-combine
+  // records/bytes are accounted (they become the run totals below).
+  class CombineCollector : public Emitter<K, V> {
+   public:
+    CombineCollector(const SpecOrdering<K, V>* ordering, size_t num_partitions)
+        : ordering_(ordering), pairs_(num_partitions), bytes_(num_partitions) {}
+
+    void Emit(K key, V value) override {
+      const size_t partition = ordering_->PartitionOf(key);
+      assert(partition < pairs_.size());
+      bytes_[partition] += ByteSizeOf(key) + ByteSizeOf(value);
+      pairs_[partition].emplace_back(std::move(key), std::move(value));
+    }
+
+    std::vector<std::vector<Pair>>& pairs() { return pairs_; }
+    const std::vector<uint64_t>& bytes() const { return bytes_; }
+
+   private:
+    const SpecOrdering<K, V>* ordering_;
+    std::vector<std::vector<Pair>> pairs_;
+    std::vector<uint64_t> bytes_;
+  };
+
+  void Spill(bool to_disk) {
+    // Stable sort by (partition, key): equal keys keep emit order, which
+    // the merge layer relies on for deterministic output.
+    std::stable_sort(entries_.begin(), entries_.end(),
+                     [this](const Entry& a, const Entry& b) {
+                       if (a.partition != b.partition) {
+                         return a.partition < b.partition;
+                       }
+                       return ordering_->SortLess(a.pair.first, b.pair.first);
+                     });
+
+    std::vector<SortedRun<K, V>> runs(spec_->num_reduce_tasks);
+    if (spec_->combiner) {
+      CombineRuns(&runs);
+    } else {
+      for (Entry& e : entries_) {
+        runs[e.partition].pairs.push_back(std::move(e.pair));
+        runs[e.partition].bytes += e.bytes;
+      }
+    }
+
+    uint64_t run_bytes = 0;
+    for (SortedRun<K, V>& run : runs) {
+      metrics_->shuffle_records += run.pairs.size();
+      metrics_->shuffle_bytes += run.bytes;
+      run_bytes += run.bytes;
+      run.on_disk = to_disk;
+    }
+    if (to_disk) {
+      metrics_->spill_count++;
+      metrics_->spilled_bytes += run_bytes;
+      ctx_->scratch().ChargeSpillWrite(run_bytes);
+    }
+
+    out_->spills.push_back(std::move(runs));
+    entries_.clear();
+    buffered_bytes_ = 0;
+  }
+
+  // Runs the combiner over each key group of the sorted buffer (partition
+  // by partition, groups in sort order — the same call sequence the legacy
+  // per-bucket combine pass produced), then rebuilds sorted runs from its
+  // output.
+  void CombineRuns(std::vector<SortedRun<K, V>>* runs) {
+    CombineCollector collector(ordering_, spec_->num_reduce_tasks);
+    size_t begin = 0;
+    while (begin < entries_.size()) {
+      size_t end = begin + 1;
+      while (end < entries_.size() &&
+             entries_[end].partition == entries_[begin].partition &&
+             ordering_->GroupEqual(entries_[begin].pair.first,
+                                   entries_[end].pair.first)) {
+        ++end;
+      }
+      std::vector<V> values;
+      values.reserve(end - begin);
+      for (size_t i = begin; i < end; ++i) {
+        values.push_back(std::move(entries_[i].pair.second));
+      }
+      spec_->combiner(entries_[begin].pair.first, std::move(values),
+                      &collector);
+      begin = end;
+    }
+    for (size_t p = 0; p < runs->size(); ++p) {
+      SortedRun<K, V>& run = (*runs)[p];
+      run.pairs = std::move(collector.pairs()[p]);
+      run.bytes = collector.bytes()[p];
+      // The combiner usually emits in key order already; stable sort keeps
+      // its emit order on ties either way.
+      std::stable_sort(run.pairs.begin(), run.pairs.end(),
+                       [this](const Pair& a, const Pair& b) {
+                         return ordering_->SortLess(a.first, b.first);
+                       });
+    }
+  }
+
+  const JobSpec<K, V>* spec_;
+  const SpecOrdering<K, V>* ordering_;
+  TaskContext* ctx_;
+  TaskMetrics* metrics_;
+  MapTaskOutput<K, V>* out_;
+
+  std::vector<Entry> entries_;
+  uint64_t buffered_bytes_ = 0;
+};
+
+}  // namespace fj::mr

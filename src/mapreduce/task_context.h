@@ -34,6 +34,18 @@ class LocalScratch {
   uint64_t bytes_written() const { return bytes_written_; }
   uint64_t bytes_read() const { return bytes_read_; }
 
+  /// Spill-run channel: the engine's sort-spill-merge shuffle keeps its
+  /// runs typed (in memory, like every block here) but routes their
+  /// serialized size through the scratch so spill traffic is attributed
+  /// to the task that performed it. Kept separate from Put/Get traffic
+  /// and NOT folded into io_seconds(): the cluster cost model prices
+  /// spill bytes with its own local-disk bandwidth term
+  /// (ClusterConfig::local_disk_bytes_per_second_per_node).
+  void ChargeSpillWrite(uint64_t bytes) { spill_bytes_written_ += bytes; }
+  void ChargeSpillRead(uint64_t bytes) { spill_bytes_read_ += bytes; }
+  uint64_t spill_bytes_written() const { return spill_bytes_written_; }
+  uint64_t spill_bytes_read() const { return spill_bytes_read_; }
+
   /// Simulated seconds spent on scratch I/O so far.
   double io_seconds() const {
     return seconds_per_byte_ * static_cast<double>(bytes_written_ + bytes_read_);
@@ -44,6 +56,8 @@ class LocalScratch {
   std::map<std::string, std::vector<std::string>> blocks_;
   uint64_t bytes_written_ = 0;
   mutable uint64_t bytes_read_ = 0;
+  uint64_t spill_bytes_written_ = 0;
+  uint64_t spill_bytes_read_ = 0;
 };
 
 /// Handed to mapper/reducer Setup(); identifies the task and collects costs.
@@ -66,6 +80,7 @@ class TaskContext {
   }
 
   LocalScratch& scratch() { return scratch_; }
+  const LocalScratch& scratch() const { return scratch_; }
 
  private:
   size_t task_id_;

@@ -38,6 +38,20 @@ TEST(MakespanTest, LptBalancesSkew) {
   EXPECT_DOUBLE_EQ(Makespan({4, 3, 3}, 2), 6.0);
 }
 
+TEST(MakespanTest, SingleSlotEdgeCases) {
+  // One slot serializes everything, in any order.
+  EXPECT_DOUBLE_EQ(Makespan({0.5, 4.0, 0.5, 2.0}, 1), 7.0);
+  // Zero-cost tasks neither help nor hurt.
+  EXPECT_DOUBLE_EQ(Makespan({0.0, 0.0, 3.0}, 1), 3.0);
+}
+
+TEST(MakespanTest, MoreSlotsThanTasks) {
+  // Every task gets its own slot; the longest one is the makespan.
+  EXPECT_DOUBLE_EQ(Makespan({2.0, 7.0, 1.0}, 64), 7.0);
+  // Adding yet more slots changes nothing.
+  EXPECT_DOUBLE_EQ(Makespan({2.0, 7.0, 1.0}, 3), 7.0);
+}
+
 TEST(SimulateJobTest, ComponentsAddUp) {
   JobMetrics metrics;
   metrics.map_tasks = {TaskMetrics{2.0}, TaskMetrics{2.0}};
@@ -103,6 +117,33 @@ TEST(SimulateJobTest, ShuffleScalesWithAggregateBandwidth) {
   EXPECT_DOUBLE_EQ(SimulateJob(metrics, cluster).shuffle_seconds, 1.0);
 }
 
+TEST(SimulateJobTest, SpillBytesPricedOnLocalDiskBandwidth) {
+  JobMetrics metrics;
+  metrics.spilled_bytes = 500;
+  ClusterConfig cluster;
+  cluster.nodes = 2;
+  cluster.local_disk_bytes_per_second_per_node = 100;
+  // Written once + read once: 2 * 500 bytes over 200 bytes/s.
+  EXPECT_DOUBLE_EQ(SimulateJob(metrics, cluster).spill_seconds, 5.0);
+  cluster.nodes = 10;
+  EXPECT_DOUBLE_EQ(SimulateJob(metrics, cluster).spill_seconds, 1.0);
+
+  // Spill time is part of the total, and jobs that never spill pay zero.
+  metrics.spilled_bytes = 0;
+  auto clean = SimulateJob(metrics, cluster);
+  EXPECT_DOUBLE_EQ(clean.spill_seconds, 0.0);
+}
+
+TEST(SimulateJobTest, SpillSecondsScaleWithWorkScale) {
+  JobMetrics metrics;
+  metrics.spilled_bytes = 1000;
+  ClusterConfig cluster;
+  cluster.nodes = 1;
+  cluster.local_disk_bytes_per_second_per_node = 1000;
+  cluster.work_scale = 50.0;
+  EXPECT_DOUBLE_EQ(SimulateJob(metrics, cluster).spill_seconds, 100.0);
+}
+
 TEST(SimulatePipelineTest, SumsJobs) {
   JobMetrics a, b;
   a.map_tasks = {TaskMetrics{1.0}};
@@ -127,6 +168,20 @@ TEST(LocalScratchTest, MetersIO) {
   EXPECT_EQ(scratch.Get("missing").status().code(), StatusCode::kNotFound);
   scratch.Erase("k");
   EXPECT_FALSE(scratch.Get("k").ok());
+}
+
+TEST(LocalScratchTest, SpillChannelIsMeteredSeparately) {
+  LocalScratch scratch(1e-6);
+  scratch.ChargeSpillWrite(1000);
+  scratch.ChargeSpillRead(400);
+  scratch.ChargeSpillRead(600);
+  EXPECT_EQ(scratch.spill_bytes_written(), 1000u);
+  EXPECT_EQ(scratch.spill_bytes_read(), 1000u);
+  // Spill traffic is priced by the cluster model's local-disk term, not by
+  // the scratch's own io_seconds — no double charging.
+  EXPECT_DOUBLE_EQ(scratch.io_seconds(), 0.0);
+  EXPECT_EQ(scratch.bytes_written(), 0u);
+  EXPECT_EQ(scratch.bytes_read(), 0u);
 }
 
 TEST(TaskContextTest, ChargesAccumulate) {

@@ -46,6 +46,69 @@ TEST(DfsTest, LinePointersStableAcrossOtherWrites) {
   EXPECT_EQ((*before)[0], "x");
 }
 
+// Regression: a job may hold a ReadFile pointer while later jobs append to
+// other files (the pipeline appends stage outputs while stage inputs are
+// still being mapped). The pointed-to vector must stay valid and splits
+// computed before a growth must stay in range afterwards.
+TEST(DfsTest, ReadPointerStableWhileFilesGrow) {
+  Dfs dfs;
+  ASSERT_TRUE(dfs.WriteFile("stable", {"s0", "s1", "s2"}).ok());
+  ASSERT_TRUE(dfs.WriteFile("growing", {"g0"}).ok());
+
+  const std::vector<std::string>* stable = dfs.ReadFile("stable").value();
+  const std::vector<std::string>* growing = dfs.ReadFile("growing").value();
+  auto splits = dfs.MakeSplits({"stable"}, 2);
+  ASSERT_TRUE(splits.ok());
+
+  // Grow an unrelated file well past any small-vector capacity and create
+  // enough new files to force map rebalancing if storage were not
+  // pointer-stable.
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(dfs.AppendToFile("growing", {"g" + std::to_string(i)}).ok());
+    ASSERT_TRUE(dfs.WriteFile("extra" + std::to_string(i), {"e"}).ok());
+  }
+
+  EXPECT_EQ(stable, dfs.ReadFile("stable").value());
+  EXPECT_EQ((*stable)[0], "s0");
+  EXPECT_EQ((*stable)[2], "s2");
+  // The documented append semantics: the pre-append pointer addresses the
+  // same vector, so it observes every appended line.
+  EXPECT_EQ(growing, dfs.ReadFile("growing").value());
+  EXPECT_EQ(growing->size(), 201u);
+  EXPECT_EQ(growing->front(), "g0");
+  EXPECT_EQ(growing->back(), "g199");
+  // The pre-growth splits still address exactly the original lines.
+  size_t covered = 0;
+  for (const auto& s : *splits) {
+    EXPECT_LE(s.end_line, stable->size());
+    covered += s.end_line - s.begin_line;
+  }
+  EXPECT_EQ(covered, 3u);
+}
+
+// Splits recomputed after growth must cover the appended lines too.
+TEST(DfsTest, SplitsTrackFileGrowth) {
+  Dfs dfs;
+  ASSERT_TRUE(dfs.AppendToFile("f", {"a", "b"}).ok());
+  auto before = dfs.MakeSplits({"f"}, 3);
+  ASSERT_TRUE(before.ok());
+  size_t covered_before = 0;
+  for (const auto& s : *before) covered_before += s.end_line - s.begin_line;
+  EXPECT_EQ(covered_before, 2u);
+
+  ASSERT_TRUE(dfs.AppendToFile("f", std::vector<std::string>(50, "x")).ok());
+  auto after = dfs.MakeSplits({"f"}, 3);
+  ASSERT_TRUE(after.ok());
+  size_t covered_after = 0;
+  size_t expect_begin = 0;
+  for (const auto& s : *after) {
+    EXPECT_EQ(s.begin_line, expect_begin);
+    expect_begin = s.end_line;
+    covered_after += s.end_line - s.begin_line;
+  }
+  EXPECT_EQ(covered_after, 52u);
+}
+
 TEST(DfsTest, ListFilesSorted) {
   Dfs dfs;
   ASSERT_TRUE(dfs.WriteFile("b", {}).ok());

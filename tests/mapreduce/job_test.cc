@@ -122,6 +122,18 @@ TEST(JobTest, CombinerReducesShuffleTrafficButNotResults) {
   EXPECT_EQ(m2->map_output_records, m1->map_output_records);
   // 3 map tasks x at most 2 distinct words per partition set.
   EXPECT_LE(m2->shuffle_records, 3u * 2u);
+  // Combined output is metered per task: what crosses the shuffle never
+  // exceeds what the mapper emitted, and the totals are task sums.
+  uint64_t task_shuffle = 0, task_output = 0;
+  for (const auto& t : m2->map_tasks) {
+    EXPECT_LE(t.shuffle_records, t.output_records);
+    EXPECT_LE(t.shuffle_bytes, t.output_bytes);
+    task_shuffle += t.shuffle_records;
+    task_output += t.output_records;
+  }
+  EXPECT_EQ(task_shuffle, m2->shuffle_records);
+  EXPECT_EQ(task_output, m2->map_output_records);
+  EXPECT_LE(m2->shuffle_records, m2->map_output_records);
 }
 
 // Secondary sort: partition on the first key field, sort on both, group on
