@@ -3,9 +3,23 @@
 // verification merge, the suffix filter, and the tokenizers. Supports the
 // paper's claim hierarchy: filters cut candidates, candidates dominate
 // kernel cost.
+//
+// Besides the interactive google-benchmark mode, `--bench_json=PATH`
+// switches to a machine-readable mode that times the kernel variants and
+// writes one JSON document (variant, records, threshold, seconds, and the
+// full PPJoinStats counters) — the artifact checked in as
+// BENCH_kernel.json and smoke-tested by CI. `--bench_json_records=N`
+// overrides the default corpus size (8000).
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+
 #include "common/random.h"
+#include "common/timer.h"
 #include "data/generator.h"
 #include "ppjoin/allpairs.h"
 #include "ppjoin/naive.h"
@@ -135,6 +149,92 @@ void BM_QGramTokenizer(benchmark::State& state) {
 }
 BENCHMARK(BM_QGramTokenizer);
 
+/// One timed kernel variant for the JSON report: best-of-`reps` wall time
+/// of a full PPJoinSelfJoin plus the stats of one run.
+void AppendVariantJson(std::ostream& out, const char* name,
+                       const std::vector<TokenSetRecord>& records,
+                       fj::ppjoin::PPJoinOptions options, bool first) {
+  fj::ppjoin::PPJoinStats stats;
+  size_t pairs = fj::ppjoin::PPJoinSelfJoin(records, kSpec, options, &stats)
+                     .size();  // warm-up + counters
+  int reps = records.size() <= 2000 ? 20 : 5;
+  double best = -1.0;
+  for (int r = 0; r < reps; ++r) {
+    fj::WallTimer timer;
+    auto result = fj::ppjoin::PPJoinSelfJoin(records, kSpec, options);
+    double seconds = timer.ElapsedSeconds();
+    benchmark::DoNotOptimize(result);
+    if (best < 0 || seconds < best) best = seconds;
+  }
+  if (!first) out << ",\n";
+  out << "    {\"variant\": \"" << name << "\""
+      << ", \"seconds\": " << best << ", \"pairs\": " << pairs
+      << ", \"probes\": " << stats.probes
+      << ", \"candidates\": " << stats.candidates
+      << ", \"positional_pruned\": " << stats.positional_pruned
+      << ", \"suffix_pruned\": " << stats.suffix_pruned
+      << ", \"bitmap_pruned\": " << stats.bitmap_pruned
+      << ", \"verified\": " << stats.verified
+      << ", \"results\": " << stats.results
+      << ", \"evicted_records\": " << stats.evicted_records
+      << ", \"hash_lookups_avoided\": " << stats.hash_lookups_avoided
+      << ", \"arena_bytes\": " << stats.arena_bytes
+      << ", \"peak_resident_tokens\": " << stats.peak_resident_tokens
+      << "}";
+}
+
+int RunJsonBench(const std::string& path, size_t n) {
+  auto records = BenchRecords(n);
+  std::ofstream out(path);
+  if (!out) {
+    fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return 1;
+  }
+  out << "{\n  \"benchmark\": \"bench_kernel_micro\",\n"
+      << "  \"records\": " << n << ",\n"
+      << "  \"similarity\": \"jaccard\",\n"
+      << "  \"threshold\": " << kSpec.tau() << ",\n  \"variants\": [\n";
+  fj::ppjoin::PPJoinOptions plus;
+  AppendVariantJson(out, "ppjoin_plus", records, plus, /*first=*/true);
+  fj::ppjoin::PPJoinOptions plus_nobitmap;
+  plus_nobitmap.use_bitmap_filter = false;
+  AppendVariantJson(out, "ppjoin_plus_nobitmap", records, plus_nobitmap,
+                    /*first=*/false);
+  fj::ppjoin::PPJoinOptions ppjoin;
+  ppjoin.use_suffix_filter = false;
+  AppendVariantJson(out, "ppjoin", records, ppjoin, /*first=*/false);
+  fj::ppjoin::PPJoinOptions allpairs;
+  allpairs.use_suffix_filter = false;
+  allpairs.use_positional_filter = false;
+  AppendVariantJson(out, "allpairs", records, allpairs, /*first=*/false);
+  out << "\n  ]\n}\n";
+  printf("wrote %s (%zu records)\n", path.c_str(), n);
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Strip our own flags before google-benchmark sees the command line.
+  std::string json_path;
+  size_t json_records = 8000;
+  int kept = 0;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--bench_json=", 13) == 0) {
+      json_path = argv[i] + 13;
+    } else if (std::strncmp(argv[i], "--bench_json_records=", 21) == 0) {
+      json_records = static_cast<size_t>(std::strtoull(argv[i] + 21,
+                                                       nullptr, 10));
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  argc = kept;
+  if (!json_path.empty()) return RunJsonBench(json_path, json_records);
+
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -10,6 +10,7 @@
 #include "data/record.h"
 #include "fuzzyjoin/stage1.h"
 #include "fuzzyjoin/stage2.h"
+#include "fuzzyjoin/stage2_internal.h"
 #include "fuzzyjoin/stage3.h"
 #include "mapreduce/job.h"
 #include "ppjoin/ppjoin.h"
@@ -137,6 +138,10 @@ class FullRecordReducer : public mr::Reducer<Stage2Key, std::string> {
       out->Emit(joined.ToLine());
       ctx->counters().Add("onestage.pairs_emitted", 1);
     }
+    internal::MergePPJoinStats(stream.stats(), ctx);
+    ctx->counters().Max(
+        "stage2.pk.peak_resident_tokens",
+        static_cast<int64_t>(stream.stats().peak_resident_tokens));
   }
 
  private:

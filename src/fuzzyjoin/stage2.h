@@ -63,9 +63,15 @@ struct Stage2Key {
 inline uint64_t FjKeyHash(const Stage2Key& k) { return HashInt64(k.group); }
 inline size_t FjByteSize(const Stage2Key&) { return 10; }
 
-/// Formats one kernel output line ("rid1<TAB>rid2<TAB>sim"); fixed-width
-/// similarity so duplicated pairs serialize identically and stage 3 can
-/// deduplicate by string equality.
+/// Formats one kernel output line ("rid1<TAB>rid2<TAB>sim") into `*out`
+/// (overwritten); fixed-width similarity so duplicated pairs serialize
+/// identically and stage 3 can deduplicate by string equality. The emit
+/// paths reuse one buffer per reduce call so formatting allocates nothing
+/// after the first pair.
+void FormatRidPairLine(uint64_t rid1, uint64_t rid2, double similarity,
+                       std::string* out);
+
+/// Allocating convenience overload (tests, one-off formatting).
 std::string FormatRidPairLine(uint64_t rid1, uint64_t rid2, double similarity);
 
 /// Parses a kernel output line.

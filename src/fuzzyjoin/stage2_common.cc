@@ -8,12 +8,19 @@
 
 namespace fj::join {
 
+void FormatRidPairLine(uint64_t rid1, uint64_t rid2, double similarity,
+                       std::string* out) {
+  char buf[80];
+  int n = std::snprintf(buf, sizeof(buf), "%" PRIu64 "\t%" PRIu64 "\t%.6f",
+                        rid1, rid2, similarity);
+  out->assign(buf, static_cast<size_t>(n));
+}
+
 std::string FormatRidPairLine(uint64_t rid1, uint64_t rid2,
                               double similarity) {
-  char buf[80];
-  std::snprintf(buf, sizeof(buf), "%" PRIu64 "\t%" PRIu64 "\t%.6f", rid1, rid2,
-                similarity);
-  return buf;
+  std::string out;
+  FormatRidPairLine(rid1, rid2, similarity, &out);
+  return out;
 }
 
 Result<std::tuple<uint64_t, uint64_t, double>> ParseRidPairLine(
@@ -62,10 +69,16 @@ void MergePPJoinStats(const ppjoin::PPJoinStats& stats, mr::TaskContext* ctx) {
                static_cast<int64_t>(stats.positional_pruned));
   counters.Add("stage2.pk.suffix_pruned",
                static_cast<int64_t>(stats.suffix_pruned));
+  counters.Add("stage2.pk.bitmap_pruned",
+               static_cast<int64_t>(stats.bitmap_pruned));
   counters.Add("stage2.pk.verified", static_cast<int64_t>(stats.verified));
   counters.Add("stage2.pk.results", static_cast<int64_t>(stats.results));
   counters.Add("stage2.pk.evicted_records",
                static_cast<int64_t>(stats.evicted_records));
+  counters.Add("stage2.pk.hash_lookups_avoided",
+               static_cast<int64_t>(stats.hash_lookups_avoided));
+  counters.Max("stage2.pk.arena_bytes",
+               static_cast<int64_t>(stats.arena_bytes));
 }
 
 }  // namespace internal

@@ -105,13 +105,14 @@ class BkRSReducer : public mr::Reducer<Stage2Key, TokenSetRecord> {
 
   void Reduce(const Stage2Key&, PairSpan group, OutputEmitter* out,
               TaskContext* ctx) override {
+    std::string line_buf;  // reused across emitted pairs
     std::vector<const TokenSetRecord*> r_records;
     for (const auto& [key, projection] : group) {
       if (key.s1 == kRelationR) {
         r_records.push_back(&projection);
       } else {
         for (const TokenSetRecord* r : r_records) {
-          BkVerifyPair(spec_, *r, projection, /*self_canonical=*/false, out,
+          BkVerifyPair(spec_, *r, projection, /*self_canonical=*/false, &line_buf, out,
                        ctx);
         }
       }
@@ -142,8 +143,10 @@ class PkRSReducer : public mr::Reducer<Stage2Key, TokenSetRecord> {
         stream.Probe(projection, &pairs);
       }
     }
+    std::string line_buf;  // reused across emitted pairs
     for (const auto& p : pairs) {
-      out->Emit(FormatRidPairLine(p.rid1, p.rid2, p.similarity));
+      FormatRidPairLine(p.rid1, p.rid2, p.similarity, &line_buf);
+      out->Emit(line_buf);
     }
     internal::MergePPJoinStats(stream.stats(), ctx);
     ctx->counters().Max(
@@ -163,6 +166,7 @@ class BkRSMapBlockReducer : public mr::Reducer<Stage2Key, TokenSetRecord> {
 
   void Reduce(const Stage2Key&, PairSpan group, OutputEmitter* out,
               TaskContext* ctx) override {
+    std::string line_buf;  // reused across emitted pairs
     std::vector<const TokenSetRecord*> memory;  // the round's R block
     uint32_t current_round = UINT32_MAX;
     size_t peak = 0;
@@ -176,7 +180,7 @@ class BkRSMapBlockReducer : public mr::Reducer<Stage2Key, TokenSetRecord> {
         peak = std::max(peak, memory.size());
       } else {
         for (const TokenSetRecord* r : memory) {
-          BkVerifyPair(spec_, *r, projection, /*self_canonical=*/false, out,
+          BkVerifyPair(spec_, *r, projection, /*self_canonical=*/false, &line_buf, out,
                        ctx);
         }
       }
@@ -198,6 +202,7 @@ class BkRSReduceBlockReducer : public mr::Reducer<Stage2Key, TokenSetRecord> {
 
   void Reduce(const Stage2Key& key, PairSpan group, OutputEmitter* out,
               TaskContext* ctx) override {
+    std::string line_buf;  // reused across emitted pairs
     auto scratch_name = [&key](const std::string& what) {
       return "g" + std::to_string(key.group) + "." + what;
     };
@@ -237,7 +242,7 @@ class BkRSReduceBlockReducer : public mr::Reducer<Stage2Key, TokenSetRecord> {
     s_spill.reserve(s_stream.size());
     for (const TokenSetRecord* s : s_stream) {
       for (const TokenSetRecord* r : memory) {
-        BkVerifyPair(spec_, *r, *s, /*self_canonical=*/false, out, ctx);
+        BkVerifyPair(spec_, *r, *s, /*self_canonical=*/false, &line_buf, out, ctx);
       }
       s_spill.push_back(internal::SerializeProjection(*s));
     }
@@ -267,7 +272,7 @@ class BkRSReduceBlockReducer : public mr::Reducer<Stage2Key, TokenSetRecord> {
           continue;
         }
         for (const TokenSetRecord& r : resident) {
-          BkVerifyPair(spec_, r, s.value(), /*self_canonical=*/false, out,
+          BkVerifyPair(spec_, r, s.value(), /*self_canonical=*/false, &line_buf, out,
                        ctx);
         }
       }

@@ -126,12 +126,13 @@ class BkSelfReducer : public mr::Reducer<Stage2Key, TokenSetRecord> {
 
   void Reduce(const Stage2Key&, PairSpan group, OutputEmitter* out,
               TaskContext* ctx) override {
+    std::string line_buf;  // reused across emitted pairs
     ctx->counters().Max("stage2.peak_group_records",
                         static_cast<int64_t>(group.size()));
     for (size_t i = 0; i < group.size(); ++i) {
       for (size_t j = i + 1; j < group.size(); ++j) {
         BkVerifyPair(spec_, group[i].second, group[j].second,
-                     /*self_canonical=*/true, out, ctx);
+                     /*self_canonical=*/true, &line_buf, out, ctx);
       }
     }
   }
@@ -154,8 +155,10 @@ class PkSelfReducer : public mr::Reducer<Stage2Key, TokenSetRecord> {
     for (const auto& [key, projection] : group) {
       stream.ProbeAndInsert(projection, &pairs);
     }
+    std::string line_buf;  // reused across emitted pairs
     for (const auto& p : pairs) {
-      out->Emit(FormatRidPairLine(p.rid1, p.rid2, p.similarity));
+      FormatRidPairLine(p.rid1, p.rid2, p.similarity, &line_buf);
+      out->Emit(line_buf);
     }
     internal::MergePPJoinStats(stream.stats(), ctx);
     ctx->counters().Max(
@@ -179,6 +182,7 @@ class BkLengthRoutingReducer : public mr::Reducer<Stage2Key, TokenSetRecord> {
 
   void Reduce(const Stage2Key& key, PairSpan group, OutputEmitter* out,
               TaskContext* ctx) override {
+    std::string line_buf;  // reused across emitted pairs
     std::vector<const TokenSetRecord*> natives;
     std::vector<const TokenSetRecord*> visitors;
     for (const auto& [k, projection] : group) {
@@ -189,11 +193,11 @@ class BkLengthRoutingReducer : public mr::Reducer<Stage2Key, TokenSetRecord> {
     for (size_t i = 0; i < natives.size(); ++i) {
       for (size_t j = i + 1; j < natives.size(); ++j) {
         BkVerifyPair(spec_, *natives[i], *natives[j],
-                     /*self_canonical=*/true, out, ctx);
+                     /*self_canonical=*/true, &line_buf, out, ctx);
       }
       for (const TokenSetRecord* visitor : visitors) {
         BkVerifyPair(spec_, *natives[i], *visitor, /*self_canonical=*/true,
-                     out, ctx);
+                     &line_buf, out, ctx);
       }
     }
   }
@@ -211,6 +215,7 @@ class BkSelfMapBlockReducer : public mr::Reducer<Stage2Key, TokenSetRecord> {
 
   void Reduce(const Stage2Key&, PairSpan group, OutputEmitter* out,
               TaskContext* ctx) override {
+    std::string line_buf;  // reused across emitted pairs
     std::vector<const TokenSetRecord*> memory;
     uint32_t current_round = UINT32_MAX;
     size_t peak = 0;
@@ -221,7 +226,7 @@ class BkSelfMapBlockReducer : public mr::Reducer<Stage2Key, TokenSetRecord> {
       }
       for (const TokenSetRecord* resident : memory) {
         BkVerifyPair(spec_, *resident, projection, /*self_canonical=*/true,
-                     out, ctx);
+                     &line_buf, out, ctx);
       }
       if (key.s2 == current_round) {  // this value belongs to the loaded block
         memory.push_back(&projection);
@@ -245,6 +250,7 @@ class BkSelfReduceBlockReducer : public mr::Reducer<Stage2Key, TokenSetRecord> {
 
   void Reduce(const Stage2Key& key, PairSpan group, OutputEmitter* out,
               TaskContext* ctx) override {
+    std::string line_buf;  // reused across emitted pairs
     // Present blocks in ascending id order (the sort guarantees s1 order).
     std::map<uint32_t, std::vector<const TokenSetRecord*>> blocks;
     for (const auto& [k, projection] : group) {
@@ -270,7 +276,7 @@ class BkSelfReduceBlockReducer : public mr::Reducer<Stage2Key, TokenSetRecord> {
       memory.reserve(first.size());
       for (const TokenSetRecord* p : first) {
         for (const TokenSetRecord& resident : memory) {
-          BkVerifyPair(spec_, resident, *p, /*self_canonical=*/true, out, ctx);
+          BkVerifyPair(spec_, resident, *p, /*self_canonical=*/true, &line_buf, out, ctx);
         }
         memory.push_back(*p);
       }
@@ -280,7 +286,7 @@ class BkSelfReduceBlockReducer : public mr::Reducer<Stage2Key, TokenSetRecord> {
         spill.reserve(blocks[order[t]].size());
         for (const TokenSetRecord* p : blocks[order[t]]) {
           for (const TokenSetRecord& resident : memory) {
-            BkVerifyPair(spec_, resident, *p, /*self_canonical=*/true, out,
+            BkVerifyPair(spec_, resident, *p, /*self_canonical=*/true, &line_buf, out,
                          ctx);
           }
           spill.push_back(internal::SerializeProjection(*p));
@@ -303,7 +309,7 @@ class BkSelfReduceBlockReducer : public mr::Reducer<Stage2Key, TokenSetRecord> {
         }
         for (const TokenSetRecord& resident : memory) {
           BkVerifyPair(spec_, resident, projection.value(),
-                       /*self_canonical=*/true, out, ctx);
+                       /*self_canonical=*/true, &line_buf, out, ctx);
         }
         memory.push_back(std::move(projection).value());
       }
@@ -319,7 +325,7 @@ class BkSelfReduceBlockReducer : public mr::Reducer<Stage2Key, TokenSetRecord> {
           }
           for (const TokenSetRecord& resident : memory) {
             BkVerifyPair(spec_, resident, projection.value(),
-                         /*self_canonical=*/true, out, ctx);
+                         /*self_canonical=*/true, &line_buf, out, ctx);
           }
         }
       }

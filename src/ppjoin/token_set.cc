@@ -5,13 +5,29 @@
 namespace fj::ppjoin {
 
 void SortByLength(std::vector<TokenSetRecord>* records) {
-  std::sort(records->begin(), records->end(),
-            [](const TokenSetRecord& a, const TokenSetRecord& b) {
-              if (a.tokens.size() != b.tokens.size()) {
-                return a.tokens.size() < b.tokens.size();
-              }
-              return a.rid < b.rid;
-            });
+  // Sort compact (length, rid, index) keys instead of the records
+  // themselves: the comparator then never chases the token-vector pointer
+  // and the records move exactly once, via the permutation.
+  struct Key {
+    size_t len;
+    uint64_t rid;
+    uint32_t idx;
+  };
+  std::vector<Key> keys;
+  keys.reserve(records->size());
+  for (uint32_t i = 0; i < records->size(); ++i) {
+    keys.push_back(Key{(*records)[i].tokens.size(), (*records)[i].rid, i});
+  }
+  std::sort(keys.begin(), keys.end(), [](const Key& a, const Key& b) {
+    if (a.len != b.len) return a.len < b.len;
+    return a.rid < b.rid;
+  });
+  std::vector<TokenSetRecord> sorted;
+  sorted.reserve(records->size());
+  for (const Key& key : keys) {
+    sorted.push_back(std::move((*records)[key.idx]));
+  }
+  *records = std::move(sorted);
 }
 
 void SortAndDedupePairs(std::vector<SimilarPair>* pairs) {

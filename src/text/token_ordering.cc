@@ -19,7 +19,7 @@ TokenOrdering TokenOrdering::FromCounts(
             });
   ordering.ranks_.reserve(ordering.by_rank_.size());
   for (size_t i = 0; i < ordering.by_rank_.size(); ++i) {
-    ordering.ranks_.emplace(ordering.by_rank_[i].first, i);
+    ordering.InsertRank(ordering.by_rank_[i].first, i);
   }
   return ordering;
 }
@@ -36,9 +36,7 @@ Result<TokenOrdering> TokenOrdering::FromLines(
     }
     FJ_ASSIGN_OR_RETURN(uint64_t count, fj::ParseUint64(fields[1]));
     TokenId rank = ordering.by_rank_.size();
-    auto [it, inserted] = ordering.ranks_.emplace(fields[0], rank);
-    (void)it;
-    if (!inserted) {
+    if (!ordering.InsertRank(fields[0], rank)) {
       return Status::InvalidArgument("duplicate token in ordering: " +
                                      fields[0]);
     }
@@ -56,17 +54,41 @@ std::vector<std::string> TokenOrdering::ToLines() const {
   return lines;
 }
 
+bool TokenOrdering::InsertRank(const std::string& token, TokenId rank) {
+  auto [it, inserted] = ranks_.emplace(fj::HashString(token), rank);
+  if (inserted) return true;
+  if (by_rank_[static_cast<size_t>(it->second)].first == token) {
+    return false;  // duplicate token
+  }
+  // Distinct tokens with colliding FNV hashes: the later one lives in the
+  // string-keyed fallback map.
+  return collision_ranks_.emplace(token, rank).second;
+}
+
+std::optional<TokenId> TokenOrdering::RankHashed(const std::string& token,
+                                                 uint64_t hash) const {
+  auto it = ranks_.find(hash);
+  if (it != ranks_.end() &&
+      by_rank_[static_cast<size_t>(it->second)].first == token) {
+    return it->second;
+  }
+  if (!collision_ranks_.empty()) {
+    auto ct = collision_ranks_.find(token);
+    if (ct != collision_ranks_.end()) return ct->second;
+  }
+  return std::nullopt;
+}
+
 std::optional<TokenId> TokenOrdering::Rank(const std::string& token) const {
-  auto it = ranks_.find(token);
-  if (it == ranks_.end()) return std::nullopt;
-  return it->second;
+  return RankHashed(token, fj::HashString(token));
 }
 
 TokenId TokenOrdering::IdOf(const std::string& token) const {
-  auto it = ranks_.find(token);
-  if (it != ranks_.end()) return it->second;
-  // Stable id outside the rank range. Guaranteed >= kUnknownTokenBase.
-  return kUnknownTokenBase | fj::HashString(token);
+  uint64_t hash = fj::HashString(token);
+  if (std::optional<TokenId> rank = RankHashed(token, hash)) return *rank;
+  // Stable id outside the rank range, reusing the already-computed hash.
+  // Guaranteed >= kUnknownTokenBase.
+  return kUnknownTokenBase | hash;
 }
 
 std::vector<TokenId> TokenOrdering::ToSortedIds(

@@ -53,7 +53,9 @@ class TokenOrdering {
   std::optional<TokenId> Rank(const std::string& token) const;
 
   /// Id for `token`: its rank if known, otherwise a stable hash-derived id
-  /// >= kUnknownTokenBase.
+  /// >= kUnknownTokenBase. The token is hashed exactly once (FNV-1a): the
+  /// same hash drives the rank lookup and, on a miss, the unknown id — the
+  /// hot path of ToSortedIds.
   TokenId IdOf(const std::string& token) const;
 
   /// Maps tokens to ids and sorts ascending — the canonical set
@@ -73,8 +75,21 @@ class TokenOrdering {
   bool empty() const { return by_rank_.empty(); }
 
  private:
+  /// Registers `token` under `rank`. Returns false if the token already
+  /// has a rank (duplicate).
+  bool InsertRank(const std::string& token, TokenId rank);
+
+  /// Rank lookup with a precomputed FNV-1a hash of `token`.
+  std::optional<TokenId> RankHashed(const std::string& token,
+                                    uint64_t hash) const;
+
   std::vector<std::pair<std::string, uint64_t>> by_rank_;  // (token, count)
-  std::unordered_map<std::string, TokenId> ranks_;
+  /// FNV-1a(token) -> rank. Integer-keyed so a lookup hashes the token
+  /// string once; a hit is confirmed with one string compare against
+  /// by_rank_. The rare distinct-token FNV collisions fall back to
+  /// collision_ranks_ (string-keyed, almost always empty).
+  std::unordered_map<uint64_t, TokenId> ranks_;
+  std::unordered_map<std::string, TokenId> collision_ranks_;
 };
 
 }  // namespace fj::text

@@ -1,0 +1,181 @@
+// Randomized golden equivalence of the cache-conscious kernel: every
+// variant (All-Pairs, PPJoin, PPJoin+), each with the bitmap
+// pre-verification filter on and off, must produce exactly the naive
+// ground truth — on corpora that include out-of-dictionary token ids
+// (>= text::kUnknownTokenBase, exercising the fallback posting map), for
+// self-joins and R-S joins. Also checks the filter-counter accounting
+// invariants the bitmap filter must preserve.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "ppjoin/naive.h"
+#include "ppjoin/ppjoin.h"
+#include "text/token_ordering.h"
+
+namespace fj::ppjoin {
+namespace {
+
+using sim::SimilarityFunction;
+using sim::SimilaritySpec;
+using text::TokenId;
+
+/// Random records over a dense-rank universe plus a small shared pool of
+/// out-of-dictionary ids, with injected near-duplicates so joins have
+/// results. Unknown ids are drawn from a pool (not fresh hashes) so they
+/// can actually collide between records.
+std::vector<TokenSetRecord> RandomCorpus(size_t n, uint64_t seed,
+                                         size_t universe = 100,
+                                         size_t max_len = 16) {
+  fj::Rng rng(seed);
+  std::vector<TokenId> unknown_pool;
+  for (uint64_t i = 1; i <= 12; ++i) {
+    unknown_pool.push_back(text::kUnknownTokenBase | (0x9e3779b9ull * i));
+  }
+  std::vector<TokenSetRecord> records;
+  records.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    TokenSetRecord record;
+    record.rid = 5000 + i;
+    if (!records.empty() && rng.NextBool(0.35)) {
+      record.tokens = records[rng.NextBelow(records.size())].tokens;
+      if (!record.tokens.empty() && rng.NextBool(0.5)) {
+        record.tokens.erase(
+            record.tokens.begin() +
+            static_cast<ptrdiff_t>(rng.NextBelow(record.tokens.size())));
+      }
+      if (rng.NextBool(0.5)) {
+        record.tokens.push_back(rng.NextBelow(universe));
+      }
+    } else {
+      size_t len = 1 + rng.NextBelow(max_len);
+      for (size_t t = 0; t < len; ++t) {
+        if (rng.NextBool(0.15)) {
+          record.tokens.push_back(
+              unknown_pool[rng.NextBelow(unknown_pool.size())]);
+        } else {
+          record.tokens.push_back(rng.NextBelow(universe));
+        }
+      }
+    }
+    std::sort(record.tokens.begin(), record.tokens.end());
+    record.tokens.erase(
+        std::unique(record.tokens.begin(), record.tokens.end()),
+        record.tokens.end());
+    if (record.tokens.empty()) record.tokens.push_back(rng.NextBelow(universe));
+    records.push_back(std::move(record));
+  }
+  return records;
+}
+
+struct VariantConfig {
+  const char* name;
+  bool positional;
+  bool suffix;
+  bool bitmap;
+};
+
+constexpr VariantConfig kVariants[] = {
+    {"allpairs", false, false, false},
+    {"allpairs_bitmap", false, false, true},
+    {"ppjoin", true, false, false},
+    {"ppjoin_bitmap", true, false, true},
+    {"ppjoinplus", true, true, false},
+    {"ppjoinplus_bitmap", true, true, true},
+};
+
+PPJoinOptions MakeOptions(const VariantConfig& v) {
+  PPJoinOptions options;
+  options.use_positional_filter = v.positional;
+  options.use_suffix_filter = v.suffix;
+  options.use_bitmap_filter = v.bitmap;
+  return options;
+}
+
+TEST(KernelGoldenEquivalenceTest, SelfJoinAllVariantsMatchNaive) {
+  for (const auto& spec :
+       {SimilaritySpec(SimilarityFunction::kJaccard, 0.8),
+        SimilaritySpec(SimilarityFunction::kJaccard, 0.5),
+        SimilaritySpec(SimilarityFunction::kCosine, 0.85),
+        SimilaritySpec(SimilarityFunction::kDice, 0.7)}) {
+    for (uint64_t seed : {11u, 12u, 13u}) {
+      auto records = RandomCorpus(160, seed);
+      auto expected = NaiveSelfJoin(records, spec);
+      for (const VariantConfig& v : kVariants) {
+        auto got = PPJoinSelfJoin(records, spec, MakeOptions(v));
+        EXPECT_EQ(got, expected)
+            << v.name << " seed " << seed << " spec " << spec.ToString();
+      }
+    }
+  }
+}
+
+TEST(KernelGoldenEquivalenceTest, RSJoinAllVariantsMatchNaive) {
+  SimilaritySpec spec(SimilarityFunction::kJaccard, 0.75);
+  auto r_records = RandomCorpus(130, 21);
+  auto s_records = RandomCorpus(110, 22);
+  // Cross-contaminate so the R-S join has matches (including via
+  // out-of-dictionary tokens carried over from R).
+  fj::Rng rng(23);
+  for (size_t i = 0; i < s_records.size(); i += 3) {
+    s_records[i].tokens = r_records[rng.NextBelow(r_records.size())].tokens;
+  }
+  auto expected = NaiveRSJoin(r_records, s_records, spec);
+  ASSERT_FALSE(expected.empty());
+  for (const VariantConfig& v : kVariants) {
+    auto got = PPJoinRSJoin(r_records, s_records, spec, MakeOptions(v));
+    EXPECT_EQ(got, expected) << v.name;
+  }
+}
+
+/// The bitmap filter must be pure pruning: identical probes, candidates,
+/// and results whether it is on or off; every candidate it removes would
+/// have failed the later checks. Its counters must satisfy the accounting
+/// identity: the candidates a probe collects are split among suffix
+/// prunes, bitmap prunes, verifications, and late positional prunes.
+TEST(KernelGoldenEquivalenceTest, BitmapStatsInvariants) {
+  SimilaritySpec spec(SimilarityFunction::kJaccard, 0.8);
+  uint64_t total_bitmap_pruned = 0;
+  for (uint64_t seed : {31u, 32u, 33u}) {
+    auto records = RandomCorpus(200, seed);
+    for (bool suffix : {false, true}) {
+      PPJoinOptions with_bitmap;
+      with_bitmap.use_suffix_filter = suffix;
+      PPJoinOptions without_bitmap = with_bitmap;
+      without_bitmap.use_bitmap_filter = false;
+
+      PPJoinStats on_stats, off_stats;
+      auto on = PPJoinSelfJoin(records, spec, with_bitmap, &on_stats);
+      auto off = PPJoinSelfJoin(records, spec, without_bitmap, &off_stats);
+
+      EXPECT_EQ(on, off);
+      EXPECT_EQ(on_stats.probes, off_stats.probes);
+      EXPECT_EQ(on_stats.candidates, off_stats.candidates);
+      EXPECT_EQ(on_stats.results, off_stats.results);
+      EXPECT_EQ(off_stats.bitmap_pruned, 0u);
+      // Everything the bitmap prunes would have been pruned or failed
+      // verification anyway.
+      EXPECT_LE(on_stats.verified, off_stats.verified);
+
+      // Per-run accounting: each candidate ends as a suffix prune, a
+      // bitmap prune, a verification, or a late positional prune.
+      for (const PPJoinStats& s : {on_stats, off_stats}) {
+        uint64_t accounted = s.suffix_pruned + s.bitmap_pruned + s.verified;
+        EXPECT_LE(accounted, s.candidates);
+        EXPECT_GE(accounted + s.positional_pruned, s.candidates);
+      }
+
+      // The dense index and arena accounting must be active.
+      EXPECT_GT(on_stats.hash_lookups_avoided, 0u);
+      EXPECT_GT(on_stats.arena_bytes, 0u);
+      total_bitmap_pruned += on_stats.bitmap_pruned;
+    }
+  }
+  // Across all seeds the filter must actually engage.
+  EXPECT_GT(total_bitmap_pruned, 0u);
+}
+
+}  // namespace
+}  // namespace fj::ppjoin

@@ -163,6 +163,56 @@ TEST(PPJoinStreamTest, LengthFilterEvictsShortRecords) {
   EXPECT_LT(stream.stats().peak_resident_tokens, 820u / 2);
 }
 
+TEST(PPJoinStreamTest, ArenaCompactionUnderHeavyEviction) {
+  // Growing lengths over a shared universe force the length filter to
+  // evict most of the index, which must trigger arena compaction (the
+  // dead prefix repeatedly outgrows the live suffix) while keeping
+  // results and the resident-token accounting exact. Run under
+  // ASan/UBSan in CI, this test also shakes out stale arena pointers.
+  SimilaritySpec spec(SimilarityFunction::kJaccard, 0.8);
+  std::vector<TokenSetRecord> records;
+  for (size_t i = 0; i < 240; ++i) {
+    TokenSetRecord record;
+    record.rid = i + 1;
+    size_t len = 2 + i / 3;  // three records per length, non-decreasing
+    std::vector<bool> used(211, false);
+    while (record.tokens.size() < len) {
+      size_t id = (i * 13 + record.tokens.size() * 29 + 7) % 211;
+      while (used[id]) id = (id + 1) % 211;
+      used[id] = true;
+      record.tokens.push_back(id);
+    }
+    std::sort(record.tokens.begin(), record.tokens.end());
+    records.push_back(std::move(record));
+  }
+
+  PPJoinStream stream(spec);
+  std::vector<SimilarPair> pairs;
+  for (const auto& record : records) stream.ProbeAndInsert(record, &pairs);
+  SortAndDedupePairs(&pairs);
+  EXPECT_EQ(pairs, NaiveSelfJoin(records, spec));
+
+  // Exact accounting: after the last probe (length L), exactly the
+  // records shorter than LengthLowerBound(L) are evicted, and
+  // resident_tokens() is the summed length of the survivors.
+  size_t last_len = records.back().tokens.size();
+  size_t lower = spec.LengthLowerBound(last_len);
+  uint64_t expected_resident = 0;
+  uint64_t expected_evicted = 0;
+  for (const auto& record : records) {
+    if (record.tokens.size() >= lower) {
+      expected_resident += record.tokens.size();
+    } else {
+      ++expected_evicted;
+    }
+  }
+  EXPECT_EQ(stream.resident_tokens(), expected_resident);
+  EXPECT_EQ(stream.stats().evicted_records, expected_evicted);
+  EXPECT_GT(expected_evicted, 180u);  // the bulk of the index died
+  EXPECT_LE(stream.stats().peak_resident_tokens,
+            stream.stats().arena_bytes / sizeof(text::TokenId));
+}
+
 TEST(PPJoinStreamTest, StatsCountFilterActivity) {
   SimilaritySpec spec(SimilarityFunction::kJaccard, 0.8);
   auto records = RandomRecords(300, 17);

@@ -129,6 +129,42 @@ TEST(SuffixFilterTest, EmptySuffixes) {
   EXPECT_TRUE(filter.MayQualify(empty, x, 0));
 }
 
+TEST(BitmapSignatureTest, BoundIsSoundOnRandomSets) {
+  // The signature bound must never understate the true overlap, for any
+  // pair of random sets (including heavy bit collisions: universe larger
+  // than 128 bits).
+  Rng rng(41);
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::vector<TokenId> x, y;
+    for (TokenId t = 0; t < 400; ++t) {
+      if (rng.NextBool(0.05)) x.push_back(t);
+      if (rng.NextBool(0.05)) y.push_back(t);
+    }
+    if (x.empty() || y.empty()) continue;
+    BitmapSignature sx = BuildBitmapSignature(x);
+    BitmapSignature sy = BuildBitmapSignature(y);
+    size_t bound = BitmapOverlapUpperBound(sx, sy, x.size(), y.size());
+    EXPECT_GE(bound, OverlapSize(x, y));
+  }
+}
+
+TEST(BitmapSignatureTest, IdenticalSetsGetFullBound) {
+  std::vector<TokenId> x{3, 17, 99, 1000000};
+  BitmapSignature sig = BuildBitmapSignature(x);
+  EXPECT_EQ(BitmapOverlapUpperBound(sig, sig, x.size(), x.size()), x.size());
+}
+
+TEST(BitmapSignatureTest, DisjointSmallSetsPrune) {
+  // Two disjoint singletons that hash to different bits: the symmetric
+  // difference is 2, so the bound is 0.
+  std::vector<TokenId> x{1};
+  std::vector<TokenId> y{2};
+  ASSERT_NE(BitmapBitOf(1), BitmapBitOf(2));
+  EXPECT_EQ(BitmapOverlapUpperBound(BuildBitmapSignature(x),
+                                    BuildBitmapSignature(y), 1, 1),
+            0u);
+}
+
 TEST(SuffixFilterTest, DepthZeroDegradesToLengthDifference) {
   SuffixFilter filter(0);
   std::vector<TokenId> x{1, 2, 3, 4};
