@@ -1,0 +1,219 @@
+// Fault-recovery overhead sweep.
+//
+// Hadoop's selling point is transparent recovery: crashed tasks re-execute,
+// stragglers get speculative backups, and the job finishes with the same
+// result — at the cost of wasted slot time. This bench injects
+// deterministic fault plans into the full self-join pipeline (BTO-PK-BRJ)
+// and sweeps (a) per-attempt crash probability and (b) straggler slowdown
+// with speculation on/off, reporting the simulated cluster running time and
+// the wasted-work fraction next to the fault-free baseline. The join output
+// is verified byte-identical to the fault-free run on every row.
+//
+// `--bench_json=PATH` writes the sweep as JSON (checked in as
+// BENCH_fault.json at the repo root and smoke-tested by CI).
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+
+namespace {
+
+using namespace fj;
+
+struct Row {
+  std::string label;
+  double crash_p = 0;
+  double straggler_slowdown = 1;
+  bool speculate = false;
+  double total_seconds = 0;
+  double wasted_seconds = 0;
+  double committed_seconds = 0;
+  uint64_t failed_attempts = 0;
+  uint64_t speculative_launched = 0;
+  uint64_t speculative_wins = 0;
+  bool output_identical = true;
+};
+
+struct SweepResult {
+  std::vector<Row> rows;
+  size_t records = 0;
+};
+
+// Simulated pipeline seconds + fault totals for one finished run.
+void Accumulate(const join::JoinRunResult& result,
+                const mr::ClusterConfig& cluster, Row* row) {
+  for (const auto& stage : result.stages) {
+    for (const auto& job : stage.jobs) {
+      auto simulated = mr::SimulateJob(job, cluster);
+      row->total_seconds += simulated.total();
+      row->wasted_seconds += simulated.wasted_seconds;
+      row->committed_seconds +=
+          (job.TotalMapSeconds() + job.TotalReduceSeconds()) *
+          cluster.work_scale;
+      row->failed_attempts += job.failed_attempts;
+      row->speculative_launched += job.speculative_launched;
+      row->speculative_wins += job.speculative_wins;
+    }
+  }
+}
+
+Result<SweepResult> RunSweep(size_t base, size_t factor, size_t nodes,
+                             double work_scale) {
+  SweepResult sweep;
+  mr::Dfs dfs;
+  sweep.records = bench::PrepareSelfData(&dfs, "dblp", base, factor, 42);
+  auto cluster = bench::MakeCluster(nodes, work_scale);
+
+  int run_id = 0;
+  const std::vector<std::string>* golden = nullptr;
+  auto run_one = [&](const std::string& label, double crash_p,
+                     double slowdown, bool speculate) -> Status {
+    auto config = bench::MakeConfig(bench::PaperCombos()[1], nodes);
+    if (crash_p > 0 || slowdown > 1) {
+      auto plan = std::make_shared<mr::FaultPlan>();
+      plan->seed = 7;
+      plan->crash_probability = crash_p;
+      plan->crash_after_records = 8;
+      plan->crash_failing_attempts = 2;
+      if (slowdown > 1) {
+        plan->straggler_probability = 0.15;
+        plan->straggler_slowdown = slowdown;
+        // Local tasks run micro- to milliseconds; an absolute charge makes
+        // the straggler visible to the detector and the cost model alike.
+        plan->straggler_extra_seconds = 0.002 * slowdown;
+      }
+      if (!plan->RecoverableWith(config.max_task_attempts)) {
+        return Status::InvalidArgument("unrecoverable sweep point");
+      }
+      config.fault_plan = std::move(plan);
+    }
+    config.speculative_execution = speculate;
+
+    auto result = join::RunSelfJoin(&dfs, "dblp",
+                                    "f" + std::to_string(run_id++), config);
+    FJ_RETURN_IF_ERROR(result.status());
+
+    Row row;
+    row.label = label;
+    row.crash_p = crash_p;
+    row.straggler_slowdown = slowdown;
+    row.speculate = speculate;
+    Accumulate(*result, cluster, &row);
+
+    FJ_ASSIGN_OR_RETURN(const std::vector<std::string>* lines,
+                        dfs.ReadFile(result->output_file));
+    if (golden == nullptr) {
+      golden = lines;  // the fault-free baseline runs first
+    } else {
+      row.output_identical = *lines == *golden;
+    }
+    sweep.rows.push_back(std::move(row));
+    return Status::OK();
+  };
+
+  FJ_RETURN_IF_ERROR(run_one("baseline", 0.0, 1.0, false));
+  for (double crash_p : {0.05, 0.15, 0.30, 0.50}) {
+    FJ_RETURN_IF_ERROR(
+        run_one("crash_p=" + std::to_string(crash_p).substr(0, 4), crash_p,
+                1.0, false));
+  }
+  for (double slowdown : {2.0, 4.0, 8.0}) {
+    const std::string suffix = std::to_string(static_cast<int>(slowdown));
+    FJ_RETURN_IF_ERROR(
+        run_one("straggle_x" + suffix, 0.0, slowdown, false));
+    FJ_RETURN_IF_ERROR(
+        run_one("straggle_x" + suffix + "+spec", 0.0, slowdown, true));
+  }
+  FJ_RETURN_IF_ERROR(run_one("combined+spec", 0.15, 4.0, true));
+  return sweep;
+}
+
+void PrintTable(const SweepResult& sweep) {
+  std::printf("%-18s %8s %8s %9s %7s %7s %6s %6s\n", "plan", "total",
+              "wasted", "wasted %", "failed", "backup", "wins", "same");
+  for (const Row& row : sweep.rows) {
+    const double slot_seconds = row.committed_seconds + row.wasted_seconds;
+    const double fraction =
+        slot_seconds > 0 ? 100.0 * row.wasted_seconds / slot_seconds : 0.0;
+    std::printf("%-18s %7.1fs %7.1fs %8.1f%% %7llu %7llu %6llu %6s\n",
+                row.label.c_str(), row.total_seconds, row.wasted_seconds,
+                fraction, static_cast<unsigned long long>(row.failed_attempts),
+                static_cast<unsigned long long>(row.speculative_launched),
+                static_cast<unsigned long long>(row.speculative_wins),
+                row.output_identical ? "yes" : "NO");
+  }
+  std::printf(
+      "\npaper-shape checks:\n"
+      "  more crashes -> more retried attempts and wasted slot time, same\n"
+      "  join output; speculation trades extra backup attempts for a\n"
+      "  shorter straggler-bound makespan.\n");
+}
+
+int WriteJson(const SweepResult& sweep, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return 1;
+  }
+  out << "{\n  \"benchmark\": \"bench_fault_recovery\",\n"
+      << "  \"records\": " << sweep.records << ",\n  \"plans\": [\n";
+  bool first = true;
+  for (const Row& row : sweep.rows) {
+    if (!first) out << ",\n";
+    first = false;
+    const double slot_seconds = row.committed_seconds + row.wasted_seconds;
+    const double fraction =
+        slot_seconds > 0 ? row.wasted_seconds / slot_seconds : 0.0;
+    out << "    {\"plan\": \"" << row.label << "\", \"crash_probability\": "
+        << row.crash_p << ", \"straggler_slowdown\": "
+        << row.straggler_slowdown << ", \"speculation\": "
+        << (row.speculate ? "true" : "false") << ", \"simulated_seconds\": "
+        << row.total_seconds << ", \"wasted_seconds\": " << row.wasted_seconds
+        << ", \"wasted_fraction\": " << fraction << ", \"failed_attempts\": "
+        << row.failed_attempts << ", \"speculative_launched\": "
+        << row.speculative_launched << ", \"speculative_wins\": "
+        << row.speculative_wins << ", \"output_identical\": "
+        << (row.output_identical ? "true" : "false") << "}";
+  }
+  out << "\n  ]\n}\n";
+  std::printf("wrote %s (%zu plans)\n", path.c_str(), sweep.rows.size());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::Flags flags(argc, argv);
+  size_t base = flags.GetInt("base", 2000);
+  size_t factor = flags.GetInt("factor", 2);
+  size_t nodes = flags.GetInt("nodes", 10);
+  double work_scale = flags.GetDouble("work_scale", bench::kDefaultWorkScale);
+  std::string json_path = flags.GetString("bench_json", "");
+
+  bench::PrintExperimentHeader(
+      "fault-recovery sweep",
+      "self-join under injected crashes and stragglers",
+      "DBLP-like base " + std::to_string(base) + " x" +
+          std::to_string(factor) + ", BTO-PK-BRJ, " + std::to_string(nodes) +
+          " nodes");
+
+  auto sweep = RunSweep(base, factor, nodes, work_scale);
+  if (!sweep.ok()) {
+    std::fprintf(stderr, "%s\n", sweep.status().ToString().c_str());
+    return 1;
+  }
+  for (const Row& row : sweep->rows) {
+    if (!row.output_identical) {
+      std::fprintf(stderr, "FATAL: %s changed the join output\n",
+                   row.label.c_str());
+      return 1;
+    }
+  }
+  PrintTable(*sweep);
+  if (!json_path.empty()) return WriteJson(*sweep, json_path);
+  return 0;
+}

@@ -84,6 +84,13 @@ Status JoinConfig::Validate() const {
   if (merge_factor < 2) {
     return Status::InvalidArgument("merge_factor must be >= 2");
   }
+  if (max_task_attempts < 1) {
+    return Status::InvalidArgument("max_task_attempts must be >= 1");
+  }
+  if (speculative_execution && speculation_slowdown_factor <= 1.0) {
+    return Status::InvalidArgument(
+        "speculation_slowdown_factor must be > 1");
+  }
   if (tokenizer == nullptr) {
     return Status::InvalidArgument("tokenizer must be set");
   }

@@ -14,6 +14,7 @@
 #include <string>
 
 #include "common/result.h"
+#include "mapreduce/fault.h"
 #include "similarity/similarity.h"
 #include "text/tokenizer.h"
 
@@ -123,6 +124,21 @@ struct JoinConfig {
   /// Maximum sorted runs merged per reduce-side pass when spilling is on
   /// (JobSpec::merge_factor, Hadoop's io.sort.factor).
   size_t merge_factor = 16;
+
+  // --- fault tolerance (applied to every job in the pipeline) ---
+  /// Attempts per task before a job — and the pipeline — fails
+  /// (JobSpec::max_task_attempts, Hadoop's mapred.*.max.attempts).
+  uint32_t max_task_attempts = 4;
+  /// Launch speculative backup attempts for straggling tasks
+  /// (JobSpec::speculative_execution).
+  bool speculative_execution = false;
+  /// Straggler threshold as a multiple of the phase median task cost;
+  /// must be > 1 (JobSpec::speculation_slowdown_factor).
+  double speculation_slowdown_factor = 3.0;
+  /// Deterministic fault plan injected into every job of the pipeline;
+  /// nullptr = fault-free. With a recoverable plan the join output is
+  /// byte-identical to the fault-free run (see mapreduce/fault.h).
+  std::shared_ptr<const mr::FaultPlan> fault_plan;
 
   /// OPRJ loads the whole RID-pair list in every mapper. If the estimated
   /// in-memory size exceeds this budget, stage 3 fails with

@@ -1,0 +1,33 @@
+// One place where JoinConfig's MapReduce-engine knobs land on a JobSpec.
+//
+// Every stage driver builds several JobSpecs; before this helper each of
+// them copied the engine knobs by hand, and each new knob meant touching
+// eight call sites (and silently missing one left that job running with
+// defaults). ApplyEngineKnobs is the single copy: execution concurrency,
+// the sort-spill-merge shuffle budget, and the fault-tolerance /
+// speculation settings all flow through here, so a job added tomorrow
+// inherits the full engine configuration with one call.
+//
+// Job-SHAPE knobs (num_map_tasks / num_reduce_tasks, comparators,
+// partitioners) stay with the individual drivers — they are algorithmic
+// choices per job, not engine configuration (e.g. BTO's sort phase
+// deliberately runs one reduce task).
+#pragma once
+
+#include "fuzzyjoin/config.h"
+#include "mapreduce/job_spec.h"
+
+namespace fj::join {
+
+template <typename K, typename V>
+void ApplyEngineKnobs(const JoinConfig& config, mr::JobSpec<K, V>* spec) {
+  spec->local_threads = config.local_threads;
+  spec->sort_buffer_bytes = config.sort_buffer_bytes;
+  spec->merge_factor = config.merge_factor;
+  spec->max_task_attempts = config.max_task_attempts;
+  spec->speculative_execution = config.speculative_execution;
+  spec->speculation_slowdown_factor = config.speculation_slowdown_factor;
+  spec->fault_plan = config.fault_plan;
+}
+
+}  // namespace fj::join

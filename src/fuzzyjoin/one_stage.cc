@@ -8,6 +8,7 @@
 
 #include "common/string_util.h"
 #include "data/record.h"
+#include "fuzzyjoin/engine_knobs.h"
 #include "fuzzyjoin/stage1.h"
 #include "fuzzyjoin/stage2.h"
 #include "fuzzyjoin/stage2_internal.h"
@@ -219,9 +220,7 @@ Result<JoinRunResult> RunOneStageSelfJoin(mr::Dfs* dfs,
   kernel.output_file = output_prefix + ".withdups";
   kernel.num_map_tasks = config.num_map_tasks;
   kernel.num_reduce_tasks = config.num_reduce_tasks;
-  kernel.local_threads = config.local_threads;
-  kernel.sort_buffer_bytes = config.sort_buffer_bytes;
-  kernel.merge_factor = config.merge_factor;
+  ApplyEngineKnobs(config, &kernel);
   kernel.group_equal = [](const Stage2Key& a, const Stage2Key& b) {
     return a.group == b.group;
   };
@@ -246,9 +245,7 @@ Result<JoinRunResult> RunOneStageSelfJoin(mr::Dfs* dfs,
   dedup.output_file = result.output_file;
   dedup.num_map_tasks = config.num_map_tasks;
   dedup.num_reduce_tasks = config.num_reduce_tasks;
-  dedup.local_threads = config.local_threads;
-  dedup.sort_buffer_bytes = config.sort_buffer_bytes;
-  dedup.merge_factor = config.merge_factor;
+  ApplyEngineKnobs(config, &dedup);
   dedup.mapper_factory = [] { return std::make_unique<DedupMapper>(); };
   dedup.reducer_factory = [] { return std::make_unique<DedupReducer>(); };
   mr::Job<std::pair<uint64_t, uint64_t>, std::string> dedup_job(

@@ -1,5 +1,7 @@
 #include "fuzzyjoin/stage1.h"
 
+#include "fuzzyjoin/engine_knobs.h"
+
 #include <algorithm>
 #include <cstdint>
 #include <memory>
@@ -135,9 +137,7 @@ Result<Stage1Result> RunStage1(mr::Dfs* dfs, const std::string& input_file,
     count_spec.output_file = output_file + ".counts";
     count_spec.num_map_tasks = config.num_map_tasks;
     count_spec.num_reduce_tasks = config.num_reduce_tasks;
-    count_spec.local_threads = config.local_threads;
-    count_spec.sort_buffer_bytes = config.sort_buffer_bytes;
-    count_spec.merge_factor = config.merge_factor;
+    ApplyEngineKnobs(config, &count_spec);
     auto tokenizer = config.tokenizer;
     count_spec.mapper_factory = [tokenizer] {
       return std::make_unique<TokenCountMapper>(tokenizer);
@@ -157,9 +157,7 @@ Result<Stage1Result> RunStage1(mr::Dfs* dfs, const std::string& input_file,
     sort_spec.output_file = output_file;
     sort_spec.num_map_tasks = config.num_map_tasks;
     sort_spec.num_reduce_tasks = 1;  // total order requires one reducer
-    sort_spec.local_threads = config.local_threads;
-    sort_spec.sort_buffer_bytes = config.sort_buffer_bytes;
-    sort_spec.merge_factor = config.merge_factor;
+    ApplyEngineKnobs(config, &sort_spec);
     sort_spec.mapper_factory = [] { return std::make_unique<SwapMapper>(); };
     sort_spec.reducer_factory = [] {
       return std::make_unique<EmitOrderingReducer>();
@@ -177,9 +175,7 @@ Result<Stage1Result> RunStage1(mr::Dfs* dfs, const std::string& input_file,
   spec.output_file = output_file;
   spec.num_map_tasks = config.num_map_tasks;
   spec.num_reduce_tasks = 1;
-  spec.local_threads = config.local_threads;
-  spec.sort_buffer_bytes = config.sort_buffer_bytes;
-  spec.merge_factor = config.merge_factor;
+  ApplyEngineKnobs(config, &spec);
   auto tokenizer = config.tokenizer;
   spec.mapper_factory = [tokenizer] {
     return std::make_unique<TokenCountMapper>(tokenizer);

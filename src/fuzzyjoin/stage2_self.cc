@@ -4,6 +4,7 @@
 #include <utility>
 #include <vector>
 
+#include "fuzzyjoin/engine_knobs.h"
 #include "fuzzyjoin/stage2.h"
 #include "fuzzyjoin/stage2_internal.h"
 #include "ppjoin/ppjoin.h"
@@ -368,9 +369,7 @@ Result<Stage2Result> RunStage2SelfJoin(mr::Dfs* dfs,
   spec.output_file = output_file;
   spec.num_map_tasks = config.num_map_tasks;
   spec.num_reduce_tasks = config.num_reduce_tasks;
-  spec.local_threads = config.local_threads;
-  spec.sort_buffer_bytes = config.sort_buffer_bytes;
-  spec.merge_factor = config.merge_factor;
+  ApplyEngineKnobs(config, &spec);
   spec.group_equal = [](const Stage2Key& a, const Stage2Key& b) {
     return a.group == b.group;
   };

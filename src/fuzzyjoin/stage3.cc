@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/string_util.h"
+#include "fuzzyjoin/engine_knobs.h"
 #include "fuzzyjoin/stage2.h"
 #include "mapreduce/job.h"
 
@@ -345,9 +346,7 @@ Result<Stage3Result> RunBrj(mr::Dfs* dfs,
   phase1.output_file = output_file + ".halves";
   phase1.num_map_tasks = config.num_map_tasks;
   phase1.num_reduce_tasks = config.num_reduce_tasks;
-  phase1.local_threads = config.local_threads;
-  phase1.sort_buffer_bytes = config.sort_buffer_bytes;
-  phase1.merge_factor = config.merge_factor;
+  ApplyEngineKnobs(config, &phase1);
   phase1.mapper_factory = [pairs_file_index, is_rs] {
     return std::make_unique<Phase1Mapper>(pairs_file_index, is_rs);
   };
@@ -365,9 +364,7 @@ Result<Stage3Result> RunBrj(mr::Dfs* dfs,
   phase2.output_file = output_file;
   phase2.num_map_tasks = config.num_map_tasks;
   phase2.num_reduce_tasks = config.num_reduce_tasks;
-  phase2.local_threads = config.local_threads;
-  phase2.sort_buffer_bytes = config.sort_buffer_bytes;
-  phase2.merge_factor = config.merge_factor;
+  ApplyEngineKnobs(config, &phase2);
   phase2.mapper_factory = [] { return std::make_unique<Phase2Mapper>(); };
   phase2.reducer_factory = [] { return std::make_unique<Phase2Reducer>(); };
   mr::Job<PairKey, HalfPair> job2(dfs, std::move(phase2));
@@ -407,9 +404,7 @@ Result<Stage3Result> RunOprj(mr::Dfs* dfs,
   spec.output_file = output_file;
   spec.num_map_tasks = config.num_map_tasks;
   spec.num_reduce_tasks = config.num_reduce_tasks;
-  spec.local_threads = config.local_threads;
-  spec.sort_buffer_bytes = config.sort_buffer_bytes;
-  spec.merge_factor = config.merge_factor;
+  ApplyEngineKnobs(config, &spec);
   spec.mapper_factory = [pair_lines, is_rs] {
     return std::make_unique<OprjMapper>(pair_lines, is_rs);
   };

@@ -36,12 +36,27 @@ SimulatedJobTime SimulateJob(const JobMetrics& metrics,
   out.startup_seconds = cluster.job_startup_seconds;
 
   const double scale = cluster.work_scale;
-  std::vector<double> map_costs;
-  map_costs.reserve(metrics.map_tasks.size());
-  for (const auto& t : metrics.map_tasks) {
-    map_costs.push_back(t.seconds * scale);
-  }
-  out.map_seconds = Makespan(map_costs, cluster.map_slots());
+  // A task occupies its slot for the whole retry chain: every crashed
+  // attempt runs to its crash point before the committed attempt starts
+  // over. Speculative losers ran in parallel on other slots, so they are
+  // scheduled as independent entries rather than extending the chain.
+  auto phase_costs = [scale](const std::vector<TaskMetrics>& tasks,
+                             double* wasted) {
+    std::vector<double> costs;
+    costs.reserve(tasks.size());
+    for (const TaskMetrics& t : tasks) {
+      costs.push_back((t.failed_attempt_seconds + t.seconds) * scale);
+      if (t.speculative_loser_seconds > 0) {
+        costs.push_back(t.speculative_loser_seconds * scale);
+      }
+      *wasted += t.wasted_seconds() * scale;
+    }
+    return costs;
+  };
+
+  out.map_seconds =
+      Makespan(phase_costs(metrics.map_tasks, &out.wasted_seconds),
+               cluster.map_slots());
 
   double bandwidth =
       cluster.shuffle_bytes_per_second_per_node * static_cast<double>(cluster.nodes);
@@ -61,12 +76,9 @@ SimulatedJobTime SimulateJob(const JobMetrics& metrics,
                         scale / disk_bandwidth;
   }
 
-  std::vector<double> reduce_costs;
-  reduce_costs.reserve(metrics.reduce_tasks.size());
-  for (const auto& t : metrics.reduce_tasks) {
-    reduce_costs.push_back(t.seconds * scale);
-  }
-  out.reduce_seconds = Makespan(reduce_costs, cluster.reduce_slots());
+  out.reduce_seconds =
+      Makespan(phase_costs(metrics.reduce_tasks, &out.wasted_seconds),
+               cluster.reduce_slots());
 
   return out;
 }

@@ -15,6 +15,16 @@
 // task cannot speed up; skewed reducers dominate their wave; per-phase job
 // overhead penalises multi-phase variants (BTO vs OPTO, BRJ vs OPRJ) on
 // small inputs.
+//
+// Fault tolerance: a task's LPT cost is its whole retry chain — the
+// crashed attempts' seconds serialized ahead of the committed attempt,
+// exactly as Hadoop re-runs a failed task on a fresh slot after the
+// failure is noticed. Speculative losers ran CONCURRENTLY with the winner
+// on another slot, so they enter the schedule as separate entries and
+// occupy slot time without extending the winning task's chain. All wasted
+// work (failed attempts + speculation losers) is also reported in
+// SimulatedJobTime::wasted_seconds so benchmarks can quote the recovery
+// overhead directly.
 #pragma once
 
 #include <cstddef>
@@ -71,6 +81,12 @@ struct SimulatedJobTime {
   /// merge re-reads). Zero for jobs that never spill.
   double spill_seconds = 0;
   double reduce_seconds = 0;
+
+  /// Slot time consumed by attempts that did not commit: crashed attempts
+  /// (serialized into their task's chain) and speculation losers (parallel
+  /// entries), scaled by work_scale. Informational — this time is already
+  /// inside map_seconds/reduce_seconds, so total() does not add it again.
+  double wasted_seconds = 0;
 
   double total() const {
     return startup_seconds + map_seconds + shuffle_seconds + spill_seconds +

@@ -27,11 +27,33 @@
 //                 key group at a time — the whole partition is never
 //                 re-sorted or re-materialized.
 //
+// Fault tolerance (fault.h) adds a task-ATTEMPT layer on top:
+//
+//   - every task runs as a sequence of attempts, each with its own
+//     TaskContext, CounterSet, SortBuffer/output, and (on the reduce side)
+//     its own copy of the partition's runs — a crashed attempt is dropped
+//     wholesale and can never leak partial spills, counters, or output
+//     lines into the shuffle or the job result;
+//   - a crashing attempt (per the job's FaultPlan) is retried up to
+//     JobSpec::max_task_attempts; exhausting the budget fails the job with
+//     a structured Status BEFORE any output file is written;
+//   - with JobSpec::speculative_execution, tasks whose committed cost
+//     exceeds speculation_slowdown_factor x the phase median get a
+//     speculative backup attempt; the first finisher (by simulated
+//     completion time, backups handicapped by the detection delay) wins
+//     the commit and the loser's cost is recorded as wasted work;
+//   - committed TaskMetrics/counters always describe exactly one clean
+//     attempt, so a faulted run's committed metrics — and its output
+//     bytes — match the fault-free run; the wasted work is tracked in the
+//     attempt-bookkeeping fields the cluster model prices separately.
+//
 // Determinism: runs are internally in emit order (stable sort) and the
 // merge breaks ties toward earlier runs, so output is byte-identical to
 // the legacy unbounded path (sort_buffer_bytes == 0, a single in-memory
-// run per map task). Reduce output lines are written to the job's output
-// file in the Dfs, concatenated in reduce-task order.
+// run per map task) — and, because attempts re-execute deterministically,
+// also byte-identical under any recoverable fault plan. Reduce output
+// lines are written to the job's output file in the Dfs, concatenated in
+// reduce-task order.
 #pragma once
 
 #include <algorithm>
@@ -39,6 +61,7 @@
 #include <functional>
 #include <limits>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -48,6 +71,7 @@
 #include "common/thread_pool.h"
 #include "common/timer.h"
 #include "mapreduce/dfs.h"
+#include "mapreduce/fault.h"
 #include "mapreduce/input.h"
 #include "mapreduce/job_spec.h"
 #include "mapreduce/metrics.h"
@@ -64,7 +88,8 @@ class Job {
   Job(Dfs* dfs, JobSpec<K, V> spec) : dfs_(dfs), spec_(std::move(spec)) {}
 
   /// Runs the job; on success the output file exists in the Dfs and the
-  /// returned metrics describe every task.
+  /// returned metrics describe every task. A task that fails permanently
+  /// (every attempt crashed) returns a non-OK Status and writes nothing.
   Result<JobMetrics> Run();
 
  private:
@@ -86,7 +111,23 @@ class Job {
     TaskMetrics* metrics_;
   };
 
-  // Copies a finished task's scratch I/O into the job-wide counters.
+  /// Everything one attempt produces, scoped to the attempt so a crash
+  /// discards it wholesale.
+  struct MapAttemptResult {
+    bool crashed = false;
+    TaskMetrics metrics;
+    CounterSet counters;
+    MapTaskOutput<K, V> output;
+  };
+
+  struct ReduceAttemptResult {
+    bool crashed = false;
+    TaskMetrics metrics;
+    CounterSet counters;
+    std::vector<std::string> output;
+  };
+
+  // Copies a finished task's scratch I/O into the attempt's counters.
   static void AccountScratch(const TaskContext& ctx, CounterSet* counters) {
     const LocalScratch& scratch = ctx.scratch();
     if (scratch.bytes_written() > 0 || scratch.bytes_read() > 0) {
@@ -103,9 +144,129 @@ class Job {
     }
   }
 
+  /// The attempt's cost: measured wall time plus simulated charges, slowed
+  /// down by any straggler fault.
+  static double AttemptSeconds(const WallTimer& timer, const TaskContext& ctx,
+                               const AttemptFault& fault) {
+    return (timer.ElapsedSeconds() + ctx.charged_seconds()) * fault.slowdown +
+           fault.extra_seconds;
+  }
+
+  /// Median of the committed task costs of one phase — the speculation
+  /// detector's notion of "normal" (and of when it noticed the straggler).
+  static double MedianSeconds(const std::vector<TaskMetrics>& tasks) {
+    std::vector<double> secs;
+    secs.reserve(tasks.size());
+    for (const TaskMetrics& t : tasks) secs.push_back(t.seconds);
+    std::sort(secs.begin(), secs.end());
+    return secs.empty() ? 0.0 : secs[secs.size() / 2];
+  }
+
+  MapAttemptResult RunMapAttempt(const InputSplit& split,
+                                 const std::vector<std::string>& lines,
+                                 const SpecOrdering<K, V>& ordering,
+                                 size_t task_id, uint32_t attempt,
+                                 const AttemptFault& fault);
+
+  ReduceAttemptResult RunReduceAttempt(
+      const std::vector<SortedRun<K, V>*>& partition_runs, bool preserve_runs,
+      const SpecOrdering<K, V>& ordering, size_t merge_factor, size_t task_id,
+      uint32_t attempt, const AttemptFault& fault);
+
   Dfs* dfs_;
   JobSpec<K, V> spec_;
 };
+
+template <typename K, typename V>
+typename Job<K, V>::MapAttemptResult Job<K, V>::RunMapAttempt(
+    const InputSplit& split, const std::vector<std::string>& lines,
+    const SpecOrdering<K, V>& ordering, size_t task_id, uint32_t attempt,
+    const AttemptFault& fault) {
+  MapAttemptResult res;
+  WallTimer timer;
+  TaskContext ctx(task_id, attempt, &res.counters);
+  ctx.set_fault(fault);
+  SortBuffer<K, V> buffer(&spec_, &ordering, &ctx, &res.metrics, &res.output);
+
+  auto mapper = spec_.mapper_factory();
+  mapper->Setup(&ctx);
+  for (size_t i = split.begin_line; i < split.end_line; ++i) {
+    if (ctx.CrashDue()) {
+      res.crashed = true;
+      break;
+    }
+    InputRecord record{split.file_index, &split.file_name, i, &lines[i]};
+    mapper->Map(record, &buffer, &ctx);
+    ctx.NoteRecordProcessed();
+    res.metrics.input_records++;
+    res.metrics.input_bytes += lines[i].size() + 1;
+  }
+  // A crash budget equal to the split size fires before Teardown — the
+  // attempt dies without flushing (OPTO-style Teardown emitters included).
+  if (!res.crashed && ctx.CrashDue()) res.crashed = true;
+  if (!res.crashed) {
+    mapper->Teardown(&buffer, &ctx);
+    buffer.Flush();
+    AccountScratch(ctx, &res.counters);
+  }
+  res.metrics.seconds = AttemptSeconds(timer, ctx, fault);
+  return res;
+}
+
+template <typename K, typename V>
+typename Job<K, V>::ReduceAttemptResult Job<K, V>::RunReduceAttempt(
+    const std::vector<SortedRun<K, V>*>& partition_runs, bool preserve_runs,
+    const SpecOrdering<K, V>& ordering, size_t merge_factor, size_t task_id,
+    uint32_t attempt, const AttemptFault& fault) {
+  ReduceAttemptResult res;
+  WallTimer timer;
+  TaskContext ctx(task_id, attempt, &res.counters);
+  ctx.set_fault(fault);
+  VectorOutputEmitter out(&res.output, &res.metrics);
+
+  // The merge consumes its input runs, so when this task may run more than
+  // once (faults or speculation active) each attempt merges an
+  // attempt-scoped copy and the shuffle data stays pristine for the next
+  // attempt. Fault-free jobs keep the zero-copy path.
+  std::vector<SortedRun<K, V>> copies;
+  std::vector<SortedRun<K, V>*> runs;
+  if (preserve_runs) {
+    copies.assign(partition_runs.size(), SortedRun<K, V>{});
+    runs.reserve(partition_runs.size());
+    for (size_t i = 0; i < partition_runs.size(); ++i) {
+      copies[i] = *partition_runs[i];
+      runs.push_back(&copies[i]);
+    }
+  } else {
+    runs = partition_runs;
+  }
+  for (const SortedRun<K, V>* run : runs) {
+    res.metrics.input_records += run->pairs.size();
+    res.metrics.input_bytes += run->bytes;
+  }
+
+  auto reducer = spec_.reducer_factory();
+  reducer->Setup(&ctx);
+  RunMerger<K, V> merger(&ordering, std::move(runs), merge_factor, &ctx,
+                         &res.metrics);
+  merger.ForEachGroup(
+      [&reducer, &out, &ctx, &res](std::span<const Pair> group) -> bool {
+        if (ctx.CrashDue()) {
+          res.crashed = true;
+          return false;
+        }
+        reducer->Reduce(group.front().first, group, &out, &ctx);
+        ctx.NoteRecordProcessed();
+        return true;
+      });
+  if (!res.crashed && ctx.CrashDue()) res.crashed = true;
+  if (!res.crashed) {
+    reducer->Teardown(&out, &ctx);
+    AccountScratch(ctx, &res.counters);
+  }
+  res.metrics.seconds = AttemptSeconds(timer, ctx, fault);
+  return res;
+}
 
 template <typename K, typename V>
 Result<JobMetrics> Job<K, V>::Run() {
@@ -122,6 +283,14 @@ Result<JobMetrics> Job<K, V>::Run() {
   if (spec_.merge_factor < 2) {
     return Status::InvalidArgument("job '" + spec_.name +
                                    "': merge_factor must be >= 2");
+  }
+  if (spec_.max_task_attempts < 1) {
+    return Status::InvalidArgument("job '" + spec_.name +
+                                   "': max_task_attempts must be >= 1");
+  }
+  if (spec_.speculative_execution && spec_.speculation_slowdown_factor <= 1.0) {
+    return Status::InvalidArgument(
+        "job '" + spec_.name + "': speculation_slowdown_factor must be > 1");
   }
   if (spec_.input_files.empty()) {
     return Status::InvalidArgument("job '" + spec_.name + "': no input files");
@@ -145,41 +314,126 @@ Result<JobMetrics> Job<K, V>::Run() {
   const size_t num_map_tasks = splits.size();
   const size_t num_reduce_tasks = spec_.num_reduce_tasks;
   const SpecOrdering<K, V> ordering(&spec_);
+  const FaultInjector injector(spec_.fault_plan.get(), spec_.name);
+  // Reduce attempts must not consume the shuffle when a retry or backup
+  // might need it again.
+  const bool preserve_runs = injector.active() || spec_.speculative_execution;
+
+  // First permanent task failure wins; later ones are redundant detail.
+  std::mutex failure_mu;
+  Status job_status;
+  auto record_failure = [this, &failure_mu, &job_status](TaskPhase phase,
+                                                         size_t task_id) {
+    std::lock_guard<std::mutex> lock(failure_mu);
+    if (job_status.ok()) {
+      job_status = Status::Internal(
+          "job '" + spec_.name + "': " + TaskPhaseName(phase) + " task " +
+          std::to_string(task_id) + " failed permanently after " +
+          std::to_string(spec_.max_task_attempts) + " attempts");
+    }
+  };
 
   metrics.map_tasks.resize(num_map_tasks);
   std::vector<MapTaskOutput<K, V>> map_outputs(num_map_tasks);
 
-  // ---- Map phase: run mappers through the sort-spill buffer ----
+  // ---- Map phase: retry each task's attempts until one commits ----
   std::vector<std::function<void()>> map_fns;
   map_fns.reserve(num_map_tasks);
   for (size_t m = 0; m < num_map_tasks; ++m) {
     map_fns.push_back([this, m, &splits, &file_lines, &metrics, &map_outputs,
-                       &ordering] {
+                       &ordering, &injector, &record_failure] {
       const InputSplit& split = splits[m];
-      TaskMetrics& task_metrics = metrics.map_tasks[m];
-
-      WallTimer timer;
-      TaskContext ctx(m, &metrics.counters);
-      SortBuffer<K, V> buffer(&spec_, &ordering, &ctx, &task_metrics,
-                              &map_outputs[m]);
-
-      auto mapper = spec_.mapper_factory();
-      mapper->Setup(&ctx);
       const std::vector<std::string>& lines = *file_lines[split.file_index];
-      for (size_t i = split.begin_line; i < split.end_line; ++i) {
-        InputRecord record{split.file_index, &split.file_name, i, &lines[i]};
-        mapper->Map(record, &buffer, &ctx);
-        task_metrics.input_records++;
-        task_metrics.input_bytes += lines[i].size() + 1;
+      uint32_t failed = 0;
+      double failed_seconds = 0;
+      for (uint32_t attempt = 0; attempt < spec_.max_task_attempts;
+           ++attempt) {
+        MapAttemptResult res =
+            RunMapAttempt(split, lines, ordering, m, attempt,
+                          injector.FaultFor(TaskPhase::kMap, m, attempt));
+        if (res.crashed) {
+          failed++;
+          failed_seconds += res.metrics.seconds;
+          continue;
+        }
+        // Commit: the clean attempt's metrics, counters, and shuffle
+        // output become the task's result; failed attempts only leave
+        // their cost behind.
+        TaskMetrics committed = std::move(res.metrics);
+        committed.attempts = failed + 1;
+        committed.failed_attempts = failed;
+        committed.failed_attempt_seconds = failed_seconds;
+        metrics.map_tasks[m] = std::move(committed);
+        metrics.counters.MergeFrom(res.counters);
+        map_outputs[m] = std::move(res.output);
+        return;
       }
-      mapper->Teardown(&buffer, &ctx);
-      buffer.Flush();
-
-      AccountScratch(ctx, &metrics.counters);
-      task_metrics.seconds = timer.ElapsedSeconds() + ctx.charged_seconds();
+      metrics.map_tasks[m].attempts = failed;
+      metrics.map_tasks[m].failed_attempts = failed;
+      metrics.map_tasks[m].failed_attempt_seconds = failed_seconds;
+      record_failure(TaskPhase::kMap, m);
     });
   }
   RunParallel(map_fns, spec_.local_threads);
+  FJ_RETURN_IF_ERROR(job_status);
+
+  // ---- Map-side speculation: back up stragglers, first finisher wins ----
+  if (spec_.speculative_execution && num_map_tasks >= 2) {
+    const double median = MedianSeconds(metrics.map_tasks);
+    const double threshold = median * spec_.speculation_slowdown_factor;
+    std::vector<std::function<void()>> backup_fns;
+    for (size_t m = 0; m < num_map_tasks; ++m) {
+      if (median <= 0 || metrics.map_tasks[m].seconds <= threshold) continue;
+      backup_fns.push_back([this, m, median, &splits, &file_lines, &metrics,
+                            &map_outputs, &ordering, &injector] {
+        const InputSplit& split = splits[m];
+        const std::vector<std::string>& lines = *file_lines[split.file_index];
+        TaskMetrics& task = metrics.map_tasks[m];
+        const uint32_t attempt = task.attempts;
+        MapAttemptResult res =
+            RunMapAttempt(split, lines, ordering, m, attempt,
+                          injector.FaultFor(TaskPhase::kMap, m, attempt));
+        task.attempts++;
+        task.speculative_launched = true;
+        if (res.crashed) {
+          // The backup died (or would have been killed at the straggler's
+          // commit, whichever came first); the straggler's commit stands.
+          task.speculative_loser_seconds += std::min(
+              res.metrics.seconds,
+              std::max(0.0, task.failed_attempt_seconds + task.seconds -
+                                median));
+          return;
+        }
+        // First-finisher-wins: the straggler has been running since the
+        // phase started (behind its failed attempts); the backup launched
+        // when the detector noticed — at the phase median. The loser is
+        // KILLED at the winner's commit, so it only occupies its slot
+        // until then — that kill is what makes speculation pay.
+        const double primary_finish =
+            task.failed_attempt_seconds + task.seconds;
+        const double backup_finish = median + res.metrics.seconds;
+        if (backup_finish < primary_finish) {
+          TaskMetrics committed = std::move(res.metrics);
+          committed.attempts = task.attempts;
+          committed.failed_attempts = task.failed_attempts;
+          committed.failed_attempt_seconds = task.failed_attempt_seconds;
+          committed.speculative_launched = true;
+          committed.speculative_won = true;
+          committed.speculative_loser_seconds =
+              task.speculative_loser_seconds +
+              std::max(0.0, backup_finish - task.failed_attempt_seconds);
+          task = std::move(committed);
+          // Deterministic attempts emit identical counters, so the
+          // primary's already-merged counters stand for the backup too.
+          map_outputs[m] = std::move(res.output);
+        } else {
+          task.speculative_loser_seconds += std::min(
+              res.metrics.seconds, std::max(0.0, primary_finish - median));
+        }
+      });
+    }
+    RunParallel(backup_fns, spec_.local_threads);
+  }
 
   // ---- Reduce phase: streaming k-way merge over sorted runs ----
   metrics.reduce_tasks.resize(num_reduce_tasks);
@@ -192,43 +446,102 @@ Result<JobMetrics> Job<K, V>::Run() {
                                   ? spec_.merge_factor
                                   : std::numeric_limits<size_t>::max();
 
+  // This partition's runs from every map task, in map-task-then-spill
+  // order — the rank order the merger's tie-break relies on.
+  std::vector<std::vector<SortedRun<K, V>*>> partition_runs(num_reduce_tasks);
+  for (size_t m = 0; m < num_map_tasks; ++m) {
+    for (auto& spill : map_outputs[m].spills) {
+      for (size_t r = 0; r < num_reduce_tasks; ++r) {
+        if (!spill[r].pairs.empty()) partition_runs[r].push_back(&spill[r]);
+      }
+    }
+  }
+
   std::vector<std::function<void()>> reduce_fns;
   reduce_fns.reserve(num_reduce_tasks);
   for (size_t r = 0; r < num_reduce_tasks; ++r) {
-    reduce_fns.push_back([this, r, num_map_tasks, &metrics, &map_outputs,
-                          &reduce_outputs, &ordering, merge_factor] {
-      TaskMetrics& task_metrics = metrics.reduce_tasks[r];
-      WallTimer timer;
-      TaskContext ctx(r, &metrics.counters);
-      VectorOutputEmitter out(&reduce_outputs[r], &task_metrics);
-
-      // This partition's runs from every map task, in map-task-then-spill
-      // order — the rank order the merger's tie-break relies on.
-      std::vector<SortedRun<K, V>*> runs;
-      for (size_t m = 0; m < num_map_tasks; ++m) {
-        for (auto& spill : map_outputs[m].spills) {
-          SortedRun<K, V>& run = spill[r];
-          if (run.pairs.empty()) continue;
-          task_metrics.input_records += run.pairs.size();
-          task_metrics.input_bytes += run.bytes;
-          runs.push_back(&run);
+    reduce_fns.push_back([this, r, preserve_runs, &metrics, &partition_runs,
+                          &reduce_outputs, &ordering, merge_factor, &injector,
+                          &record_failure] {
+      uint32_t failed = 0;
+      double failed_seconds = 0;
+      for (uint32_t attempt = 0; attempt < spec_.max_task_attempts;
+           ++attempt) {
+        ReduceAttemptResult res = RunReduceAttempt(
+            partition_runs[r], preserve_runs, ordering, merge_factor, r,
+            attempt, injector.FaultFor(TaskPhase::kReduce, r, attempt));
+        if (res.crashed) {
+          failed++;
+          failed_seconds += res.metrics.seconds;
+          continue;
         }
+        TaskMetrics committed = std::move(res.metrics);
+        committed.attempts = failed + 1;
+        committed.failed_attempts = failed;
+        committed.failed_attempt_seconds = failed_seconds;
+        metrics.reduce_tasks[r] = std::move(committed);
+        metrics.counters.MergeFrom(res.counters);
+        reduce_outputs[r] = std::move(res.output);
+        return;
       }
-
-      auto reducer = spec_.reducer_factory();
-      reducer->Setup(&ctx);
-      RunMerger<K, V> merger(&ordering, std::move(runs), merge_factor, &ctx,
-                             &task_metrics);
-      merger.ForEachGroup([&reducer, &out, &ctx](std::span<const Pair> group) {
-        reducer->Reduce(group.front().first, group, &out, &ctx);
-      });
-      reducer->Teardown(&out, &ctx);
-
-      AccountScratch(ctx, &metrics.counters);
-      task_metrics.seconds = timer.ElapsedSeconds() + ctx.charged_seconds();
+      metrics.reduce_tasks[r].attempts = failed;
+      metrics.reduce_tasks[r].failed_attempts = failed;
+      metrics.reduce_tasks[r].failed_attempt_seconds = failed_seconds;
+      record_failure(TaskPhase::kReduce, r);
     });
   }
   RunParallel(reduce_fns, spec_.local_threads);
+  FJ_RETURN_IF_ERROR(job_status);
+
+  // ---- Reduce-side speculation ----
+  if (spec_.speculative_execution && num_reduce_tasks >= 2) {
+    const double median = MedianSeconds(metrics.reduce_tasks);
+    const double threshold = median * spec_.speculation_slowdown_factor;
+    std::vector<std::function<void()>> backup_fns;
+    for (size_t r = 0; r < num_reduce_tasks; ++r) {
+      if (median <= 0 || metrics.reduce_tasks[r].seconds <= threshold) {
+        continue;
+      }
+      backup_fns.push_back([this, r, median, preserve_runs, &metrics,
+                            &partition_runs, &reduce_outputs, &ordering,
+                            merge_factor, &injector] {
+        TaskMetrics& task = metrics.reduce_tasks[r];
+        const uint32_t attempt = task.attempts;
+        ReduceAttemptResult res = RunReduceAttempt(
+            partition_runs[r], preserve_runs, ordering, merge_factor, r,
+            attempt, injector.FaultFor(TaskPhase::kReduce, r, attempt));
+        task.attempts++;
+        task.speculative_launched = true;
+        if (res.crashed) {
+          task.speculative_loser_seconds += std::min(
+              res.metrics.seconds,
+              std::max(0.0, task.failed_attempt_seconds + task.seconds -
+                                median));
+          return;
+        }
+        const double primary_finish =
+            task.failed_attempt_seconds + task.seconds;
+        const double backup_finish = median + res.metrics.seconds;
+        if (backup_finish < primary_finish) {
+          TaskMetrics committed = std::move(res.metrics);
+          committed.attempts = task.attempts;
+          committed.failed_attempts = task.failed_attempts;
+          committed.failed_attempt_seconds = task.failed_attempt_seconds;
+          committed.speculative_launched = true;
+          committed.speculative_won = true;
+          committed.speculative_loser_seconds =
+              task.speculative_loser_seconds +
+              std::max(0.0, backup_finish - task.failed_attempt_seconds);
+          task = std::move(committed);
+          reduce_outputs[r] = std::move(res.output);
+        } else {
+          task.speculative_loser_seconds += std::min(
+              res.metrics.seconds, std::max(0.0, primary_finish - median));
+        }
+      });
+    }
+    RunParallel(backup_fns, spec_.local_threads);
+  }
 
   // ---- Job-level accounting (O(tasks): totals were metered on the emit
   // and spill paths, never by re-walking the intermediate data) ----
@@ -245,6 +558,15 @@ Result<JobMetrics> Job<K, V>::Run() {
     metrics.spill_count += t.spill_count;
     metrics.spilled_bytes += t.spilled_bytes;
     metrics.merge_passes += t.merge_passes;
+  }
+  for (const std::vector<TaskMetrics>* tasks :
+       {&metrics.map_tasks, &metrics.reduce_tasks}) {
+    for (const TaskMetrics& t : *tasks) {
+      metrics.failed_attempts += t.failed_attempts;
+      if (t.speculative_launched) metrics.speculative_launched++;
+      if (t.speculative_won) metrics.speculative_wins++;
+      metrics.wasted_task_seconds += t.wasted_seconds();
+    }
   }
 
   // ---- Output ----

@@ -17,6 +17,7 @@
 #include <utility>
 #include <vector>
 
+#include "mapreduce/fault.h"
 #include "mapreduce/input.h"
 #include "mapreduce/key_traits.h"
 #include "mapreduce/task_context.h"
@@ -158,6 +159,30 @@ struct JobSpec {
   /// on-disk runs (extra merge passes that re-read and re-write the data)
   /// until one streaming pass suffices.
   size_t merge_factor = 16;
+
+  /// Maximum attempts per task before the job fails — the analogue of
+  /// Hadoop's mapred.map.max.attempts / mapred.reduce.max.attempts (both
+  /// default 4 there too). A task whose every attempt crashes fails the
+  /// whole job with a structured Status; no partial output is written.
+  uint32_t max_task_attempts = 4;
+
+  /// Launch speculative backup attempts for straggling tasks (Hadoop's
+  /// mapred.*.tasks.speculative.execution). After a phase's tasks commit,
+  /// any task whose cost exceeds speculation_slowdown_factor x the phase
+  /// median is re-executed as a backup attempt; the first finisher (by
+  /// simulated completion time) wins the output commit and the loser's
+  /// cost is recorded as wasted work.
+  bool speculative_execution = false;
+
+  /// Straggler threshold for speculation, as a multiple of the phase's
+  /// median committed task cost. Must be > 1.
+  double speculation_slowdown_factor = 3.0;
+
+  /// Deterministic fault plan injected into this job's task attempts;
+  /// nullptr = fault-free. Shared so one plan can be handed to every job
+  /// of a pipeline. With any recoverable plan the job output is
+  /// byte-identical to the fault-free run (see mapreduce/fault.h).
+  std::shared_ptr<const FaultPlan> fault_plan;
 };
 
 /// The job's resolved key ordering: comparators and partitioner with the

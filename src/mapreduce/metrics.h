@@ -44,6 +44,36 @@ struct TaskMetrics {
   /// final streaming merge plus any intermediate collapses; 0 when the
   /// partition arrived as a single run).
   uint64_t merge_passes = 0;
+
+  /// --- Attempt bookkeeping (fault tolerance & speculation) ---
+  /// Every field above describes the COMMITTED attempt only, so a faulted
+  /// run's committed metrics match the fault-free run exactly; the cost of
+  /// attempts that crashed or lost the speculation race lands here.
+  /// Total attempts executed for this task (committed + failed +
+  /// speculative).
+  uint32_t attempts = 1;
+  /// Attempts that crashed before committing (the retry chain ran them
+  /// sequentially before the committed attempt).
+  uint32_t failed_attempts = 0;
+  /// Cost of the crashed attempts in the retry chain. The cluster model
+  /// serializes this ahead of the committed attempt's cost.
+  double failed_attempt_seconds = 0;
+  /// A speculative backup was launched for this task.
+  bool speculative_launched = false;
+  /// The backup finished first and its output was committed.
+  bool speculative_won = false;
+  /// Slot time the losing side(s) of the speculation race actually
+  /// occupied (the straggler when the backup won, the backup otherwise —
+  /// including backups that crashed). The loser is killed at the winner's
+  /// commit, so this is bounded by the winner's finish time, not the
+  /// loser's would-be runtime. Ran concurrently with the winner on
+  /// another slot.
+  double speculative_loser_seconds = 0;
+
+  /// Work thrown away by failures and lost speculation races.
+  double wasted_seconds() const {
+    return failed_attempt_seconds + speculative_loser_seconds;
+  }
 };
 
 /// Everything the engine measured about one MapReduce job execution.
@@ -66,6 +96,13 @@ struct JobMetrics {
   uint64_t spill_count = 0;
   uint64_t spilled_bytes = 0;
   uint64_t merge_passes = 0;
+
+  /// Fault-tolerance totals over all tasks (see TaskMetrics). Committed
+  /// byte/record totals above exclude failed and losing attempts.
+  uint64_t failed_attempts = 0;
+  uint64_t speculative_launched = 0;
+  uint64_t speculative_wins = 0;
+  double wasted_task_seconds = 0;
 
   /// Real wall time of the whole (local) execution.
   double wall_seconds = 0;

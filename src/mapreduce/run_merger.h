@@ -25,6 +25,7 @@
 #include <cstdint>
 #include <memory>
 #include <span>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
@@ -54,9 +55,22 @@ class RunMerger {
   }
 
   /// Streams each contiguous key group to `fn` as a span (valid only for
-  /// the duration of the call), smallest keys first.
+  /// the duration of the call), smallest keys first. `fn` may return void
+  /// (consume every group) or bool — returning false stops the merge
+  /// early, which the engine's fault layer uses to abort a crashing
+  /// reduce attempt mid-stream.
   template <typename Fn>
   void ForEachGroup(Fn fn) {
+    auto emit = [&fn](std::span<const Pair> group) -> bool {
+      if constexpr (std::is_void_v<
+                        std::invoke_result_t<Fn&, std::span<const Pair>>>) {
+        fn(group);
+        return true;
+      } else {
+        return fn(group);
+      }
+    };
+
     CollapseToSinglePass();
     if (runs_.empty()) return;
 
@@ -71,13 +85,13 @@ class RunMerger {
     while (!heap_.empty()) {
       if (!group.empty() &&
           !ordering_->GroupEqual(group.front().first, TopKey())) {
-        fn(std::span<const Pair>(group.data(), group.size()));
+        if (!emit(std::span<const Pair>(group.data(), group.size()))) return;
         group.clear();
       }
       group.push_back(PopMin());
     }
     if (!group.empty()) {
-      fn(std::span<const Pair>(group.data(), group.size()));
+      emit(std::span<const Pair>(group.data(), group.size()));
     }
   }
 

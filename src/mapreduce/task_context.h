@@ -10,6 +10,7 @@
 
 #include "common/counters.h"
 #include "common/result.h"
+#include "mapreduce/fault.h"
 
 namespace fj::mr {
 
@@ -60,15 +61,38 @@ class LocalScratch {
   uint64_t spill_bytes_read_ = 0;
 };
 
-/// Handed to mapper/reducer Setup(); identifies the task and collects costs.
+/// Handed to mapper/reducer Setup(); identifies the task *attempt* and
+/// collects costs. The engine creates one TaskContext per attempt: a
+/// retried or speculative task sees a fresh context, so counters and
+/// scratch from a failed attempt never leak into the committed result.
 class TaskContext {
  public:
   TaskContext(size_t task_id, CounterSet* counters)
       : task_id_(task_id), counters_(counters) {}
 
+  TaskContext(size_t task_id, uint32_t attempt, CounterSet* counters)
+      : task_id_(task_id), attempt_(attempt), counters_(counters) {}
+
   size_t task_id() const { return task_id_; }
 
+  /// 0 for the original attempt; retries and speculative backups count up.
+  uint32_t attempt() const { return attempt_; }
+
   CounterSet& counters() { return *counters_; }
+
+  /// Fault injection hooks (see mapreduce/fault.h). The engine installs
+  /// the attempt's resolved fault and ticks record progress; user code
+  /// never calls these — mappers/reducers stay fault-oblivious.
+  void set_fault(const AttemptFault& fault) { fault_ = fault; }
+  const AttemptFault& fault() const { return fault_; }
+
+  /// True when the installed fault says this attempt must crash now
+  /// (checked by the engine before each record / reduce group).
+  bool CrashDue() const {
+    return records_processed_ >= fault_.crash_after_records;
+  }
+  void NoteRecordProcessed() { records_processed_++; }
+  uint64_t records_processed() const { return records_processed_; }
 
   /// Adds simulated seconds to this task's cost without actually sleeping.
   /// Used to model work whose real cost the simulator cannot observe
@@ -84,8 +108,11 @@ class TaskContext {
 
  private:
   size_t task_id_;
+  uint32_t attempt_ = 0;
   CounterSet* counters_;
   double charged_seconds_ = 0;
+  uint64_t records_processed_ = 0;
+  AttemptFault fault_;
   LocalScratch scratch_;
 };
 

@@ -1,0 +1,101 @@
+// Determinism under physical concurrency: the full three-stage pipeline
+// must produce byte-identical output whether tasks execute on one host
+// thread or several — fault-free AND under a fault plan with retries and
+// speculative backups in flight. This is the invariant the TSan CI job
+// guards: attempt-scoped state means concurrent attempts share nothing
+// but the (preserved) shuffle input and the injector's pure hash.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/generator.h"
+#include "fuzzyjoin/fuzzyjoin.h"
+
+namespace fj::join {
+namespace {
+
+std::vector<std::string> SelfInputLines() {
+  auto config = data::DblpLikeConfig(300, 17);
+  config.payload_bytes = 24;
+  return data::RecordsToLines(data::GenerateRecords(config));
+}
+
+std::vector<std::string> OuterInputLines() {
+  auto config = data::CiteseerxLikeConfig(200, 31);
+  config.payload_bytes = 24;
+  return data::RecordsToLines(data::GenerateRecords(config));
+}
+
+JoinConfig MakeConfig(size_t threads, bool faults) {
+  JoinConfig config;
+  config.stage1 = Stage1Algorithm::kBTO;
+  config.stage2 = Stage2Algorithm::kPK;
+  config.stage3 = Stage3Algorithm::kBRJ;
+  config.num_map_tasks = 4;
+  config.num_reduce_tasks = 3;
+  config.local_threads = threads;
+  config.sort_buffer_bytes = 512;  // spilling + concurrency together
+  if (faults) {
+    auto plan = std::make_shared<mr::FaultPlan>();
+    plan->seed = 5;
+    plan->crash_probability = 0.5;
+    plan->crash_after_records = 6;
+    plan->crash_failing_attempts = 2;
+    plan->straggler_probability = 0.3;
+    plan->straggler_extra_seconds = 20.0;
+    config.fault_plan = std::move(plan);
+    config.speculative_execution = true;
+  }
+  return config;
+}
+
+const std::vector<std::string>& Lines(const mr::Dfs& dfs,
+                                      const std::string& file) {
+  auto lines = dfs.ReadFile(file);
+  EXPECT_TRUE(lines.ok());
+  return *lines.value();
+}
+
+TEST(ConcurrencyDeterminismTest, SelfJoinThreadCountInvariant) {
+  for (bool faults : {false, true}) {
+    mr::Dfs dfs;
+    ASSERT_TRUE(dfs.WriteFile("records", SelfInputLines()).ok());
+    auto serial = RunSelfJoin(&dfs, "records", "serial", MakeConfig(1, faults));
+    ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+    auto threaded =
+        RunSelfJoin(&dfs, "records", "threaded", MakeConfig(4, faults));
+    ASSERT_TRUE(threaded.ok()) << threaded.status().ToString();
+
+    EXPECT_EQ(Lines(dfs, serial->output_file), Lines(dfs, threaded->output_file))
+        << "faults=" << faults;
+    EXPECT_EQ(Lines(dfs, serial->ordering_file),
+              Lines(dfs, threaded->ordering_file))
+        << "faults=" << faults;
+    EXPECT_EQ(Lines(dfs, serial->rid_pairs_file),
+              Lines(dfs, threaded->rid_pairs_file))
+        << "faults=" << faults;
+  }
+}
+
+TEST(ConcurrencyDeterminismTest, RSJoinThreadCountInvariant) {
+  for (bool faults : {false, true}) {
+    mr::Dfs dfs;
+    ASSERT_TRUE(dfs.WriteFile("r", SelfInputLines()).ok());
+    ASSERT_TRUE(dfs.WriteFile("s", OuterInputLines()).ok());
+    auto serial = RunRSJoin(&dfs, "r", "s", "serial", MakeConfig(1, faults));
+    ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+    auto threaded = RunRSJoin(&dfs, "r", "s", "threaded", MakeConfig(4, faults));
+    ASSERT_TRUE(threaded.ok()) << threaded.status().ToString();
+
+    EXPECT_EQ(Lines(dfs, serial->output_file), Lines(dfs, threaded->output_file))
+        << "faults=" << faults;
+    EXPECT_EQ(Lines(dfs, serial->rid_pairs_file),
+              Lines(dfs, threaded->rid_pairs_file))
+        << "faults=" << faults;
+  }
+}
+
+}  // namespace
+}  // namespace fj::join

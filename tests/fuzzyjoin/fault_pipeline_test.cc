@@ -1,0 +1,180 @@
+// Pipeline-level fault-recovery golden tests: the full three-stage join —
+// self and R-S, every algorithm name, with and without spilling — must
+// produce byte-identical output under any recoverable fault plan
+// (crashes retried, stragglers speculated) as in the fault-free run. A
+// permanent fault scoped to one stage's job must fail the whole pipeline
+// with a clean Status and write no join output.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/generator.h"
+#include "fuzzyjoin/fuzzyjoin.h"
+
+namespace fj::join {
+namespace {
+
+std::vector<std::string> SelfInputLines() {
+  auto config = data::DblpLikeConfig(250, 11);
+  config.payload_bytes = 24;
+  return data::RecordsToLines(data::GenerateRecords(config));
+}
+
+std::vector<std::string> OuterInputLines() {
+  auto config = data::CiteseerxLikeConfig(180, 29);
+  config.payload_bytes = 24;
+  return data::RecordsToLines(data::GenerateRecords(config));
+}
+
+JoinConfig BaseConfig(Stage1Algorithm s1, Stage2Algorithm s2,
+                      Stage3Algorithm s3, uint64_t sort_buffer) {
+  JoinConfig config;
+  config.stage1 = s1;
+  config.stage2 = s2;
+  config.stage3 = s3;
+  config.num_map_tasks = 4;
+  config.num_reduce_tasks = 3;
+  config.sort_buffer_bytes = sort_buffer;
+  return config;
+}
+
+// A plan that exercises every recovery path: most attempts crash early,
+// half the tasks straggle hard enough to draw speculative backups.
+std::shared_ptr<const mr::FaultPlan> ChaosPlan() {
+  auto plan = std::make_shared<mr::FaultPlan>();
+  plan->seed = 13;
+  plan->crash_probability = 0.6;
+  plan->crash_after_records = 4;
+  plan->crash_failing_attempts = 2;
+  plan->straggler_probability = 0.4;
+  plan->straggler_extra_seconds = 25.0;
+  return plan;
+}
+
+const std::vector<std::string>& Lines(const mr::Dfs& dfs,
+                                      const std::string& file) {
+  auto lines = dfs.ReadFile(file);
+  EXPECT_TRUE(lines.ok());
+  return *lines.value();
+}
+
+uint64_t TotalFailedAttempts(const JoinRunResult& result) {
+  uint64_t failed = 0;
+  for (const auto& stage : result.stages) {
+    for (const auto& job : stage.jobs) failed += job.failed_attempts;
+  }
+  return failed;
+}
+
+void RunSelfGoldenCase(Stage1Algorithm s1, Stage2Algorithm s2,
+                       Stage3Algorithm s3, uint64_t sort_buffer) {
+  mr::Dfs dfs;
+  ASSERT_TRUE(dfs.WriteFile("records", SelfInputLines()).ok());
+
+  auto clean_config = BaseConfig(s1, s2, s3, sort_buffer);
+  auto clean = RunSelfJoin(&dfs, "records", "clean", clean_config);
+  ASSERT_TRUE(clean.ok()) << clean.status().ToString();
+
+  auto faulted_config = BaseConfig(s1, s2, s3, sort_buffer);
+  faulted_config.fault_plan = ChaosPlan();
+  faulted_config.speculative_execution = true;
+  ASSERT_TRUE(
+      faulted_config.fault_plan->RecoverableWith(faulted_config.max_task_attempts));
+  auto faulted = RunSelfJoin(&dfs, "records", "faulted", faulted_config);
+  ASSERT_TRUE(faulted.ok()) << faulted.status().ToString();
+
+  // The plan actually hurt: tasks crashed and were retried...
+  EXPECT_GT(TotalFailedAttempts(*faulted), 0u);
+  // ...and the join plus every kept intermediate is still byte-identical.
+  EXPECT_EQ(Lines(dfs, clean->output_file), Lines(dfs, faulted->output_file));
+  EXPECT_EQ(Lines(dfs, clean->ordering_file),
+            Lines(dfs, faulted->ordering_file));
+  EXPECT_EQ(Lines(dfs, clean->rid_pairs_file),
+            Lines(dfs, faulted->rid_pairs_file));
+}
+
+void RunRSGoldenCase(Stage1Algorithm s1, Stage2Algorithm s2,
+                     Stage3Algorithm s3, uint64_t sort_buffer) {
+  mr::Dfs dfs;
+  ASSERT_TRUE(dfs.WriteFile("r", SelfInputLines()).ok());
+  ASSERT_TRUE(dfs.WriteFile("s", OuterInputLines()).ok());
+
+  auto clean_config = BaseConfig(s1, s2, s3, sort_buffer);
+  auto clean = RunRSJoin(&dfs, "r", "s", "clean", clean_config);
+  ASSERT_TRUE(clean.ok()) << clean.status().ToString();
+
+  auto faulted_config = BaseConfig(s1, s2, s3, sort_buffer);
+  faulted_config.fault_plan = ChaosPlan();
+  faulted_config.speculative_execution = true;
+  auto faulted = RunRSJoin(&dfs, "r", "s", "faulted", faulted_config);
+  ASSERT_TRUE(faulted.ok()) << faulted.status().ToString();
+
+  EXPECT_GT(TotalFailedAttempts(*faulted), 0u);
+  EXPECT_EQ(Lines(dfs, clean->output_file), Lines(dfs, faulted->output_file));
+  EXPECT_EQ(Lines(dfs, clean->rid_pairs_file),
+            Lines(dfs, faulted->rid_pairs_file));
+}
+
+// Four combos cover all six algorithm names; spilling alternates so both
+// shuffle paths run under faults.
+TEST(FaultPipelineTest, SelfBtoBkBrjUnbounded) {
+  RunSelfGoldenCase(Stage1Algorithm::kBTO, Stage2Algorithm::kBK,
+                    Stage3Algorithm::kBRJ, 0);
+}
+
+TEST(FaultPipelineTest, SelfBtoPkOprjSpilling) {
+  RunSelfGoldenCase(Stage1Algorithm::kBTO, Stage2Algorithm::kPK,
+                    Stage3Algorithm::kOPRJ, 256);
+}
+
+TEST(FaultPipelineTest, SelfOptoPkBrjSpilling) {
+  RunSelfGoldenCase(Stage1Algorithm::kOPTO, Stage2Algorithm::kPK,
+                    Stage3Algorithm::kBRJ, 256);
+}
+
+TEST(FaultPipelineTest, SelfOptoBkOprjUnbounded) {
+  RunSelfGoldenCase(Stage1Algorithm::kOPTO, Stage2Algorithm::kBK,
+                    Stage3Algorithm::kOPRJ, 0);
+}
+
+TEST(FaultPipelineTest, RSBtoPkBrjUnbounded) {
+  RunRSGoldenCase(Stage1Algorithm::kBTO, Stage2Algorithm::kPK,
+                  Stage3Algorithm::kBRJ, 0);
+}
+
+TEST(FaultPipelineTest, RSOptoBkOprjSpilling) {
+  RunRSGoldenCase(Stage1Algorithm::kOPTO, Stage2Algorithm::kBK,
+                  Stage3Algorithm::kOPRJ, 256);
+}
+
+TEST(FaultPipelineTest, PermanentStageFaultFailsPipelineCleanly) {
+  mr::Dfs dfs;
+  ASSERT_TRUE(dfs.WriteFile("records", SelfInputLines()).ok());
+
+  auto plan = std::make_shared<mr::FaultPlan>();
+  // Only the kernel job's reduce task 0 is cursed — stage 1 completes,
+  // stage 2 exhausts its attempts, stage 3 never runs.
+  plan->faults.push_back(
+      mr::FaultSpec{.phase = mr::TaskPhase::kReduce,
+                    .task_id = 0,
+                    .failing_attempts = mr::FaultSpec::kAllAttempts,
+                    .crash_after_records = 0,
+                    .job_substring = "stage2"});
+  auto config = BaseConfig(Stage1Algorithm::kBTO, Stage2Algorithm::kPK,
+                           Stage3Algorithm::kBRJ, 0);
+  config.fault_plan = plan;
+  EXPECT_FALSE(plan->RecoverableWith(config.max_task_attempts));
+
+  auto result = RunSelfJoin(&dfs, "records", "doomed", config);
+  ASSERT_FALSE(result.ok());
+  const std::string message = result.status().ToString();
+  EXPECT_NE(message.find("stage2"), std::string::npos) << message;
+  EXPECT_NE(message.find("failed permanently"), std::string::npos) << message;
+  // The failed stage wrote nothing: no RID pairs, no join output.
+  EXPECT_FALSE(dfs.ReadFile("doomed").ok());
+}
+
+}  // namespace
+}  // namespace fj::join

@@ -144,6 +144,111 @@ TEST(SimulateJobTest, SpillSecondsScaleWithWorkScale) {
   EXPECT_DOUBLE_EQ(SimulateJob(metrics, cluster).spill_seconds, 100.0);
 }
 
+// --- fault-tolerance cost modeling ---
+
+TaskMetrics TaskWithChain(double seconds, double failed_seconds,
+                          double loser_seconds = 0.0) {
+  TaskMetrics t;
+  t.seconds = seconds;
+  t.failed_attempt_seconds = failed_seconds;
+  if (failed_seconds > 0) t.failed_attempts = 1;
+  t.speculative_loser_seconds = loser_seconds;
+  if (loser_seconds > 0) t.speculative_launched = true;
+  return t;
+}
+
+TEST(SimulateJobTest, RetryChainSerializesIntoTheTaskSlot) {
+  // One task crashed once (3s wasted) then committed in 2s: its slot is
+  // busy for 5s, which bounds the single-slot makespan.
+  JobMetrics metrics;
+  metrics.map_tasks = {TaskWithChain(2.0, 3.0)};
+  ClusterConfig cluster;
+  cluster.nodes = 1;
+  cluster.map_slots_per_node = 1;
+  auto simulated = SimulateJob(metrics, cluster);
+  EXPECT_DOUBLE_EQ(simulated.map_seconds, 5.0);
+  EXPECT_DOUBLE_EQ(simulated.wasted_seconds, 3.0);
+}
+
+TEST(SimulateJobTest, SpeculativeLoserOccupiesAParallelSlot) {
+  // Winner committed in 2s; the loser burned 4s concurrently. With two
+  // slots the loser bounds the phase; with one slot they serialize.
+  JobMetrics metrics;
+  metrics.map_tasks = {TaskWithChain(2.0, 0.0, 4.0)};
+  ClusterConfig two_slots;
+  two_slots.nodes = 1;
+  two_slots.map_slots_per_node = 2;
+  EXPECT_DOUBLE_EQ(SimulateJob(metrics, two_slots).map_seconds, 4.0);
+
+  ClusterConfig one_slot;
+  one_slot.nodes = 1;
+  one_slot.map_slots_per_node = 1;
+  EXPECT_DOUBLE_EQ(SimulateJob(metrics, one_slot).map_seconds, 6.0);
+  EXPECT_DOUBLE_EQ(SimulateJob(metrics, one_slot).wasted_seconds, 4.0);
+}
+
+TEST(SimulateJobTest, WastedSecondsIsInformationalNotAdditive) {
+  // total() must not double-charge wasted work: it is already inside the
+  // phase makespans.
+  JobMetrics metrics;
+  metrics.reduce_tasks = {TaskWithChain(1.0, 2.0, 3.0)};
+  ClusterConfig cluster;
+  cluster.nodes = 1;
+  cluster.reduce_slots_per_node = 2;
+  cluster.job_startup_seconds = 0.0;
+  auto simulated = SimulateJob(metrics, cluster);
+  EXPECT_DOUBLE_EQ(simulated.wasted_seconds, 5.0);
+  EXPECT_DOUBLE_EQ(simulated.total(), simulated.reduce_seconds);
+}
+
+TEST(SimulateJobTest, WastedSecondsScalesWithWorkScale) {
+  JobMetrics metrics;
+  metrics.map_tasks = {TaskWithChain(1.0, 2.0)};
+  ClusterConfig cluster;
+  cluster.work_scale = 10.0;
+  EXPECT_DOUBLE_EQ(SimulateJob(metrics, cluster).wasted_seconds, 20.0);
+}
+
+TEST(SimulateJobTest, ZeroTasksHaveNoWaste) {
+  JobMetrics metrics;
+  ClusterConfig cluster;
+  auto simulated = SimulateJob(metrics, cluster);
+  EXPECT_DOUBLE_EQ(simulated.map_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(simulated.reduce_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(simulated.wasted_seconds, 0.0);
+}
+
+TEST(SimulateJobTest, MoreBackupsThanSlotsQueue) {
+  // Four tasks each dragging a 1s speculative loser on a single slot:
+  // 4 x (1 + 1) = 8 serialized seconds.
+  JobMetrics metrics;
+  for (int i = 0; i < 4; ++i) {
+    metrics.map_tasks.push_back(TaskWithChain(1.0, 0.0, 1.0));
+  }
+  ClusterConfig cluster;
+  cluster.nodes = 1;
+  cluster.map_slots_per_node = 1;
+  EXPECT_DOUBLE_EQ(SimulateJob(metrics, cluster).map_seconds, 8.0);
+  // With plenty of slots every entry runs alone: the longest (1s) bounds.
+  cluster.map_slots_per_node = 16;
+  EXPECT_DOUBLE_EQ(SimulateJob(metrics, cluster).map_seconds, 1.0);
+}
+
+TEST(SimulateJobTest, StragglerSlowerThanBackupStillCharged) {
+  // The backup won (committed 1s); the straggler lost after 9s. The
+  // loser's slot time dominates a two-slot phase.
+  JobMetrics metrics;
+  TaskMetrics t = TaskWithChain(1.0, 0.0, 9.0);
+  t.speculative_won = true;
+  metrics.map_tasks = {t};
+  ClusterConfig cluster;
+  cluster.nodes = 1;
+  cluster.map_slots_per_node = 2;
+  auto simulated = SimulateJob(metrics, cluster);
+  EXPECT_DOUBLE_EQ(simulated.map_seconds, 9.0);
+  EXPECT_DOUBLE_EQ(simulated.wasted_seconds, 9.0);
+}
+
 TEST(SimulatePipelineTest, SumsJobs) {
   JobMetrics a, b;
   a.map_tasks = {TaskMetrics{1.0}};

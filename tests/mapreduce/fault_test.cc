@@ -1,0 +1,421 @@
+// Fault-tolerance contract tests for the engine's task-attempt layer:
+// transient crashes retry to a byte-identical result (output, metrics,
+// counters), permanent failures surface as a clean job-level Status with
+// no output written, stragglers get speculative backups with
+// first-finisher-wins commit, and the probabilistic fault layer is
+// deterministic and recoverable — including with spilling and
+// multi-threaded execution.
+#include "mapreduce/fault.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/string_util.h"
+#include "mapreduce/dfs.h"
+#include "mapreduce/job.h"
+
+namespace fj::mr {
+namespace {
+
+using K = std::string;
+using V = uint64_t;
+
+// Splits each line into words and emits (word, 1); counts mapped records
+// so the tests can check counters survive faults unduplicated.
+class WordCountMapper : public Mapper<K, V> {
+ public:
+  void Map(const InputRecord& record, Emitter<K, V>* out,
+           TaskContext* ctx) override {
+    ctx->counters().Add("mapper.lines", 1);
+    for (const auto& w : Split(*record.line, ' ')) {
+      if (!w.empty()) out->Emit(w, 1);
+    }
+  }
+};
+
+class SumReducer : public Reducer<K, V> {
+ public:
+  void Reduce(const K& key, std::span<const std::pair<K, V>> group,
+              OutputEmitter* out, TaskContext* ctx) override {
+    ctx->counters().Add("reducer.groups", 1);
+    uint64_t total = 0;
+    for (const auto& [k, v] : group) total += v;
+    out->Emit(key + "\t" + std::to_string(total));
+  }
+};
+
+JobSpec<K, V> WordCountSpec(const std::string& in, const std::string& out) {
+  JobSpec<K, V> spec;
+  spec.name = "wordcount";
+  spec.input_files = {in};
+  spec.output_file = out;
+  spec.num_map_tasks = 3;
+  spec.num_reduce_tasks = 3;
+  spec.mapper_factory = [] { return std::make_unique<WordCountMapper>(); };
+  spec.reducer_factory = [] { return std::make_unique<SumReducer>(); };
+  return spec;
+}
+
+void WriteInput(Dfs* dfs) {
+  ASSERT_TRUE(
+      dfs->WriteFile("in", {"a b a", "b c", "a d e", "f g", "c c c", "h a b"})
+          .ok());
+}
+
+std::vector<std::string> OutputLines(const Dfs& dfs, const std::string& file) {
+  auto lines = dfs.ReadFile(file);
+  EXPECT_TRUE(lines.ok()) << lines.status().ToString();
+  return lines.ok() ? *lines.value() : std::vector<std::string>{};
+}
+
+// Runs the fault-free baseline once.
+struct Baseline {
+  std::vector<std::string> output;
+  std::map<std::string, int64_t> counters;
+};
+
+Baseline RunBaseline() {
+  Dfs dfs;
+  WriteInput(&dfs);
+  Job<K, V> job(&dfs, WordCountSpec("in", "out"));
+  auto metrics = job.Run();
+  EXPECT_TRUE(metrics.ok()) << metrics.status().ToString();
+  return Baseline{OutputLines(dfs, "out"), metrics->counters.Snapshot()};
+}
+
+TEST(FaultTest, TransientMapCrashRetriesToIdenticalResult) {
+  Baseline baseline = RunBaseline();
+
+  Dfs dfs;
+  WriteInput(&dfs);
+  auto plan = std::make_shared<FaultPlan>();
+  // Task 1's first two attempts die after one record; the third commits.
+  plan->faults.push_back(FaultSpec{.phase = TaskPhase::kMap,
+                                   .task_id = 1,
+                                   .first_attempt = 0,
+                                   .failing_attempts = 2,
+                                   .crash_after_records = 1});
+  auto spec = WordCountSpec("in", "out");
+  spec.fault_plan = plan;
+  Job<K, V> job(&dfs, spec);
+  auto metrics = job.Run();
+  ASSERT_TRUE(metrics.ok()) << metrics.status().ToString();
+
+  EXPECT_EQ(OutputLines(dfs, "out"), baseline.output);
+  EXPECT_EQ(metrics->counters.Snapshot(), baseline.counters);
+  EXPECT_EQ(metrics->map_tasks[1].attempts, 3u);
+  EXPECT_EQ(metrics->map_tasks[1].failed_attempts, 2u);
+  EXPECT_GT(metrics->map_tasks[1].failed_attempt_seconds, 0.0);
+  EXPECT_GT(metrics->map_tasks[1].wasted_seconds(), 0.0);
+  EXPECT_EQ(metrics->failed_attempts, 2u);
+  // The other tasks ran once.
+  EXPECT_EQ(metrics->map_tasks[0].failed_attempts, 0u);
+  EXPECT_EQ(metrics->map_tasks[2].attempts, 1u);
+}
+
+TEST(FaultTest, TransientReduceCrashRetriesToIdenticalResult) {
+  Baseline baseline = RunBaseline();
+
+  Dfs dfs;
+  WriteInput(&dfs);
+  auto plan = std::make_shared<FaultPlan>();
+  // Reduce task 0 dies after its first key group, once.
+  plan->faults.push_back(FaultSpec{.phase = TaskPhase::kReduce,
+                                   .task_id = 0,
+                                   .first_attempt = 0,
+                                   .failing_attempts = 1,
+                                   .crash_after_records = 1});
+  auto spec = WordCountSpec("in", "out");
+  spec.fault_plan = plan;
+  Job<K, V> job(&dfs, spec);
+  auto metrics = job.Run();
+  ASSERT_TRUE(metrics.ok()) << metrics.status().ToString();
+
+  EXPECT_EQ(OutputLines(dfs, "out"), baseline.output);
+  EXPECT_EQ(metrics->counters.Snapshot(), baseline.counters);
+  EXPECT_EQ(metrics->reduce_tasks[0].attempts, 2u);
+  EXPECT_EQ(metrics->reduce_tasks[0].failed_attempts, 1u);
+  EXPECT_EQ(metrics->failed_attempts, 1u);
+}
+
+TEST(FaultTest, CrashBeyondRecordCountNeverFires) {
+  Baseline baseline = RunBaseline();
+
+  Dfs dfs;
+  WriteInput(&dfs);
+  auto plan = std::make_shared<FaultPlan>();
+  // 6 input lines over 3 map tasks = 2 records per split; a budget of 100
+  // records is never reached, so the attempt completes.
+  plan->faults.push_back(FaultSpec{.phase = TaskPhase::kMap,
+                                   .task_id = 0,
+                                   .failing_attempts = FaultSpec::kAllAttempts,
+                                   .crash_after_records = 100});
+  auto spec = WordCountSpec("in", "out");
+  spec.fault_plan = plan;
+  Job<K, V> job(&dfs, spec);
+  auto metrics = job.Run();
+  ASSERT_TRUE(metrics.ok()) << metrics.status().ToString();
+  EXPECT_EQ(OutputLines(dfs, "out"), baseline.output);
+  EXPECT_EQ(metrics->failed_attempts, 0u);
+}
+
+TEST(FaultTest, PermanentFailureFailsJobWithoutOutput) {
+  Dfs dfs;
+  WriteInput(&dfs);
+  auto plan = std::make_shared<FaultPlan>();
+  plan->faults.push_back(FaultSpec{.phase = TaskPhase::kReduce,
+                                   .task_id = 1,
+                                   .failing_attempts = FaultSpec::kAllAttempts,
+                                   .crash_after_records = 0});
+  auto spec = WordCountSpec("in", "out");
+  spec.fault_plan = plan;
+  spec.max_task_attempts = 3;
+  Job<K, V> job(&dfs, spec);
+  auto metrics = job.Run();
+  ASSERT_FALSE(metrics.ok());
+  const std::string message = metrics.status().ToString();
+  EXPECT_NE(message.find("reduce task 1"), std::string::npos) << message;
+  EXPECT_NE(message.find("3 attempts"), std::string::npos) << message;
+  // No partial output: the file was never written.
+  EXPECT_FALSE(dfs.ReadFile("out").ok());
+  EXPECT_FALSE(plan->RecoverableWith(spec.max_task_attempts));
+}
+
+TEST(FaultTest, MaxAttemptsBoundsTheRetryChain) {
+  Dfs dfs;
+  WriteInput(&dfs);
+  auto make_spec = [](uint32_t failing) {
+    auto plan = std::make_shared<FaultPlan>();
+    plan->faults.push_back(FaultSpec{.phase = TaskPhase::kMap,
+                                     .task_id = 0,
+                                     .failing_attempts = failing,
+                                     .crash_after_records = 0});
+    auto spec = WordCountSpec("in", "out");
+    spec.fault_plan = plan;
+    spec.max_task_attempts = 2;
+    return spec;
+  };
+
+  // Two crashing attempts exhaust a budget of two.
+  Job<K, V> failing_job(&dfs, make_spec(2));
+  EXPECT_FALSE(failing_job.Run().ok());
+  // One crashing attempt leaves room for the retry to commit.
+  Job<K, V> recovering_job(&dfs, make_spec(1));
+  auto metrics = recovering_job.Run();
+  ASSERT_TRUE(metrics.ok()) << metrics.status().ToString();
+  EXPECT_EQ(metrics->map_tasks[0].failed_attempts, 1u);
+}
+
+TEST(FaultTest, StragglerGetsSpeculativeBackupThatWins) {
+  Baseline baseline = RunBaseline();
+
+  Dfs dfs;
+  WriteInput(&dfs);
+  auto plan = std::make_shared<FaultPlan>();
+  // Map task 2's original attempt straggles badly; the backup (attempt 1)
+  // is unaffected and finishes first.
+  plan->faults.push_back(FaultSpec{.phase = TaskPhase::kMap,
+                                   .task_id = 2,
+                                   .first_attempt = 0,
+                                   .failing_attempts = 1,
+                                   .extra_seconds = 50.0});
+  auto spec = WordCountSpec("in", "out");
+  spec.fault_plan = plan;
+  spec.speculative_execution = true;
+  Job<K, V> job(&dfs, spec);
+  auto metrics = job.Run();
+  ASSERT_TRUE(metrics.ok()) << metrics.status().ToString();
+
+  EXPECT_EQ(OutputLines(dfs, "out"), baseline.output);
+  EXPECT_EQ(metrics->counters.Snapshot(), baseline.counters);
+  const TaskMetrics& task = metrics->map_tasks[2];
+  EXPECT_TRUE(task.speculative_launched);
+  EXPECT_TRUE(task.speculative_won);
+  EXPECT_EQ(task.attempts, 2u);
+  // The committed cost is the backup's (fast) run, and the straggler was
+  // KILLED at the backup's commit — its wasted slot time is the backup's
+  // finish time, not the 50 seconds it would have dragged on for.
+  EXPECT_GT(task.speculative_loser_seconds, 0.0);
+  EXPECT_LT(task.speculative_loser_seconds, 1.0);
+  EXPECT_LT(task.seconds, 1.0);
+  EXPECT_EQ(metrics->speculative_launched, 1u);
+  EXPECT_EQ(metrics->speculative_wins, 1u);
+  EXPECT_LT(metrics->wasted_task_seconds, 1.0);
+}
+
+TEST(FaultTest, CrashedBackupLeavesPrimaryCommitStanding) {
+  Baseline baseline = RunBaseline();
+
+  Dfs dfs;
+  WriteInput(&dfs);
+  auto plan = std::make_shared<FaultPlan>();
+  // Reduce task 1 straggles (but commits) — and its backup crashes.
+  plan->faults.push_back(FaultSpec{.phase = TaskPhase::kReduce,
+                                   .task_id = 1,
+                                   .first_attempt = 0,
+                                   .failing_attempts = 1,
+                                   .extra_seconds = 50.0});
+  plan->faults.push_back(FaultSpec{.phase = TaskPhase::kReduce,
+                                   .task_id = 1,
+                                   .first_attempt = 1,
+                                   .failing_attempts = 1,
+                                   .crash_after_records = 0});
+  auto spec = WordCountSpec("in", "out");
+  spec.fault_plan = plan;
+  spec.speculative_execution = true;
+  Job<K, V> job(&dfs, spec);
+  auto metrics = job.Run();
+  ASSERT_TRUE(metrics.ok()) << metrics.status().ToString();
+
+  EXPECT_EQ(OutputLines(dfs, "out"), baseline.output);
+  const TaskMetrics& task = metrics->reduce_tasks[1];
+  EXPECT_TRUE(task.speculative_launched);
+  EXPECT_FALSE(task.speculative_won);
+  // The straggler's committed cost stands; the dead backup is wasted work.
+  EXPECT_GE(task.seconds, 50.0);
+  EXPECT_GT(task.speculative_loser_seconds, 0.0);
+  EXPECT_EQ(metrics->speculative_wins, 0u);
+}
+
+TEST(FaultTest, SlowBackupLosesToPrimary) {
+  Baseline baseline = RunBaseline();
+
+  Dfs dfs;
+  WriteInput(&dfs);
+  auto plan = std::make_shared<FaultPlan>();
+  // The original straggles by 50s; the backup is even slower (200s), so
+  // first-finisher-wins keeps the original's commit.
+  plan->faults.push_back(FaultSpec{.phase = TaskPhase::kMap,
+                                   .task_id = 0,
+                                   .first_attempt = 0,
+                                   .failing_attempts = 1,
+                                   .extra_seconds = 50.0});
+  plan->faults.push_back(FaultSpec{.phase = TaskPhase::kMap,
+                                   .task_id = 0,
+                                   .first_attempt = 1,
+                                   .failing_attempts = 1,
+                                   .extra_seconds = 200.0});
+  auto spec = WordCountSpec("in", "out");
+  spec.fault_plan = plan;
+  spec.speculative_execution = true;
+  Job<K, V> job(&dfs, spec);
+  auto metrics = job.Run();
+  ASSERT_TRUE(metrics.ok()) << metrics.status().ToString();
+
+  EXPECT_EQ(OutputLines(dfs, "out"), baseline.output);
+  const TaskMetrics& task = metrics->map_tasks[0];
+  EXPECT_TRUE(task.speculative_launched);
+  EXPECT_FALSE(task.speculative_won);
+  EXPECT_GE(task.seconds, 50.0);
+  // The backup was killed at the primary's 50s commit — it never ran its
+  // full 200 seconds.
+  EXPECT_GE(task.speculative_loser_seconds, 40.0);
+  EXPECT_LT(task.speculative_loser_seconds, 100.0);
+}
+
+TEST(FaultTest, RetryChainThenSpeculationComposes) {
+  Baseline baseline = RunBaseline();
+
+  Dfs dfs;
+  WriteInput(&dfs);
+  auto plan = std::make_shared<FaultPlan>();
+  // Attempt 0 crashes; attempt 1 commits but straggles; the backup
+  // (attempt 2) is clean and wins.
+  plan->faults.push_back(FaultSpec{.phase = TaskPhase::kMap,
+                                   .task_id = 1,
+                                   .first_attempt = 0,
+                                   .failing_attempts = 1,
+                                   .crash_after_records = 0});
+  plan->faults.push_back(FaultSpec{.phase = TaskPhase::kMap,
+                                   .task_id = 1,
+                                   .first_attempt = 1,
+                                   .failing_attempts = 1,
+                                   .extra_seconds = 50.0});
+  auto spec = WordCountSpec("in", "out");
+  spec.fault_plan = plan;
+  spec.speculative_execution = true;
+  Job<K, V> job(&dfs, spec);
+  auto metrics = job.Run();
+  ASSERT_TRUE(metrics.ok()) << metrics.status().ToString();
+
+  EXPECT_EQ(OutputLines(dfs, "out"), baseline.output);
+  const TaskMetrics& task = metrics->map_tasks[1];
+  EXPECT_EQ(task.attempts, 3u);
+  EXPECT_EQ(task.failed_attempts, 1u);
+  EXPECT_TRUE(task.speculative_won);
+  // Kill-at-commit: the straggling retry died at the backup's (fast)
+  // finish, so barely any of its 50 charged seconds were wasted.
+  EXPECT_LT(task.speculative_loser_seconds, 1.0);
+}
+
+TEST(FaultTest, ProbabilisticPlanIsDeterministicAndRecoverable) {
+  Baseline baseline = RunBaseline();
+
+  auto plan = std::make_shared<FaultPlan>();
+  plan->seed = 7;
+  plan->crash_probability = 0.9;  // nearly every task loses early attempts
+  plan->crash_after_records = 1;
+  plan->crash_failing_attempts = 2;
+  plan->straggler_probability = 0.5;
+  plan->straggler_extra_seconds = 10.0;
+  ASSERT_TRUE(plan->RecoverableWith(4));
+  ASSERT_FALSE(plan->RecoverableWith(2));
+
+  auto run = [&plan](size_t threads) {
+    Dfs dfs;
+    WriteInput(&dfs);
+    auto spec = WordCountSpec("in", "out");
+    spec.fault_plan = plan;
+    spec.local_threads = threads;
+    spec.sort_buffer_bytes = 64;  // force spilling under faults too
+    Job<K, V> job(&dfs, spec);
+    auto metrics = job.Run();
+    EXPECT_TRUE(metrics.ok()) << metrics.status().ToString();
+    return std::make_pair(OutputLines(dfs, "out"),
+                          metrics.ok() ? metrics->failed_attempts : 0);
+  };
+
+  auto [out1, failed1] = run(1);
+  auto [out2, failed2] = run(1);
+  auto [out4, failed4] = run(4);
+  EXPECT_EQ(out1, baseline.output);
+  EXPECT_EQ(out2, baseline.output);
+  EXPECT_EQ(out4, baseline.output);
+  // The drawn faults are a pure function of (seed, job, coordinates):
+  // identical across runs and thread counts.
+  EXPECT_GT(failed1, 0u);
+  EXPECT_EQ(failed1, failed2);
+  EXPECT_EQ(failed1, failed4);
+}
+
+TEST(FaultTest, JobSubstringScopesSpecsToMatchingJobs) {
+  FaultSpec scoped{.phase = TaskPhase::kMap,
+                   .task_id = 0,
+                   .crash_after_records = 0,
+                   .job_substring = "stage2"};
+  EXPECT_TRUE(scoped.AppliesTo(TaskPhase::kMap, 0, 0, "pipeline-stage2-pk"));
+  EXPECT_FALSE(scoped.AppliesTo(TaskPhase::kMap, 0, 0, "stage1-sort"));
+  EXPECT_FALSE(scoped.AppliesTo(TaskPhase::kReduce, 0, 0, "stage2"));
+  EXPECT_FALSE(scoped.AppliesTo(TaskPhase::kMap, 1, 0, "stage2"));
+}
+
+TEST(FaultTest, InvalidSpeculationConfigRejected) {
+  Dfs dfs;
+  WriteInput(&dfs);
+  auto spec = WordCountSpec("in", "out");
+  spec.speculative_execution = true;
+  spec.speculation_slowdown_factor = 1.0;
+  Job<K, V> bad_factor(&dfs, spec);
+  EXPECT_FALSE(bad_factor.Run().ok());
+
+  auto spec2 = WordCountSpec("in", "out");
+  spec2.max_task_attempts = 0;
+  Job<K, V> bad_attempts(&dfs, spec2);
+  EXPECT_FALSE(bad_attempts.Run().ok());
+}
+
+}  // namespace
+}  // namespace fj::mr

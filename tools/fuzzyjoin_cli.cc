@@ -6,6 +6,10 @@
 //   selfjoin  --input=FILE --out=FILE [--tau=0.8] [--function=jaccard]
 //             [--stage1=bto|opto] [--stage2=bk|pk] [--stage3=brj|oprj]
 //             [--routing=individual|grouped] [--groups=N] [--qgram=Q]
+//             [--threads=N] [--sort_buffer=BYTES] [--merge_factor=N]
+//             [--max_attempts=4] [--speculate] [--speculation_factor=3]
+//             [--fault_seed=S] [--fault_crash_p=P] [--fault_straggler_p=P]
+//             [--fault_slowdown=F]
 //             [--stats]                      set-similarity self-join
 //   rsjoin    --r=FILE --s=FILE --out=FILE [same tuning flags]
 //   editjoin  --input=FILE --out=FILE --distance=D [--qgram=3]
@@ -91,6 +95,33 @@ Result<fj::join::JoinConfig> ConfigFromFlags(const Flags& flags) {
   config.num_map_tasks = static_cast<size_t>(flags.GetInt("map_tasks", 8));
   config.num_reduce_tasks =
       static_cast<size_t>(flags.GetInt("reduce_tasks", 8));
+  config.local_threads = static_cast<size_t>(flags.GetInt("threads", 1));
+  config.sort_buffer_bytes =
+      static_cast<uint64_t>(flags.GetInt("sort_buffer", 0));
+  config.merge_factor = static_cast<size_t>(flags.GetInt("merge_factor", 16));
+  config.max_task_attempts =
+      static_cast<uint32_t>(flags.GetInt("max_attempts", 4));
+  config.speculative_execution = flags.Has("speculate");
+  config.speculation_slowdown_factor =
+      flags.GetDouble("speculation_factor", 3.0);
+  // Deterministic fault injection: any non-zero probability builds a
+  // FaultPlan shared by every job of the pipeline. Joins still produce
+  // byte-identical output as long as the plan is recoverable.
+  const double crash_p = flags.GetDouble("fault_crash_p", 0.0);
+  const double straggler_p = flags.GetDouble("fault_straggler_p", 0.0);
+  if (crash_p > 0.0 || straggler_p > 0.0) {
+    auto plan = std::make_shared<fj::mr::FaultPlan>();
+    plan->seed = static_cast<uint64_t>(flags.GetInt("fault_seed", 1));
+    plan->crash_probability = crash_p;
+    plan->straggler_probability = straggler_p;
+    plan->straggler_slowdown = flags.GetDouble("fault_slowdown", 4.0);
+    if (!plan->RecoverableWith(config.max_task_attempts)) {
+      return Status::InvalidArgument(
+          "fault plan is not recoverable with --max_attempts=" +
+          std::to_string(config.max_task_attempts));
+    }
+    config.fault_plan = std::move(plan);
+  }
   if (flags.Has("qgram")) {
     config.tokenizer = std::make_shared<fj::text::QGramTokenizer>(
         static_cast<size_t>(flags.GetInt("qgram", 3)));
@@ -111,6 +142,24 @@ void PrintStats(const fj::join::JoinRunResult& result) {
     std::fprintf(stderr, "  %-12s %7.3fs  %9.1f KB shuffled  (%zu job%s)\n",
                  stage.stage_name.c_str(), seconds, shuffle / 1024.0,
                  stage.jobs.size(), stage.jobs.size() == 1 ? "" : "s");
+    uint64_t failed = 0, spec_launched = 0, spec_wins = 0;
+    double wasted = 0;
+    for (const auto& job : stage.jobs) {
+      failed += job.failed_attempts;
+      spec_launched += job.speculative_launched;
+      spec_wins += job.speculative_wins;
+      wasted += job.wasted_task_seconds;
+    }
+    if (failed > 0 || spec_launched > 0) {
+      std::fprintf(stderr,
+                   "    fault tolerance: %llu failed attempt%s, %llu backup%s "
+                   "(%llu won), %.3fs wasted\n",
+                   static_cast<unsigned long long>(failed),
+                   failed == 1 ? "" : "s",
+                   static_cast<unsigned long long>(spec_launched),
+                   spec_launched == 1 ? "" : "s",
+                   static_cast<unsigned long long>(spec_wins), wasted);
+    }
     for (const auto& job : stage.jobs) {
       for (const auto& [name, value] : job.counters.Snapshot()) {
         std::fprintf(stderr, "    %-40s %lld\n", name.c_str(),
