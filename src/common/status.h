@@ -21,6 +21,9 @@ enum class StatusCode {
   kInternal,
   kIOError,
   kUnimplemented,
+  kDataLoss,  ///< checksum mismatch: stored data no longer matches its hash
+  kFailedPrecondition,  ///< system state rejects the operation (e.g. resuming
+                        ///< a checkpoint written by a different pipeline)
 };
 
 /// Returns a short human-readable name for a StatusCode (e.g. "NotFound").
@@ -60,6 +63,12 @@ class Status {
   }
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

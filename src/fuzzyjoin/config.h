@@ -140,6 +140,32 @@ struct JoinConfig {
   /// byte-identical to the fault-free run (see mapreduce/fault.h).
   std::shared_ptr<const mr::FaultPlan> fault_plan;
 
+  // --- data integrity and checkpoint/resume ---
+  /// Verify Dfs checksums at every job boundary
+  /// (JobSpec::verify_integrity): input files before the map phase, sorted
+  /// runs at map commit and at the reduce side's merge read, output lines
+  /// at reduce commit. A detected mismatch fails the attempt and the
+  /// engine re-runs it under max_task_attempts, so recoverable corruption
+  /// still yields byte-identical join output. Off by default; the cluster
+  /// model prices the checksum passes separately
+  /// (SimulatedJobTime::integrity_seconds).
+  bool verify_integrity = false;
+
+  /// Resume a previous run of the same pipeline from its stage manifest
+  /// ("<output_prefix>.manifest"): stages whose manifest entry validates
+  /// (outputs present, checksums clean) are skipped, and execution
+  /// restarts at the first incomplete stage. A manifest written under a
+  /// different configuration or different inputs (fingerprint mismatch)
+  /// is refused with FailedPrecondition — resuming it would splice
+  /// incompatible intermediate files into the pipeline.
+  bool resume = false;
+
+  /// Per-job cap on malformed input lines. Jobs quarantine bad lines to
+  /// "<output>.bad" instead of failing; when a single job skips more than
+  /// this many records it fails with DataLoss
+  /// (JobSpec::max_skipped_records). ~0 = unlimited.
+  uint64_t max_skipped_records = ~0ULL;
+
   /// OPRJ loads the whole RID-pair list in every mapper. If the estimated
   /// in-memory size exceeds this budget, stage 3 fails with
   /// ResourceExhausted — reproducing the paper's OPRJ out-of-memory

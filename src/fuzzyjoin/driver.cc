@@ -1,9 +1,154 @@
 #include "fuzzyjoin/driver.h"
 
+#include <utility>
+
+#include "fuzzyjoin/manifest.h"
 #include "fuzzyjoin/stage1.h"
 #include "fuzzyjoin/stage2.h"
 
 namespace fj::join {
+namespace {
+
+// Stage-level checkpoint bookkeeping for one pipeline run.
+//
+// A run always *writes* the manifest — after every committed stage, so a
+// later `resume` run can pick up wherever this one stops. Reading happens
+// only in resume mode: Init loads the previous manifest, refuses a
+// fingerprint mismatch, and re-validates the recorded stages in order
+// against the Dfs (a stage whose outputs vanished or fail their checksum
+// invalidates itself and everything after it — later stages were derived
+// from the now-untrusted files). AlreadyDone then hands stages back in
+// order; the first stage that does not match the validated prefix re-runs,
+// as do all stages after it.
+class StageCheckpointer {
+ public:
+  StageCheckpointer(mr::Dfs* dfs, std::string manifest_file,
+                    uint64_t fingerprint, bool resume)
+      : dfs_(dfs),
+        manifest_file_(std::move(manifest_file)),
+        fingerprint_(fingerprint),
+        resume_(resume) {}
+
+  Status Init() {
+    committed_.fingerprint = fingerprint_;
+    if (!resume_) {
+      // Fresh run: a leftover manifest describes outputs this run is about
+      // to replace — drop it so a crash before the first commit cannot
+      // leave a stale checkpoint behind.
+      if (dfs_->Exists(manifest_file_)) {
+        return dfs_->DeleteFile(manifest_file_);
+      }
+      return Status::OK();
+    }
+    if (!dfs_->Exists(manifest_file_)) return Status::OK();
+    FJ_ASSIGN_OR_RETURN(Manifest previous,
+                        LoadManifest(*dfs_, manifest_file_));
+    if (previous.fingerprint != fingerprint_) {
+      return Status::FailedPrecondition(
+          "cannot resume from '" + manifest_file_ +
+          "': it was written by a different pipeline configuration or "
+          "different inputs (fingerprint mismatch)");
+    }
+    for (const ManifestStage& stage : previous.stages) {
+      if (!StageOutputsValid(stage)) break;
+      valid_.push_back(stage);
+    }
+    return Status::OK();
+  }
+
+  /// True when the next validated manifest entry matches this stage; the
+  /// entry is consumed and re-recorded so the rewritten manifest keeps it.
+  bool AlreadyDone(const std::string& stage_name,
+                   const std::vector<std::string>& outputs) {
+    if (!resume_ || next_ >= valid_.size()) return false;
+    const ManifestStage& entry = valid_[next_];
+    if (entry.stage_name != stage_name ||
+        entry.outputs.size() != outputs.size()) {
+      // Mismatch: the remaining entries describe a different pipeline
+      // tail; everything from here on re-runs.
+      next_ = valid_.size();
+      return false;
+    }
+    for (size_t i = 0; i < outputs.size(); ++i) {
+      if (entry.outputs[i].first != outputs[i]) {
+        next_ = valid_.size();
+        return false;
+      }
+    }
+    committed_.stages.push_back(entry);
+    ++next_;
+    return true;
+  }
+
+  /// Deletes a re-running stage's stale outputs and their derived files
+  /// ("<output>.counts", "<output>.halves", "<output>.bad", leftover
+  /// "<output>.__commit" temps) so the jobs can recreate them. Only needed
+  /// in resume mode — a fresh run over existing outputs keeps the
+  /// long-standing AlreadyExists failure.
+  void DeleteStaleOutputs(const std::vector<std::string>& outputs) {
+    if (!resume_) return;
+    for (const std::string& f : outputs) {
+      for (const std::string& name : dfs_->ListFiles()) {
+        if (name == f || name.rfind(f + ".", 0) == 0) {
+          (void)dfs_->DeleteFile(name);
+        }
+      }
+    }
+  }
+
+  /// Records a freshly committed stage and rewrites the manifest.
+  Status Commit(const std::string& stage_name,
+                const std::vector<std::string>& outputs) {
+    ManifestStage stage;
+    stage.stage_name = stage_name;
+    for (const std::string& f : outputs) {
+      FJ_ASSIGN_OR_RETURN(uint64_t checksum, dfs_->FileChecksum(f));
+      stage.outputs.emplace_back(f, checksum);
+    }
+    committed_.stages.push_back(std::move(stage));
+    return SaveManifest(dfs_, manifest_file_, committed_);
+  }
+
+ private:
+  bool StageOutputsValid(const ManifestStage& stage) const {
+    for (const auto& [name, checksum] : stage.outputs) {
+      Result<uint64_t> current = dfs_->FileChecksum(name);
+      if (!current.ok() || current.value() != checksum) return false;
+      // The recorded checksum matches the *metadata*; make sure the bytes
+      // still match the metadata too, so a corrupted-on-disk checkpoint
+      // re-runs its stage instead of feeding bad data forward.
+      if (!dfs_->VerifyFile(name).ok()) return false;
+    }
+    return true;
+  }
+
+  mr::Dfs* dfs_;
+  std::string manifest_file_;
+  uint64_t fingerprint_;
+  bool resume_;
+  Manifest committed_;                 // what this run rewrites
+  std::vector<ManifestStage> valid_;   // validated prefix of the old run
+  size_t next_ = 0;                    // next entry AlreadyDone may consume
+};
+
+// Runs one pipeline stage under the checkpointer: skip if the manifest
+// says it is done, otherwise clear stale outputs, execute, record metrics,
+// and commit the manifest entry.
+template <typename RunFn>
+Status RunStage(StageCheckpointer* ckpt, JoinRunResult* result,
+                const std::string& stage_name,
+                const std::vector<std::string>& outputs, RunFn&& run) {
+  if (ckpt->AlreadyDone(stage_name, outputs)) {
+    result->stages.push_back(StageMetrics{stage_name, {}, true});
+    return Status::OK();
+  }
+  ckpt->DeleteStaleOutputs(outputs);
+  FJ_ASSIGN_OR_RETURN(std::vector<mr::JobMetrics> jobs, run());
+  result->stages.push_back(StageMetrics{stage_name, std::move(jobs)});
+  return ckpt->Commit(stage_name, outputs);
+}
+
+}  // namespace
 
 double JoinRunResult::TotalWallSeconds() const {
   double total = 0;
@@ -36,25 +181,40 @@ Result<JoinRunResult> RunSelfJoin(mr::Dfs* dfs, const std::string& input_file,
   result.rid_pairs_file = output_prefix + ".ridpairs";
   result.output_file = output_prefix + ".joined";
 
-  FJ_ASSIGN_OR_RETURN(
-      Stage1Result stage1,
-      RunStage1(dfs, input_file, result.ordering_file, config));
-  result.stages.push_back(StageMetrics{
-      std::string("1-") + Stage1Name(config.stage1), std::move(stage1.jobs)});
+  FJ_ASSIGN_OR_RETURN(uint64_t fingerprint,
+                      PipelineFingerprint(config, *dfs, {input_file}));
+  StageCheckpointer ckpt(dfs, output_prefix + ".manifest", fingerprint,
+                         config.resume);
+  FJ_RETURN_IF_ERROR(ckpt.Init());
 
-  FJ_ASSIGN_OR_RETURN(
-      Stage2Result stage2,
-      RunStage2SelfJoin(dfs, input_file, result.ordering_file,
-                        result.rid_pairs_file, config));
-  result.stages.push_back(StageMetrics{
-      std::string("2-") + Stage2Name(config.stage2), std::move(stage2.jobs)});
+  FJ_RETURN_IF_ERROR(RunStage(
+      &ckpt, &result, std::string("1-") + Stage1Name(config.stage1),
+      {result.ordering_file}, [&]() -> Result<std::vector<mr::JobMetrics>> {
+        FJ_ASSIGN_OR_RETURN(
+            Stage1Result stage1,
+            RunStage1(dfs, input_file, result.ordering_file, config));
+        return std::move(stage1.jobs);
+      }));
 
-  FJ_ASSIGN_OR_RETURN(
-      Stage3Result stage3,
-      RunStage3SelfJoin(dfs, input_file, result.rid_pairs_file,
-                        result.output_file, config));
-  result.stages.push_back(StageMetrics{
-      std::string("3-") + Stage3Name(config.stage3), std::move(stage3.jobs)});
+  FJ_RETURN_IF_ERROR(RunStage(
+      &ckpt, &result, std::string("2-") + Stage2Name(config.stage2),
+      {result.rid_pairs_file}, [&]() -> Result<std::vector<mr::JobMetrics>> {
+        FJ_ASSIGN_OR_RETURN(
+            Stage2Result stage2,
+            RunStage2SelfJoin(dfs, input_file, result.ordering_file,
+                              result.rid_pairs_file, config));
+        return std::move(stage2.jobs);
+      }));
+
+  FJ_RETURN_IF_ERROR(RunStage(
+      &ckpt, &result, std::string("3-") + Stage3Name(config.stage3),
+      {result.output_file}, [&]() -> Result<std::vector<mr::JobMetrics>> {
+        FJ_ASSIGN_OR_RETURN(
+            Stage3Result stage3,
+            RunStage3SelfJoin(dfs, input_file, result.rid_pairs_file,
+                              result.output_file, config));
+        return std::move(stage3.jobs);
+      }));
 
   return result;
 }
@@ -69,25 +229,41 @@ Result<JoinRunResult> RunRSJoin(mr::Dfs* dfs, const std::string& r_file,
   result.rid_pairs_file = output_prefix + ".ridpairs";
   result.output_file = output_prefix + ".joined";
 
+  FJ_ASSIGN_OR_RETURN(uint64_t fingerprint,
+                      PipelineFingerprint(config, *dfs, {r_file, s_file}));
+  StageCheckpointer ckpt(dfs, output_prefix + ".manifest", fingerprint,
+                         config.resume);
+  FJ_RETURN_IF_ERROR(ckpt.Init());
+
   // Stage 1 runs on relation R only (Section 4).
-  FJ_ASSIGN_OR_RETURN(Stage1Result stage1,
-                      RunStage1(dfs, r_file, result.ordering_file, config));
-  result.stages.push_back(StageMetrics{
-      std::string("1-") + Stage1Name(config.stage1), std::move(stage1.jobs)});
+  FJ_RETURN_IF_ERROR(RunStage(
+      &ckpt, &result, std::string("1-") + Stage1Name(config.stage1),
+      {result.ordering_file}, [&]() -> Result<std::vector<mr::JobMetrics>> {
+        FJ_ASSIGN_OR_RETURN(
+            Stage1Result stage1,
+            RunStage1(dfs, r_file, result.ordering_file, config));
+        return std::move(stage1.jobs);
+      }));
 
-  FJ_ASSIGN_OR_RETURN(
-      Stage2Result stage2,
-      RunStage2RSJoin(dfs, r_file, s_file, result.ordering_file,
-                      result.rid_pairs_file, config));
-  result.stages.push_back(StageMetrics{
-      std::string("2-") + Stage2Name(config.stage2), std::move(stage2.jobs)});
+  FJ_RETURN_IF_ERROR(RunStage(
+      &ckpt, &result, std::string("2-") + Stage2Name(config.stage2),
+      {result.rid_pairs_file}, [&]() -> Result<std::vector<mr::JobMetrics>> {
+        FJ_ASSIGN_OR_RETURN(
+            Stage2Result stage2,
+            RunStage2RSJoin(dfs, r_file, s_file, result.ordering_file,
+                            result.rid_pairs_file, config));
+        return std::move(stage2.jobs);
+      }));
 
-  FJ_ASSIGN_OR_RETURN(
-      Stage3Result stage3,
-      RunStage3RSJoin(dfs, r_file, s_file, result.rid_pairs_file,
-                      result.output_file, config));
-  result.stages.push_back(StageMetrics{
-      std::string("3-") + Stage3Name(config.stage3), std::move(stage3.jobs)});
+  FJ_RETURN_IF_ERROR(RunStage(
+      &ckpt, &result, std::string("3-") + Stage3Name(config.stage3),
+      {result.output_file}, [&]() -> Result<std::vector<mr::JobMetrics>> {
+        FJ_ASSIGN_OR_RETURN(
+            Stage3Result stage3,
+            RunStage3RSJoin(dfs, r_file, s_file, result.rid_pairs_file,
+                            result.output_file, config));
+        return std::move(stage3.jobs);
+      }));
 
   return result;
 }

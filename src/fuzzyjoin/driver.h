@@ -19,6 +19,9 @@ namespace fj::join {
 struct StageMetrics {
   std::string stage_name;  ///< "1-BTO", "2-PK", "3-BRJ", ...
   std::vector<mr::JobMetrics> jobs;
+  /// True when JoinConfig::resume skipped this stage because its manifest
+  /// entry validated — no jobs ran, so `jobs` is empty.
+  bool resumed_from_checkpoint = false;
 };
 
 struct JoinRunResult {

@@ -28,6 +28,8 @@ void ApplyEngineKnobs(const JoinConfig& config, mr::JobSpec<K, V>* spec) {
   spec->speculative_execution = config.speculative_execution;
   spec->speculation_slowdown_factor = config.speculation_slowdown_factor;
   spec->fault_plan = config.fault_plan;
+  spec->verify_integrity = config.verify_integrity;
+  spec->max_skipped_records = config.max_skipped_records;
 }
 
 }  // namespace fj::join

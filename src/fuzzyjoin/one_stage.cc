@@ -55,6 +55,7 @@ class FullRecordMapper : public mr::Mapper<Stage2Key, std::string> {
     auto parsed = data::Record::FromLine(*record.line);
     if (!parsed.ok()) {
       ctx->counters().Add("onestage.bad_records", 1);
+      ctx->QuarantineRecord(*record.line);
       return;
     }
     auto ids =

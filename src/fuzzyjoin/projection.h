@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/hash.h"
 #include "ppjoin/token_set.h"
 #include "text/token_ordering.h"
 
@@ -17,6 +18,23 @@ namespace fj::ppjoin {
 /// TokenSetRecord.
 inline size_t FjByteSize(const TokenSetRecord& p) {
   return 8 + 4 * p.tokens.size();
+}
+
+/// Integrity hash over RID and every token (see mapreduce/integrity.h).
+inline uint64_t FjContentHash(const TokenSetRecord& p) {
+  uint64_t h = HashInt64(p.rid);
+  for (TokenId t : p.tokens) h = HashCombine(h, HashInt64(t));
+  return h;
+}
+
+/// CorruptRecord hook: flips one bit of the RID. The token array is left
+/// alone on purpose — the kernels rely on tokens being ascending and
+/// duplicate-free, so a token flip would violate a *structural* invariant
+/// rather than model silent bit rot in record data; a flipped RID flows
+/// through every kernel and simply joins the wrong records.
+inline bool FjCorruptContent(TokenSetRecord& p, uint64_t salt) {
+  p.rid ^= uint64_t{1} << (salt % 64);
+  return true;
 }
 
 }  // namespace fj::ppjoin

@@ -33,6 +33,7 @@ class TokenCountMapper : public mr::Mapper<std::string, uint64_t> {
     auto parsed = data::Record::FromLine(*record.line);
     if (!parsed.ok()) {
       ctx->counters().Add("stage1.bad_records", 1);
+      ctx->QuarantineRecord(*record.line);
       return;
     }
     for (auto& token : tokenizer_->Tokenize(parsed->JoinAttribute())) {

@@ -62,6 +62,12 @@ struct Stage2Key {
 
 inline uint64_t FjKeyHash(const Stage2Key& k) { return HashInt64(k.group); }
 inline size_t FjByteSize(const Stage2Key&) { return 10; }
+/// Integrity hash (integrity.h): unlike the partition hash above this
+/// covers every field, so a flipped secondary-sort field is detected too.
+inline uint64_t FjContentHash(const Stage2Key& k) {
+  return HashCombine(HashCombine(HashInt64(k.group), HashInt64(k.s1)),
+                     HashCombine(HashInt64(k.s2), HashInt64(k.s3)));
+}
 
 /// Formats one kernel output line ("rid1<TAB>rid2<TAB>sim") into `*out`
 /// (overwritten); fixed-width similarity so duplicated pairs serialize

@@ -60,6 +60,7 @@ class ProjectionMapperBase : public mr::Mapper<Stage2Key, TokenSetRecord> {
     auto parsed = data::Record::FromLine(*record.line);
     if (!parsed.ok()) {
       ctx->counters().Add("stage2.bad_records", 1);
+      ctx->QuarantineRecord(*record.line);
       return false;
     }
     projection->rid = parsed->rid;

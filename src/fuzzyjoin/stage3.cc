@@ -3,6 +3,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstring>
 #include <map>
 #include <memory>
 #include <unordered_map>
@@ -49,6 +50,15 @@ struct TaggedLine {
 };
 
 inline size_t FjByteSize(const TaggedLine& v) { return 5 + v.line.size(); }
+inline uint64_t FjContentHash(const TaggedLine& v) {
+  return HashCombine(HashInt64(v.kind), HashString(v.line));
+}
+// CorruptRecord hook: flip a byte of the carried line — a corrupted record
+// line either reaches the join output or trips the bad-line counters, a
+// corrupted RID-pair line stops matching; either way, real bit rot.
+inline bool FjCorruptContent(TaggedLine& v, uint64_t salt) {
+  return mr::CorruptInPlace(v.line, salt);
+}
 
 // ------------------------------------------------------------ phase-2 types
 
@@ -63,6 +73,16 @@ struct HalfPair {
 };
 
 inline size_t FjByteSize(const HalfPair& v) { return 13 + v.record_line.size(); }
+inline uint64_t FjContentHash(const HalfPair& v) {
+  uint64_t sim_bits = 0;
+  static_assert(sizeof(sim_bits) == sizeof(v.similarity));
+  std::memcpy(&sim_bits, &v.similarity, sizeof(sim_bits));
+  return HashCombine(HashCombine(HashInt64(v.side), HashInt64(sim_bits)),
+                     HashString(v.record_line));
+}
+inline bool FjCorruptContent(HalfPair& v, uint64_t salt) {
+  return mr::CorruptInPlace(v.record_line, salt);
+}
 
 /// Formats the phase-1 output / phase-2 input line:
 /// "rid1 TAB rid2 TAB sim TAB side TAB <record line (4 fields)>".
@@ -112,6 +132,7 @@ class Phase1Mapper : public mr::Mapper<RidKey, TaggedLine> {
       auto parsed = ParseRidPairLine(*record.line);
       if (!parsed.ok()) {
         ctx->counters().Add("stage3.bad_pair_lines", 1);
+        ctx->QuarantineRecord(*record.line);
         return;
       }
       auto [rid1, rid2, sim] = parsed.value();
@@ -122,6 +143,7 @@ class Phase1Mapper : public mr::Mapper<RidKey, TaggedLine> {
       auto parsed = data::Record::FromLine(*record.line);
       if (!parsed.ok()) {
         ctx->counters().Add("stage3.bad_records", 1);
+        ctx->QuarantineRecord(*record.line);
         return;
       }
       uint32_t relation =
@@ -290,6 +312,7 @@ class OprjMapper : public mr::Mapper<PairKey, HalfPair> {
     auto parsed = data::Record::FromLine(*record.line);
     if (!parsed.ok()) {
       ctx->counters().Add("stage3.bad_records", 1);
+      ctx->QuarantineRecord(*record.line);
       return;
     }
     uint64_t rid = parsed->rid;

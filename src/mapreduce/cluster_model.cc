@@ -80,6 +80,18 @@ SimulatedJobTime SimulateJob(const JobMetrics& metrics,
       Makespan(phase_costs(metrics.reduce_tasks, &out.wasted_seconds),
                cluster.reduce_slots());
 
+  // Integrity verification passes: every verified byte was hashed once at
+  // the recording boundary (input read, run commit/merge-read, output
+  // commit) — integrity_bytes_verified already counts each boundary
+  // separately, so the traffic is priced exactly once here.
+  double integrity_bandwidth = cluster.integrity_bytes_per_second_per_node *
+                               static_cast<double>(cluster.nodes);
+  if (metrics.integrity_bytes_verified > 0 && integrity_bandwidth > 0) {
+    out.integrity_seconds =
+        static_cast<double>(metrics.integrity_bytes_verified) * scale /
+        integrity_bandwidth;
+  }
+
   return out;
 }
 

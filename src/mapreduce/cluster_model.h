@@ -52,6 +52,14 @@ struct ClusterConfig {
   /// buffer never spill and pay nothing here.
   double local_disk_bytes_per_second_per_node = 80.0 * 1024 * 1024;
 
+  /// Aggregate checksum throughput contributed by each node for the
+  /// integrity layer (JobSpec::verify_integrity): input files verified
+  /// before the map phase, sorted runs re-hashed at map commit and at the
+  /// reduce side's merge read, output lines re-hashed at reduce commit.
+  /// Priced against JobMetrics::integrity_bytes_verified. FNV/xxhash-class
+  /// hashing streams at several hundred MB/s per core.
+  double integrity_bytes_per_second_per_node = 400.0 * 1024 * 1024;
+
   /// Fixed cost of launching one MapReduce job (Hadoop job startup,
   /// scheduling, JVM spawn). Charged once per job.
   double job_startup_seconds = 3.0;
@@ -81,6 +89,10 @@ struct SimulatedJobTime {
   /// merge re-reads). Zero for jobs that never spill.
   double spill_seconds = 0;
   double reduce_seconds = 0;
+  /// Checksum time of the integrity verification passes (zero when
+  /// JobSpec::verify_integrity was off) — the price of the corruption
+  /// guarantee, reported separately so benchmarks can quote the overhead.
+  double integrity_seconds = 0;
 
   /// Slot time consumed by attempts that did not commit: crashed attempts
   /// (serialized into their task's chain) and speculation losers (parallel
@@ -90,7 +102,7 @@ struct SimulatedJobTime {
 
   double total() const {
     return startup_seconds + map_seconds + shuffle_seconds + spill_seconds +
-           reduce_seconds;
+           reduce_seconds + integrity_seconds;
   }
 };
 

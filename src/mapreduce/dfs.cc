@@ -3,13 +3,38 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/hash.h"
+#include "mapreduce/integrity.h"
+
 namespace fj::mr {
+
+Dfs::FileEntry::FileEntry() : file_hash(kFnvOffsetBasis) {}
+
+void Dfs::FileEntry::Append(const std::string& line) {
+  const uint64_t h = LineChecksum(line);
+  lines.push_back(line);
+  line_hashes.push_back(h);
+  file_hash = HashCombine(file_hash, h);
+}
+
+Result<const Dfs::FileEntry*> Dfs::FindLocked(const std::string& name) const {
+  auto it = files_.find(name);
+  if (it == files_.end()) return Status::NotFound("dfs file: " + name);
+  return static_cast<const FileEntry*>(it->second.get());
+}
 
 Status Dfs::WriteFile(const std::string& name,
                       std::vector<std::string> lines) {
+  auto entry = std::make_unique<FileEntry>();
+  entry->lines = std::move(lines);
+  entry->line_hashes.reserve(entry->lines.size());
+  for (const auto& line : entry->lines) {
+    const uint64_t h = LineChecksum(line);
+    entry->line_hashes.push_back(h);
+    entry->file_hash = HashCombine(entry->file_hash, h);
+  }
   std::lock_guard<std::mutex> lock(mu_);
-  auto [it, inserted] = files_.try_emplace(
-      name, std::make_unique<std::vector<std::string>>(std::move(lines)));
+  auto [it, inserted] = files_.try_emplace(name, std::move(entry));
   (void)it;
   if (!inserted) return Status::AlreadyExists("dfs file exists: " + name);
   return Status::OK();
@@ -20,20 +45,17 @@ Status Dfs::AppendToFile(const std::string& name,
   std::lock_guard<std::mutex> lock(mu_);
   auto it = files_.find(name);
   if (it == files_.end()) {
-    it = files_.emplace(name, std::make_unique<std::vector<std::string>>())
-             .first;
+    it = files_.emplace(name, std::make_unique<FileEntry>()).first;
   }
-  auto& dest = *it->second;
-  dest.insert(dest.end(), lines.begin(), lines.end());
+  for (const auto& line : lines) it->second->Append(line);
   return Status::OK();
 }
 
 Result<const std::vector<std::string>*> Dfs::ReadFile(
     const std::string& name) const {
   std::lock_guard<std::mutex> lock(mu_);
-  auto it = files_.find(name);
-  if (it == files_.end()) return Status::NotFound("dfs file: " + name);
-  return static_cast<const std::vector<std::string>*>(it->second.get());
+  FJ_ASSIGN_OR_RETURN(const FileEntry* entry, FindLocked(name));
+  return &entry->lines;
 }
 
 bool Dfs::Exists(const std::string& name) const {
@@ -47,16 +69,77 @@ Status Dfs::DeleteFile(const std::string& name) {
   return Status::OK();
 }
 
+Status Dfs::RenameFile(const std::string& from, const std::string& to) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = files_.find(from);
+  if (it == files_.end()) return Status::NotFound("dfs file: " + from);
+  if (files_.count(to) > 0) {
+    return Status::AlreadyExists("dfs file exists: " + to);
+  }
+  auto entry = std::move(it->second);
+  files_.erase(it);
+  files_.emplace(to, std::move(entry));
+  return Status::OK();
+}
+
 void Dfs::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
   files_.clear();
+}
+
+Result<uint64_t> Dfs::VerifyFile(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  FJ_ASSIGN_OR_RETURN(const FileEntry* entry, FindLocked(name));
+  uint64_t bytes = 0;
+  uint64_t fold = kFnvOffsetBasis;
+  for (size_t i = 0; i < entry->lines.size(); ++i) {
+    const uint64_t h = LineChecksum(entry->lines[i]);
+    bytes += entry->lines[i].size() + 1;
+    if (h != entry->line_hashes[i]) {
+      return Status::DataLoss("dfs file " + name + ": line " +
+                              std::to_string(i) +
+                              " does not match its stored checksum");
+    }
+    fold = HashCombine(fold, h);
+  }
+  if (fold != entry->file_hash) {
+    return Status::DataLoss("dfs file " + name +
+                            ": whole-file checksum mismatch");
+  }
+  return bytes;
+}
+
+Result<uint64_t> Dfs::FileChecksum(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  FJ_ASSIGN_OR_RETURN(const FileEntry* entry, FindLocked(name));
+  return entry->file_hash;
+}
+
+Status Dfs::CorruptByteForTest(const std::string& name, uint64_t seed) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = files_.find(name);
+  if (it == files_.end()) return Status::NotFound("dfs file: " + name);
+  auto& lines = it->second->lines;
+  if (lines.empty()) {
+    return Status::InvalidArgument("cannot corrupt empty file: " + name);
+  }
+  // Pick a deterministic non-empty line, then a byte and a non-zero mask.
+  const uint64_t h = HashCombine(HashString(name), HashInt64(seed));
+  for (size_t probe = 0; probe < lines.size(); ++probe) {
+    auto& line = lines[(h + probe) % lines.size()];
+    if (line.empty()) continue;
+    line[HashInt64(h) % line.size()] ^= static_cast<char>(1u << (1 + h % 7));
+    return Status::OK();
+  }
+  return Status::InvalidArgument("cannot corrupt file of empty lines: " +
+                                 name);
 }
 
 std::vector<std::string> Dfs::ListFiles() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::vector<std::string> names;
   names.reserve(files_.size());
-  for (const auto& [name, lines] : files_) names.push_back(name);
+  for (const auto& [name, entry] : files_) names.push_back(name);
   return names;  // std::map iterates in sorted order
 }
 

@@ -3,8 +3,18 @@
 // Files are named, immutable-once-written sequences of text lines. Jobs read
 // input files from the Dfs and write one output file per job. The Dfs also
 // computes input splits (block boundaries) for the map phase.
+//
+// Like HDFS, every file carries integrity metadata: a per-line FNV-1a hash
+// and a whole-file hash (the ordered fold of the line hashes), maintained on
+// WriteFile/AppendToFile. VerifyFile recomputes both against the stored
+// bytes and reports DataLoss on any mismatch; jobs run it over their inputs
+// when JobSpec::verify_integrity is on. RenameFile lets producers commit
+// output atomically (write under a temp name, rename into place), so a
+// crashed or killed attempt can never leave a readable partial file under
+// the final name.
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -39,8 +49,27 @@ class Dfs {
 
   Status DeleteFile(const std::string& name);
 
+  /// Atomically renames `from` to `to`. Fails with NotFound when `from` is
+  /// missing and AlreadyExists when `to` already exists; on failure nothing
+  /// changes. Line storage moves with the entry, so pointers obtained from
+  /// ReadFile(from) keep observing the same lines under the new name.
+  Status RenameFile(const std::string& from, const std::string& to);
+
   /// Removes every file.
   void Clear();
+
+  /// Recomputes the per-line and whole-file hashes of `name` against the
+  /// stored bytes. Returns the bytes scanned (lines + terminators) on
+  /// success; DataLoss naming the first diverging line otherwise.
+  Result<uint64_t> VerifyFile(const std::string& name) const;
+
+  /// The whole-file content hash maintained by writes/appends.
+  Result<uint64_t> FileChecksum(const std::string& name) const;
+
+  /// Test/fault-injection hook: flips one deterministic, seed-chosen byte
+  /// of the stored file WITHOUT touching the integrity metadata, so the
+  /// next VerifyFile reports DataLoss. Fails on missing or all-empty files.
+  Status CorruptByteForTest(const std::string& name, uint64_t seed);
 
   /// Total bytes of the file's lines (excluding line terminators).
   Result<uint64_t> FileBytes(const std::string& name) const;
@@ -58,9 +87,21 @@ class Dfs {
       const std::vector<std::string>& names, size_t target_splits) const;
 
  private:
+  // Lines plus their integrity metadata. line_hashes[i] is the FNV-1a hash
+  // of lines[i]; file_hash folds them in order (seeded kFnvOffsetBasis).
+  struct FileEntry {
+    std::vector<std::string> lines;
+    std::vector<uint64_t> line_hashes;
+    uint64_t file_hash;
+    FileEntry();
+    void Append(const std::string& line);
+  };
+
+  Result<const FileEntry*> FindLocked(const std::string& name) const;
+
   mutable std::mutex mu_;
   // unique_ptr keeps line storage stable across map rehashes.
-  std::map<std::string, std::unique_ptr<std::vector<std::string>>> files_;
+  std::map<std::string, std::unique_ptr<FileEntry>> files_;
 };
 
 }  // namespace fj::mr

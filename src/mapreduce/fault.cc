@@ -25,6 +25,20 @@ const char* TaskPhaseName(TaskPhase phase) {
   return "?";
 }
 
+const char* CorruptTargetName(CorruptTarget target) {
+  switch (target) {
+    case CorruptTarget::kNone:
+      return "none";
+    case CorruptTarget::kMapOutput:
+      return "map_output";
+    case CorruptTarget::kSpill:
+      return "spill";
+    case CorruptTarget::kReduceOutput:
+      return "reduce_output";
+  }
+  return "?";
+}
+
 bool FaultSpec::AppliesTo(TaskPhase p, size_t task, uint32_t attempt,
                           const std::string& job_name) const {
   if (p != phase || task != task_id) return false;
@@ -42,14 +56,21 @@ bool FaultSpec::AppliesTo(TaskPhase p, size_t task, uint32_t attempt,
 
 bool FaultPlan::Empty() const {
   return faults.empty() && crash_probability <= 0.0 &&
-         straggler_probability <= 0.0;
+         straggler_probability <= 0.0 && corrupt_probability <= 0.0;
 }
 
-bool FaultPlan::RecoverableWith(uint32_t max_task_attempts) const {
+bool FaultPlan::RecoverableWith(uint32_t max_task_attempts,
+                                bool verify_integrity) const {
   for (const FaultSpec& spec : faults) {
-    if (spec.crash_after_records == AttemptFault::kNoCrash) continue;
+    // A corrupting spec behaves like a crash at commit time — but only the
+    // integrity layer can detect it and trigger the retry.
+    const bool corrupts = spec.corrupt_target != CorruptTarget::kNone;
+    if (corrupts && !verify_integrity) return false;
+    if (spec.crash_after_records == AttemptFault::kNoCrash && !corrupts) {
+      continue;
+    }
     if (spec.failing_attempts == FaultSpec::kAllAttempts) return false;
-    // The attempts this crash covers must leave at least one clean attempt
+    // The attempts this fault covers must leave at least one clean attempt
     // inside the budget.
     uint64_t last_failing =
         static_cast<uint64_t>(spec.first_attempt) + spec.failing_attempts;
@@ -58,6 +79,10 @@ bool FaultPlan::RecoverableWith(uint32_t max_task_attempts) const {
     }
   }
   if (crash_probability > 0.0 && crash_failing_attempts >= max_task_attempts) {
+    return false;
+  }
+  if (corrupt_probability > 0.0 &&
+      (!verify_integrity || corrupt_failing_attempts >= max_task_attempts)) {
     return false;
   }
   return true;
@@ -71,20 +96,26 @@ AttemptFault FaultInjector::FaultFor(TaskPhase phase, size_t task_id,
   AttemptFault fault;
   if (!active()) return fault;
 
+  // One stable hash per (job, phase, task, attempt) coordinate; scripted
+  // corruption salts fold it in so each affected attempt corrupts a
+  // distinct record, and the probabilistic layer salts it per draw.
+  uint64_t h = HashString(job_name_);
+  h = HashCombine(h, HashInt64(static_cast<uint64_t>(phase)));
+  h = HashCombine(h, HashInt64(static_cast<uint64_t>(task_id)));
+  h = HashCombine(h, HashInt64(attempt));
+  h = HashCombine(h, HashInt64(plan_->seed));
+
   for (const FaultSpec& spec : plan_->faults) {
     if (!spec.AppliesTo(phase, task_id, attempt, job_name_)) continue;
     fault.crash_after_records =
         std::min(fault.crash_after_records, spec.crash_after_records);
     fault.slowdown *= spec.slowdown;
     fault.extra_seconds += spec.extra_seconds;
+    if (spec.corrupt_target != CorruptTarget::kNone && !fault.corrupts()) {
+      fault.corrupt_target = spec.corrupt_target;
+      fault.corrupt_salt = HashCombine(h, HashInt64(spec.corrupt_salt));
+    }
   }
-
-  // Probabilistic layer: one stable hash per coordinate, salted per draw.
-  uint64_t h = HashString(job_name_);
-  h = HashCombine(h, HashInt64(static_cast<uint64_t>(phase)));
-  h = HashCombine(h, HashInt64(static_cast<uint64_t>(task_id)));
-  h = HashCombine(h, HashInt64(attempt));
-  h = HashCombine(h, HashInt64(plan_->seed));
 
   if (plan_->crash_probability > 0.0 &&
       attempt < plan_->crash_failing_attempts &&
@@ -96,6 +127,18 @@ AttemptFault FaultInjector::FaultFor(TaskPhase phase, size_t task_id,
       UnitDraw(HashInt64(h ^ 0x51)) < plan_->straggler_probability) {
     fault.slowdown *= plan_->straggler_slowdown;
     fault.extra_seconds += plan_->straggler_extra_seconds;
+  }
+  if (plan_->corrupt_probability > 0.0 && !fault.corrupts() &&
+      attempt < plan_->corrupt_failing_attempts &&
+      UnitDraw(HashInt64(h ^ 0xd1)) < plan_->corrupt_probability) {
+    if (phase == TaskPhase::kMap) {
+      fault.corrupt_target = (HashInt64(h ^ 0xd2) & 1)
+                                 ? CorruptTarget::kSpill
+                                 : CorruptTarget::kMapOutput;
+    } else {
+      fault.corrupt_target = CorruptTarget::kReduceOutput;
+    }
+    fault.corrupt_salt = HashInt64(h ^ 0xd3);
   }
   return fault;
 }

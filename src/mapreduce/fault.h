@@ -34,6 +34,22 @@ enum class TaskPhase { kMap, kReduce };
 
 const char* TaskPhaseName(TaskPhase phase);
 
+/// Where a CorruptRecord fault flips its byte. Corruption is a *real*
+/// mutation of the attempt's data (see integrity.h): with
+/// JobSpec::verify_integrity on, the checksum layer detects it at the
+/// producing attempt's commit and converts it into a transient task failure
+/// (a re-run under the max_task_attempts budget); with verification off the
+/// corrupted bytes flow silently downstream — the failure mode HDFS block
+/// checksums exist to prevent.
+enum class CorruptTarget {
+  kNone = 0,
+  kMapOutput,     ///< a pair in the map attempt's (in-memory) final run
+  kSpill,         ///< a pair in a budget-triggered on-disk spill run
+  kReduceOutput,  ///< a line of the reduce attempt's output
+};
+
+const char* CorruptTargetName(CorruptTarget target);
+
 /// The resolved disturbance applied to one task attempt. The default value
 /// is "no fault": never crashes, runs at full speed.
 struct AttemptFault {
@@ -53,9 +69,16 @@ struct AttemptFault {
   /// tests deterministic on microsecond-scale local tasks.
   double extra_seconds = 0.0;
 
+  /// Corrupt one record of the attempt's output at this location (kNone =
+  /// no corruption). corrupt_salt picks the run/record/bit
+  /// deterministically.
+  CorruptTarget corrupt_target = CorruptTarget::kNone;
+  uint64_t corrupt_salt = 0;
+
   bool crashes() const { return crash_after_records != kNoCrash; }
+  bool corrupts() const { return corrupt_target != CorruptTarget::kNone; }
   bool any() const {
-    return crashes() || slowdown != 1.0 || extra_seconds != 0.0;
+    return crashes() || corrupts() || slowdown != 1.0 || extra_seconds != 0.0;
   }
 };
 
@@ -82,6 +105,13 @@ struct FaultSpec {
   /// Straggler behaviour (see AttemptFault).
   double slowdown = 1.0;
   double extra_seconds = 0.0;
+
+  /// CorruptRecord behaviour: flip a byte of the attempt's output at this
+  /// location (kNone = no corruption). The salt is folded with the
+  /// (job, phase, task, attempt) coordinate so each affected attempt
+  /// corrupts a deterministic but distinct record.
+  CorruptTarget corrupt_target = CorruptTarget::kNone;
+  uint64_t corrupt_salt = 0;
 
   /// Empty matches every job; otherwise the job's name must contain this
   /// substring (e.g. "stage2" to fault only the kernel job of a pipeline).
@@ -118,13 +148,26 @@ struct FaultPlan {
   double straggler_slowdown = 4.0;
   double straggler_extra_seconds = 0.0;
 
+  /// Per-attempt CorruptRecord probability. Drawn corruptions pick a
+  /// phase-appropriate target (map output or spill for map attempts,
+  /// reduce output for reduce attempts) and a hash-derived salt.
+  double corrupt_probability = 0.0;
+  /// Random corruption only hits attempts below this bound — transient as
+  /// long as the bound is below JobSpec::max_task_attempts AND integrity
+  /// verification is on to convert detections into retries.
+  uint32_t corrupt_failing_attempts = 2;
+
   /// True when the plan injects nothing at all.
   bool Empty() const;
 
-  /// True when every crash the plan can produce stops firing before
+  /// True when every fault the plan can produce stops firing before
   /// `max_task_attempts` — i.e. the retry layer is guaranteed to recover
   /// and the job output is byte-identical to the fault-free run.
-  bool RecoverableWith(uint32_t max_task_attempts) const;
+  /// Corruption is only recoverable when `verify_integrity` is on: without
+  /// the checksum layer nothing converts a flipped byte into a retry, so
+  /// any corrupting plan is unrecoverable (silent wrong output).
+  bool RecoverableWith(uint32_t max_task_attempts,
+                       bool verify_integrity = false) const;
 };
 
 /// Resolves a FaultPlan for one job. Cheap to construct per job; FaultFor

@@ -47,6 +47,30 @@
 //     bytes — match the fault-free run; the wasted work is tracked in the
 //     attempt-bookkeeping fields the cluster model prices separately.
 //
+// Data integrity (integrity.h + JobSpec::verify_integrity) adds the HDFS
+// checksum analogue on top of the attempt layer:
+//
+//   - job inputs are verified against their Dfs hashes before the map
+//     phase (a DataLoss input fails the job with a structured Status);
+//   - sorted runs carry write-side checksums (SortedRun::checksum) that
+//     are re-verified at map-attempt commit and at the reduce side's
+//     run-merge read; reduce output lines are hashed at emit and
+//     re-verified at the attempt's commit;
+//   - a mismatch — e.g. an injected CorruptRecord fault, which really
+//     mutates a record — crashes the DETECTING attempt, so the ordinary
+//     retry loop re-runs the producing attempt under max_task_attempts
+//     and a recoverable corruption plan still yields byte-identical
+//     output. With verification off the corrupted bytes flow silently.
+//   - verified bytes/detections are metered in TaskMetrics (accumulated
+//     across failed attempts too) and priced by the cluster model.
+//
+// The output file commits atomically: lines are written under a temp name
+// and renamed into place (Dfs::RenameFile), so no observer can ever read a
+// partial output file under the final name. Mappers may route unparsable
+// input lines to TaskContext::QuarantineRecord instead of aborting; the
+// committed lines land in `<output_file>.bad`, bounded by
+// JobSpec::max_skipped_records.
+//
 // Determinism: runs are internally in emit order (stable sort) and the
 // merge breaks ties toward earlier runs, so output is byte-identical to
 // the legacy unbounded path (sort_buffer_bytes == 0, a single in-memory
@@ -66,6 +90,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/hash.h"
 #include "common/result.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
@@ -73,6 +98,7 @@
 #include "mapreduce/dfs.h"
 #include "mapreduce/fault.h"
 #include "mapreduce/input.h"
+#include "mapreduce/integrity.h"
 #include "mapreduce/job_spec.h"
 #include "mapreduce/metrics.h"
 #include "mapreduce/run_merger.h"
@@ -97,18 +123,24 @@ class Job {
 
   class VectorOutputEmitter : public OutputEmitter {
    public:
-    explicit VectorOutputEmitter(std::vector<std::string>* lines,
-                                 TaskMetrics* metrics)
-        : lines_(lines), metrics_(metrics) {}
+    VectorOutputEmitter(std::vector<std::string>* lines, TaskMetrics* metrics,
+                        bool hash_lines)
+        : lines_(lines), metrics_(metrics), hash_lines_(hash_lines) {}
     void Emit(std::string line) override {
       metrics_->output_records++;
       metrics_->output_bytes += line.size() + 1;
+      // Write-side checksum of the attempt's output stream, re-verified at
+      // commit (the reduce-output integrity boundary).
+      if (hash_lines_) checksum_ = HashCombine(checksum_, LineChecksum(line));
       lines_->push_back(std::move(line));
     }
+    uint64_t checksum() const { return checksum_; }
 
    private:
     std::vector<std::string>* lines_;
     TaskMetrics* metrics_;
+    bool hash_lines_;
+    uint64_t checksum_ = kFnvOffsetBasis;
   };
 
   /// Everything one attempt produces, scoped to the attempt so a crash
@@ -118,6 +150,8 @@ class Job {
     TaskMetrics metrics;
     CounterSet counters;
     MapTaskOutput<K, V> output;
+    /// Malformed input lines the attempt quarantined (committed with it).
+    std::vector<std::string> quarantined;
   };
 
   struct ReduceAttemptResult {
@@ -160,6 +194,32 @@ class Job {
     for (const TaskMetrics& t : tasks) secs.push_back(t.seconds);
     std::sort(secs.begin(), secs.end());
     return secs.empty() ? 0.0 : secs[secs.size() / 2];
+  }
+
+  /// Injected CorruptRecord fault: really mutates one value of one run of
+  /// the attempt's shuffle output, AFTER the write-side checksums were
+  /// computed — exactly the window HDFS block checksums guard. Prefers a
+  /// run matching the fault's target (on-disk spill vs. in-memory map
+  /// output), falling back to any non-empty run so a kSpill fault still
+  /// bites when the job never spilled.
+  static void CorruptMapOutput(MapTaskOutput<K, V>* out,
+                               const AttemptFault& fault) {
+    std::vector<SortedRun<K, V>*> any, preferred;
+    const bool want_disk = fault.corrupt_target == CorruptTarget::kSpill;
+    for (auto& spill : out->spills) {
+      for (SortedRun<K, V>& run : spill) {
+        if (run.pairs.empty()) continue;
+        any.push_back(&run);
+        if (run.on_disk == want_disk) preferred.push_back(&run);
+      }
+    }
+    auto& pool = preferred.empty() ? any : preferred;
+    if (pool.empty()) return;  // nothing to corrupt: the attempt stays clean
+    SortedRun<K, V>* run = pool[fault.corrupt_salt % pool.size()];
+    auto& pair = run->pairs[HashInt64(fault.corrupt_salt) % run->pairs.size()];
+    // Corrupt the value side: record data, not routing metadata — flipping
+    // a key could silently re-partition instead of modelling bit rot.
+    CorruptInPlace(pair.second, HashInt64(fault.corrupt_salt ^ 0x5eed));
   }
 
   MapAttemptResult RunMapAttempt(const InputSplit& split,
@@ -208,6 +268,27 @@ typename Job<K, V>::MapAttemptResult Job<K, V>::RunMapAttempt(
     mapper->Teardown(&buffer, &ctx);
     buffer.Flush();
     AccountScratch(ctx, &res.counters);
+    res.quarantined = ctx.TakeQuarantined();
+  }
+  if (!res.crashed && (fault.corrupt_target == CorruptTarget::kMapOutput ||
+                       fault.corrupt_target == CorruptTarget::kSpill)) {
+    CorruptMapOutput(&res.output, fault);
+  }
+  // Commit-time verification of the attempt's runs against their
+  // write-side checksums. A mismatch converts the corruption into a
+  // transient failure: the attempt is marked crashed and the ordinary
+  // retry loop re-runs the producing attempt.
+  if (!res.crashed && spec_.verify_integrity) {
+    for (auto& spill : res.output.spills) {
+      for (const SortedRun<K, V>& run : spill) {
+        if (run.pairs.empty()) continue;
+        res.metrics.integrity_bytes_verified += run.bytes;
+        if (RunChecksum(run.pairs) != run.checksum) {
+          res.metrics.corruption_detected++;
+          res.crashed = true;
+        }
+      }
+    }
   }
   res.metrics.seconds = AttemptSeconds(timer, ctx, fault);
   return res;
@@ -222,7 +303,8 @@ typename Job<K, V>::ReduceAttemptResult Job<K, V>::RunReduceAttempt(
   WallTimer timer;
   TaskContext ctx(task_id, attempt, &res.counters);
   ctx.set_fault(fault);
-  VectorOutputEmitter out(&res.output, &res.metrics);
+  VectorOutputEmitter out(&res.output, &res.metrics,
+                          /*hash_lines=*/spec_.verify_integrity);
 
   // The merge consumes its input runs, so when this task may run more than
   // once (faults or speculation active) each attempt merges an
@@ -245,6 +327,25 @@ typename Job<K, V>::ReduceAttemptResult Job<K, V>::RunReduceAttempt(
     res.metrics.input_bytes += run->bytes;
   }
 
+  // Run-merge read verification (the "checksum on read" half): each run is
+  // re-verified before the merge consumes it. Map-commit verification means
+  // a corrupted run normally never gets this far, but the read-side check
+  // is what the cost model prices — HDFS clients verify every block read.
+  if (spec_.verify_integrity) {
+    for (const SortedRun<K, V>* run : runs) {
+      if (run->pairs.empty()) continue;
+      res.metrics.integrity_bytes_verified += run->bytes;
+      if (RunChecksum(run->pairs) != run->checksum) {
+        res.metrics.corruption_detected++;
+        res.crashed = true;
+      }
+    }
+    if (res.crashed) {
+      res.metrics.seconds = AttemptSeconds(timer, ctx, fault);
+      return res;
+    }
+  }
+
   auto reducer = spec_.reducer_factory();
   reducer->Setup(&ctx);
   RunMerger<K, V> merger(&ordering, std::move(runs), merge_factor, &ctx,
@@ -263,6 +364,24 @@ typename Job<K, V>::ReduceAttemptResult Job<K, V>::RunReduceAttempt(
   if (!res.crashed) {
     reducer->Teardown(&out, &ctx);
     AccountScratch(ctx, &res.counters);
+  }
+  if (!res.crashed && fault.corrupt_target == CorruptTarget::kReduceOutput &&
+      !res.output.empty()) {
+    CorruptInPlace(res.output[fault.corrupt_salt % res.output.size()],
+                   HashInt64(fault.corrupt_salt ^ 0x07));
+  }
+  // Commit-time verification of the attempt's output lines against the
+  // emitter's write-side stream hash.
+  if (!res.crashed && spec_.verify_integrity) {
+    uint64_t fold = kFnvOffsetBasis;
+    for (const std::string& line : res.output) {
+      fold = HashCombine(fold, LineChecksum(line));
+      res.metrics.integrity_bytes_verified += line.size() + 1;
+    }
+    if (fold != out.checksum()) {
+      res.metrics.corruption_detected++;
+      res.crashed = true;
+    }
   }
   res.metrics.seconds = AttemptSeconds(timer, ctx, fault);
   return res;
@@ -311,6 +430,22 @@ Result<JobMetrics> Job<K, V>::Run() {
     FJ_ASSIGN_OR_RETURN(file_lines[i], dfs_->ReadFile(spec_.input_files[i]));
   }
 
+  // Input integrity: verify every input file against its Dfs checksums
+  // before any task reads it. A corrupted input has no healthy producer to
+  // re-run, so this is a structured job failure, not a retry.
+  uint64_t input_integrity_bytes = 0;
+  if (spec_.verify_integrity) {
+    for (const std::string& file : spec_.input_files) {
+      Result<uint64_t> verified = dfs_->VerifyFile(file);
+      if (!verified.ok()) {
+        return Status(verified.status().code(),
+                      "job '" + spec_.name + "': " +
+                          verified.status().message());
+      }
+      input_integrity_bytes += *verified;
+    }
+  }
+
   const size_t num_map_tasks = splits.size();
   const size_t num_reduce_tasks = spec_.num_reduce_tasks;
   const SpecOrdering<K, V> ordering(&spec_);
@@ -335,22 +470,29 @@ Result<JobMetrics> Job<K, V>::Run() {
 
   metrics.map_tasks.resize(num_map_tasks);
   std::vector<MapTaskOutput<K, V>> map_outputs(num_map_tasks);
+  std::vector<std::vector<std::string>> quarantined(num_map_tasks);
 
   // ---- Map phase: retry each task's attempts until one commits ----
   std::vector<std::function<void()>> map_fns;
   map_fns.reserve(num_map_tasks);
   for (size_t m = 0; m < num_map_tasks; ++m) {
     map_fns.push_back([this, m, &splits, &file_lines, &metrics, &map_outputs,
-                       &ordering, &injector, &record_failure] {
+                       &quarantined, &ordering, &injector, &record_failure] {
       const InputSplit& split = splits[m];
       const std::vector<std::string>& lines = *file_lines[split.file_index];
       uint32_t failed = 0;
       double failed_seconds = 0;
+      // Verification work and detections accumulate across ALL attempts
+      // (the bytes were really hashed even when the attempt then crashed).
+      uint64_t integrity_bytes = 0;
+      uint32_t corruption_detected = 0;
       for (uint32_t attempt = 0; attempt < spec_.max_task_attempts;
            ++attempt) {
         MapAttemptResult res =
             RunMapAttempt(split, lines, ordering, m, attempt,
                           injector.FaultFor(TaskPhase::kMap, m, attempt));
+        integrity_bytes += res.metrics.integrity_bytes_verified;
+        corruption_detected += res.metrics.corruption_detected;
         if (res.crashed) {
           failed++;
           failed_seconds += res.metrics.seconds;
@@ -363,14 +505,19 @@ Result<JobMetrics> Job<K, V>::Run() {
         committed.attempts = failed + 1;
         committed.failed_attempts = failed;
         committed.failed_attempt_seconds = failed_seconds;
+        committed.integrity_bytes_verified = integrity_bytes;
+        committed.corruption_detected = corruption_detected;
         metrics.map_tasks[m] = std::move(committed);
         metrics.counters.MergeFrom(res.counters);
         map_outputs[m] = std::move(res.output);
+        quarantined[m] = std::move(res.quarantined);
         return;
       }
       metrics.map_tasks[m].attempts = failed;
       metrics.map_tasks[m].failed_attempts = failed;
       metrics.map_tasks[m].failed_attempt_seconds = failed_seconds;
+      metrics.map_tasks[m].integrity_bytes_verified = integrity_bytes;
+      metrics.map_tasks[m].corruption_detected = corruption_detected;
       record_failure(TaskPhase::kMap, m);
     });
   }
@@ -395,6 +542,8 @@ Result<JobMetrics> Job<K, V>::Run() {
                           injector.FaultFor(TaskPhase::kMap, m, attempt));
         task.attempts++;
         task.speculative_launched = true;
+        task.integrity_bytes_verified += res.metrics.integrity_bytes_verified;
+        task.corruption_detected += res.metrics.corruption_detected;
         if (res.crashed) {
           // The backup died (or would have been killed at the straggler's
           // commit, whichever came first); the straggler's commit stands.
@@ -422,9 +571,12 @@ Result<JobMetrics> Job<K, V>::Run() {
           committed.speculative_loser_seconds =
               task.speculative_loser_seconds +
               std::max(0.0, backup_finish - task.failed_attempt_seconds);
+          committed.integrity_bytes_verified = task.integrity_bytes_verified;
+          committed.corruption_detected = task.corruption_detected;
           task = std::move(committed);
           // Deterministic attempts emit identical counters, so the
-          // primary's already-merged counters stand for the backup too.
+          // primary's already-merged counters stand for the backup too —
+          // and likewise its quarantined lines.
           map_outputs[m] = std::move(res.output);
         } else {
           task.speculative_loser_seconds += std::min(
@@ -433,6 +585,20 @@ Result<JobMetrics> Job<K, V>::Run() {
       });
     }
     RunParallel(backup_fns, spec_.local_threads);
+  }
+
+  // ---- Quarantine bookkeeping: malformed input lines the committed map
+  // attempts routed to TaskContext::QuarantineRecord (attempts are
+  // deterministic, so retries and backups quarantine identically) ----
+  for (const auto& task_lines : quarantined) {
+    metrics.records_skipped += task_lines.size();
+  }
+  if (metrics.records_skipped > spec_.max_skipped_records) {
+    return Status::DataLoss(
+        "job '" + spec_.name + "': " +
+        std::to_string(metrics.records_skipped) +
+        " malformed input records exceed max_skipped_records=" +
+        std::to_string(spec_.max_skipped_records));
   }
 
   // ---- Reduce phase: streaming k-way merge over sorted runs ----
@@ -465,11 +631,15 @@ Result<JobMetrics> Job<K, V>::Run() {
                           &record_failure] {
       uint32_t failed = 0;
       double failed_seconds = 0;
+      uint64_t integrity_bytes = 0;
+      uint32_t corruption_detected = 0;
       for (uint32_t attempt = 0; attempt < spec_.max_task_attempts;
            ++attempt) {
         ReduceAttemptResult res = RunReduceAttempt(
             partition_runs[r], preserve_runs, ordering, merge_factor, r,
             attempt, injector.FaultFor(TaskPhase::kReduce, r, attempt));
+        integrity_bytes += res.metrics.integrity_bytes_verified;
+        corruption_detected += res.metrics.corruption_detected;
         if (res.crashed) {
           failed++;
           failed_seconds += res.metrics.seconds;
@@ -479,6 +649,8 @@ Result<JobMetrics> Job<K, V>::Run() {
         committed.attempts = failed + 1;
         committed.failed_attempts = failed;
         committed.failed_attempt_seconds = failed_seconds;
+        committed.integrity_bytes_verified = integrity_bytes;
+        committed.corruption_detected = corruption_detected;
         metrics.reduce_tasks[r] = std::move(committed);
         metrics.counters.MergeFrom(res.counters);
         reduce_outputs[r] = std::move(res.output);
@@ -487,6 +659,8 @@ Result<JobMetrics> Job<K, V>::Run() {
       metrics.reduce_tasks[r].attempts = failed;
       metrics.reduce_tasks[r].failed_attempts = failed;
       metrics.reduce_tasks[r].failed_attempt_seconds = failed_seconds;
+      metrics.reduce_tasks[r].integrity_bytes_verified = integrity_bytes;
+      metrics.reduce_tasks[r].corruption_detected = corruption_detected;
       record_failure(TaskPhase::kReduce, r);
     });
   }
@@ -512,6 +686,8 @@ Result<JobMetrics> Job<K, V>::Run() {
             attempt, injector.FaultFor(TaskPhase::kReduce, r, attempt));
         task.attempts++;
         task.speculative_launched = true;
+        task.integrity_bytes_verified += res.metrics.integrity_bytes_verified;
+        task.corruption_detected += res.metrics.corruption_detected;
         if (res.crashed) {
           task.speculative_loser_seconds += std::min(
               res.metrics.seconds,
@@ -532,6 +708,8 @@ Result<JobMetrics> Job<K, V>::Run() {
           committed.speculative_loser_seconds =
               task.speculative_loser_seconds +
               std::max(0.0, backup_finish - task.failed_attempt_seconds);
+          committed.integrity_bytes_verified = task.integrity_bytes_verified;
+          committed.corruption_detected = task.corruption_detected;
           task = std::move(committed);
           reduce_outputs[r] = std::move(res.output);
         } else {
@@ -566,10 +744,28 @@ Result<JobMetrics> Job<K, V>::Run() {
       if (t.speculative_launched) metrics.speculative_launched++;
       if (t.speculative_won) metrics.speculative_wins++;
       metrics.wasted_task_seconds += t.wasted_seconds();
+      metrics.integrity_bytes_verified += t.integrity_bytes_verified;
+      metrics.corruption_detected += t.corruption_detected;
     }
   }
+  metrics.integrity_bytes_verified += input_integrity_bytes;
+  if (spec_.verify_integrity) {
+    metrics.counters.Add(
+        "integrity.bytes_verified",
+        static_cast<int64_t>(metrics.integrity_bytes_verified));
+    if (metrics.corruption_detected > 0) {
+      metrics.counters.Add(
+          "integrity.corruption_detected",
+          static_cast<int64_t>(metrics.corruption_detected));
+    }
+  }
+  if (metrics.records_skipped > 0) {
+    metrics.counters.Add("records_skipped",
+                         static_cast<int64_t>(metrics.records_skipped));
+  }
 
-  // ---- Output ----
+  // ---- Output: atomic commit via temp-name + rename, so no observer can
+  // ever read a partial file under the final name ----
   if (!spec_.output_file.empty()) {
     std::vector<std::string> all_lines;
     size_t total = 0;
@@ -578,7 +774,24 @@ Result<JobMetrics> Job<K, V>::Run() {
     for (auto& part : reduce_outputs) {
       std::move(part.begin(), part.end(), std::back_inserter(all_lines));
     }
-    FJ_RETURN_IF_ERROR(dfs_->WriteFile(spec_.output_file, std::move(all_lines)));
+    const std::string tmp = spec_.output_file + ".__commit";
+    if (dfs_->Exists(tmp)) FJ_RETURN_IF_ERROR(dfs_->DeleteFile(tmp));
+    FJ_RETURN_IF_ERROR(dfs_->WriteFile(tmp, std::move(all_lines)));
+    Status renamed = dfs_->RenameFile(tmp, spec_.output_file);
+    if (!renamed.ok()) {
+      (void)dfs_->DeleteFile(tmp);  // best effort; the rename error wins
+      return renamed;
+    }
+    if (metrics.records_skipped > 0) {
+      std::vector<std::string> bad_lines;
+      bad_lines.reserve(metrics.records_skipped);
+      for (auto& task_lines : quarantined) {
+        std::move(task_lines.begin(), task_lines.end(),
+                  std::back_inserter(bad_lines));
+      }
+      FJ_RETURN_IF_ERROR(
+          dfs_->WriteFile(spec_.output_file + ".bad", std::move(bad_lines)));
+    }
   }
 
   metrics.wall_seconds = job_timer.ElapsedSeconds();

@@ -166,6 +166,26 @@ struct JobSpec {
   /// whole job with a structured Status; no partial output is written.
   uint32_t max_task_attempts = 4;
 
+  /// End-to-end integrity verification — the HDFS checksum analogue. When
+  /// on: job inputs are verified against their Dfs hashes before the map
+  /// phase; every sorted run is checksummed at spill time and re-verified
+  /// at map-attempt commit and again at the reduce side's run-merge read;
+  /// reduce output lines are checksummed at emit and re-verified at the
+  /// attempt's commit. Any mismatch crashes the detecting attempt — a
+  /// transient failure retried under max_task_attempts — so a recoverable
+  /// CorruptRecord fault plan still yields byte-identical output.
+  /// Verified bytes are metered (TaskMetrics::integrity_bytes_verified)
+  /// and priced by the cluster model.
+  bool verify_integrity = false;
+
+  static constexpr uint64_t kUnlimitedSkippedRecords = ~0ULL;
+  /// Cap on malformed input records a job may quarantine (see
+  /// TaskContext::QuarantineRecord): quarantined lines land in
+  /// `<output_file>.bad` instead of aborting the job, but when their total
+  /// exceeds this cap the job fails with DataLoss — mass corruption should
+  /// not silently shrink the input.
+  uint64_t max_skipped_records = kUnlimitedSkippedRecords;
+
   /// Launch speculative backup attempts for straggling tasks (Hadoop's
   /// mapred.*.tasks.speculative.execution). After a phase's tasks commit,
   /// any task whose cost exceeds speculation_slowdown_factor x the phase

@@ -70,6 +70,17 @@ struct TaskMetrics {
   /// another slot.
   double speculative_loser_seconds = 0;
 
+  /// --- Integrity verification (JobSpec::verify_integrity) ---
+  /// Bytes checksum-verified for this task: sorted runs at map-attempt
+  /// commit, runs again at the reduce side's merge read, and reduce output
+  /// lines at commit. Unlike the committed-attempt fields above these
+  /// accumulate across FAILED attempts too — the verification work was
+  /// really performed, and the cluster model prices it.
+  uint64_t integrity_bytes_verified = 0;
+  /// Checksum mismatches detected; each one crashed the detecting attempt
+  /// (converted into a transient failure and retried).
+  uint32_t corruption_detected = 0;
+
   /// Work thrown away by failures and lost speculation races.
   double wasted_seconds() const {
     return failed_attempt_seconds + speculative_loser_seconds;
@@ -103,6 +114,14 @@ struct JobMetrics {
   uint64_t speculative_launched = 0;
   uint64_t speculative_wins = 0;
   double wasted_task_seconds = 0;
+
+  /// Integrity totals (JobSpec::verify_integrity): task sums plus the
+  /// job-level input-file verification pass.
+  uint64_t integrity_bytes_verified = 0;
+  uint64_t corruption_detected = 0;
+  /// Malformed input records quarantined to `<output_file>.bad` instead of
+  /// aborting (see JobSpec::max_skipped_records).
+  uint64_t records_skipped = 0;
 
   /// Real wall time of the whole (local) execution.
   double wall_seconds = 0;

@@ -19,6 +19,13 @@
 // multi-pass merge under a small io.sort.factor). Every intermediate pass
 // re-reads its inputs and re-writes the merged run; that I/O is charged to
 // the reduce task's scratch and counted in its metrics.
+//
+// Integrity: with JobSpec::verify_integrity the engine re-verifies every
+// input run's write-side checksum (SortedRun::checksum, see integrity.h)
+// at the run-merge read boundary — in RunReduceAttempt, immediately before
+// the merger consumes the runs. The merger itself therefore only ever sees
+// verified data, and intermediate collapsed runs never leave the attempt,
+// so they need no fresh checksum of their own.
 #pragma once
 
 #include <algorithm>

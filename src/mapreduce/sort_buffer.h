@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "mapreduce/byte_size.h"
+#include "mapreduce/integrity.h"
 #include "mapreduce/job_spec.h"
 #include "mapreduce/metrics.h"
 #include "mapreduce/task_context.h"
@@ -40,6 +41,11 @@ struct SortedRun {
   /// True when the run was spilled: its write was charged to the producing
   /// task's scratch and its read will be charged to the consuming task.
   bool on_disk = false;
+  /// Write-side content checksum (integrity.h RunChecksum over `pairs`),
+  /// computed when the run is finalized and JobSpec::verify_integrity is
+  /// on; re-verified at map-attempt commit and at the reduce side's
+  /// run-merge read. 0 when verification is off.
+  uint64_t checksum = 0;
 };
 
 /// Everything one map task ships to the shuffle: spills in temporal order,
@@ -149,6 +155,9 @@ class SortBuffer : public Emitter<K, V> {
       metrics_->shuffle_bytes += run.bytes;
       run_bytes += run.bytes;
       run.on_disk = to_disk;
+      // Write-side checksum, the HDFS "checksum on write" half; the read
+      // boundaries re-verify it.
+      if (spec_->verify_integrity) run.checksum = RunChecksum(run.pairs);
     }
     if (to_disk) {
       metrics_->spill_count++;

@@ -94,6 +94,20 @@ class TaskContext {
   void NoteRecordProcessed() { records_processed_++; }
   uint64_t records_processed() const { return records_processed_; }
 
+  /// Malformed-input quarantine (map attempts only). Instead of aborting
+  /// the job on an unparsable input line, a mapper hands the raw line here;
+  /// the engine writes the committed attempt's quarantined lines to
+  /// `<output_file>.bad` in map-task order and counts them against
+  /// JobSpec::max_skipped_records. Attempt-scoped like everything else: a
+  /// crashed attempt's quarantined lines are dropped with it.
+  void QuarantineRecord(std::string line) {
+    quarantined_.push_back(std::move(line));
+  }
+  const std::vector<std::string>& quarantined_records() const {
+    return quarantined_;
+  }
+  std::vector<std::string> TakeQuarantined() { return std::move(quarantined_); }
+
   /// Adds simulated seconds to this task's cost without actually sleeping.
   /// Used to model work whose real cost the simulator cannot observe
   /// (e.g. spinning disks, JVM startup).
@@ -114,6 +128,7 @@ class TaskContext {
   uint64_t records_processed_ = 0;
   AttemptFault fault_;
   LocalScratch scratch_;
+  std::vector<std::string> quarantined_;
 };
 
 }  // namespace fj::mr

@@ -30,7 +30,8 @@ TEST(StatusTest, AllCodesHaveNames) {
                     StatusCode::kNotFound, StatusCode::kAlreadyExists,
                     StatusCode::kOutOfRange, StatusCode::kResourceExhausted,
                     StatusCode::kInternal, StatusCode::kIOError,
-                    StatusCode::kUnimplemented}) {
+                    StatusCode::kUnimplemented, StatusCode::kDataLoss,
+                    StatusCode::kFailedPrecondition}) {
     EXPECT_STRNE(StatusCodeName(code), "Unknown");
   }
 }

@@ -68,6 +68,32 @@ uint64_t TotalFailedAttempts(const JoinRunResult& result) {
   return failed;
 }
 
+uint64_t TotalCorruptionDetected(const JoinRunResult& result) {
+  uint64_t detected = 0;
+  for (const auto& stage : result.stages) {
+    for (const auto& job : stage.jobs) detected += job.corruption_detected;
+  }
+  return detected;
+}
+
+// A transient CorruptRecord plan aimed at one target kind in every job of
+// the pipeline: map-phase targets hit map task 1, reduce output hits
+// reduce task 0.
+std::shared_ptr<const mr::FaultPlan> CorruptionPlan(mr::CorruptTarget target) {
+  auto plan = std::make_shared<mr::FaultPlan>();
+  mr::TaskPhase phase = target == mr::CorruptTarget::kReduceOutput
+                            ? mr::TaskPhase::kReduce
+                            : mr::TaskPhase::kMap;
+  plan->faults.push_back(
+      mr::FaultSpec{.phase = phase,
+                    .task_id = phase == mr::TaskPhase::kMap ? 1u : 0u,
+                    .first_attempt = 0,
+                    .failing_attempts = 2,
+                    .corrupt_target = target,
+                    .corrupt_salt = 41});
+  return plan;
+}
+
 void RunSelfGoldenCase(Stage1Algorithm s1, Stage2Algorithm s2,
                        Stage3Algorithm s3, uint64_t sort_buffer) {
   mr::Dfs dfs;
@@ -147,6 +173,190 @@ TEST(FaultPipelineTest, RSBtoPkBrjUnbounded) {
 TEST(FaultPipelineTest, RSOptoBkOprjSpilling) {
   RunRSGoldenCase(Stage1Algorithm::kOPTO, Stage2Algorithm::kBK,
                   Stage3Algorithm::kOPRJ, 256);
+}
+
+// --- CorruptRecord matrix: self/R-S x spill on/off x corruption target.
+// With verify_integrity on, every detected corruption becomes a transient
+// retry and the join stays byte-identical to the clean run.
+
+void RunSelfCorruptionCase(mr::CorruptTarget target, uint64_t sort_buffer) {
+  mr::Dfs dfs;
+  ASSERT_TRUE(dfs.WriteFile("records", SelfInputLines()).ok());
+
+  auto clean_config = BaseConfig(Stage1Algorithm::kBTO, Stage2Algorithm::kPK,
+                                 Stage3Algorithm::kBRJ, sort_buffer);
+  auto clean = RunSelfJoin(&dfs, "records", "clean", clean_config);
+  ASSERT_TRUE(clean.ok()) << clean.status().ToString();
+
+  auto config = BaseConfig(Stage1Algorithm::kBTO, Stage2Algorithm::kPK,
+                           Stage3Algorithm::kBRJ, sort_buffer);
+  config.verify_integrity = true;
+  auto plan = CorruptionPlan(target);
+  // Corruption is only recoverable when something detects it.
+  EXPECT_FALSE(plan->RecoverableWith(config.max_task_attempts, false));
+  ASSERT_TRUE(plan->RecoverableWith(config.max_task_attempts, true));
+  config.fault_plan = plan;
+
+  auto corrupted = RunSelfJoin(&dfs, "records", "corrupted", config);
+  ASSERT_TRUE(corrupted.ok()) << corrupted.status().ToString();
+  EXPECT_GT(TotalCorruptionDetected(*corrupted), 0u);
+  EXPECT_GT(TotalFailedAttempts(*corrupted), 0u);
+  EXPECT_EQ(Lines(dfs, clean->output_file),
+            Lines(dfs, corrupted->output_file));
+  EXPECT_EQ(Lines(dfs, clean->rid_pairs_file),
+            Lines(dfs, corrupted->rid_pairs_file));
+}
+
+void RunRSCorruptionCase(mr::CorruptTarget target, uint64_t sort_buffer) {
+  mr::Dfs dfs;
+  ASSERT_TRUE(dfs.WriteFile("r", SelfInputLines()).ok());
+  ASSERT_TRUE(dfs.WriteFile("s", OuterInputLines()).ok());
+
+  auto clean_config = BaseConfig(Stage1Algorithm::kBTO, Stage2Algorithm::kPK,
+                                 Stage3Algorithm::kBRJ, sort_buffer);
+  auto clean = RunRSJoin(&dfs, "r", "s", "clean", clean_config);
+  ASSERT_TRUE(clean.ok()) << clean.status().ToString();
+
+  auto config = BaseConfig(Stage1Algorithm::kBTO, Stage2Algorithm::kPK,
+                           Stage3Algorithm::kBRJ, sort_buffer);
+  config.verify_integrity = true;
+  config.fault_plan = CorruptionPlan(target);
+
+  auto corrupted = RunRSJoin(&dfs, "r", "s", "corrupted", config);
+  ASSERT_TRUE(corrupted.ok()) << corrupted.status().ToString();
+  EXPECT_GT(TotalCorruptionDetected(*corrupted), 0u);
+  EXPECT_EQ(Lines(dfs, clean->output_file),
+            Lines(dfs, corrupted->output_file));
+}
+
+TEST(FaultPipelineTest, SelfCorruptMapOutputUnbounded) {
+  RunSelfCorruptionCase(mr::CorruptTarget::kMapOutput, 0);
+}
+
+TEST(FaultPipelineTest, SelfCorruptMapOutputSpilling) {
+  RunSelfCorruptionCase(mr::CorruptTarget::kMapOutput, 256);
+}
+
+TEST(FaultPipelineTest, SelfCorruptSpillSpilling) {
+  RunSelfCorruptionCase(mr::CorruptTarget::kSpill, 256);
+}
+
+TEST(FaultPipelineTest, SelfCorruptReduceOutputUnbounded) {
+  RunSelfCorruptionCase(mr::CorruptTarget::kReduceOutput, 0);
+}
+
+TEST(FaultPipelineTest, RSCorruptSpillSpilling) {
+  RunRSCorruptionCase(mr::CorruptTarget::kSpill, 256);
+}
+
+TEST(FaultPipelineTest, RSCorruptReduceOutputUnbounded) {
+  RunRSCorruptionCase(mr::CorruptTarget::kReduceOutput, 0);
+}
+
+TEST(FaultPipelineTest, CorruptionWithoutVerificationIsSilentlyWrong) {
+  // The negative control: same corruption, verification off. The pipeline
+  // "succeeds" — and the RID pairs are wrong. This is the failure mode
+  // verify_integrity exists to prevent, demonstrated on purpose.
+  mr::Dfs dfs;
+  ASSERT_TRUE(dfs.WriteFile("records", SelfInputLines()).ok());
+
+  auto clean_config = BaseConfig(Stage1Algorithm::kBTO, Stage2Algorithm::kPK,
+                                 Stage3Algorithm::kBRJ, 0);
+  auto clean = RunSelfJoin(&dfs, "records", "clean", clean_config);
+  ASSERT_TRUE(clean.ok()) << clean.status().ToString();
+
+  auto config = BaseConfig(Stage1Algorithm::kBTO, Stage2Algorithm::kPK,
+                           Stage3Algorithm::kBRJ, 0);
+  // Flip a byte of one emitted RID-pair line in the kernel's reduce
+  // output: the pairs file provably changes.
+  auto plan = std::make_shared<mr::FaultPlan>();
+  plan->faults.push_back(
+      mr::FaultSpec{.phase = mr::TaskPhase::kReduce,
+                    .task_id = 0,
+                    .first_attempt = 0,
+                    .failing_attempts = 2,
+                    .corrupt_target = mr::CorruptTarget::kReduceOutput,
+                    .corrupt_salt = 41,
+                    .job_substring = "stage2"});
+  config.fault_plan = plan;
+
+  auto corrupted = RunSelfJoin(&dfs, "records", "silent", config);
+  ASSERT_TRUE(corrupted.ok()) << corrupted.status().ToString();
+  EXPECT_EQ(TotalCorruptionDetected(*corrupted), 0u);
+  EXPECT_NE(Lines(dfs, clean->rid_pairs_file),
+            Lines(dfs, corrupted->rid_pairs_file));
+}
+
+TEST(FaultPipelineTest, PermanentCorruptionFailsPipelineWithStatus) {
+  // Corruption on every attempt of one kernel task with verification on:
+  // the integrity layer turns each attempt into a failure until the budget
+  // is exhausted — a structured error, never silent wrong output.
+  mr::Dfs dfs;
+  ASSERT_TRUE(dfs.WriteFile("records", SelfInputLines()).ok());
+
+  auto plan = std::make_shared<mr::FaultPlan>();
+  plan->faults.push_back(
+      mr::FaultSpec{.phase = mr::TaskPhase::kMap,
+                    .task_id = 1,
+                    .first_attempt = 0,
+                    .failing_attempts = mr::FaultSpec::kAllAttempts,
+                    .corrupt_target = mr::CorruptTarget::kMapOutput,
+                    .corrupt_salt = 41,
+                    .job_substring = "stage2"});
+  auto config = BaseConfig(Stage1Algorithm::kBTO, Stage2Algorithm::kPK,
+                           Stage3Algorithm::kBRJ, 0);
+  config.verify_integrity = true;
+  config.fault_plan = plan;
+  EXPECT_FALSE(plan->RecoverableWith(config.max_task_attempts, true));
+
+  auto result = RunSelfJoin(&dfs, "records", "doomed", config);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().ToString().find("failed permanently"),
+            std::string::npos)
+      << result.status().ToString();
+  EXPECT_FALSE(dfs.Exists("doomed.joined"));
+}
+
+TEST(FaultPipelineTest, MalformedInputLinesQuarantinedAcrossThePipeline) {
+  // Inject garbage lines into the input: every stage that parses records
+  // quarantines them to its own "<output>.bad" file and the join over the
+  // good records still succeeds.
+  std::vector<std::string> lines = SelfInputLines();
+  lines.insert(lines.begin() + 3, "not a record at all");
+  lines.push_back("also\tnot\tenough");
+  mr::Dfs dfs;
+  ASSERT_TRUE(dfs.WriteFile("records", std::move(lines)).ok());
+
+  auto config = BaseConfig(Stage1Algorithm::kBTO, Stage2Algorithm::kPK,
+                           Stage3Algorithm::kBRJ, 0);
+  auto result = RunSelfJoin(&dfs, "records", "out", config);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  uint64_t skipped = 0;
+  for (const auto& stage : result->stages) {
+    for (const auto& job : stage.jobs) skipped += job.records_skipped;
+  }
+  EXPECT_GT(skipped, 0u);
+  bool bad_file_found = false;
+  for (const std::string& name : dfs.ListFiles()) {
+    if (name.size() > 4 && name.substr(name.size() - 4) == ".bad") {
+      bad_file_found = true;
+      for (const std::string& line : Lines(dfs, name)) {
+        EXPECT_TRUE(line == "not a record at all" ||
+                    line == "also\tnot\tenough")
+            << name << ": " << line;
+      }
+    }
+  }
+  EXPECT_TRUE(bad_file_found);
+
+  // The cap turns the same input into a structured failure.
+  auto strict = BaseConfig(Stage1Algorithm::kBTO, Stage2Algorithm::kPK,
+                           Stage3Algorithm::kBRJ, 0);
+  strict.max_skipped_records = 1;
+  auto refused = RunSelfJoin(&dfs, "records", "strict", strict);
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.status().code(), StatusCode::kDataLoss);
 }
 
 TEST(FaultPipelineTest, PermanentStageFaultFailsPipelineCleanly) {

@@ -134,6 +134,35 @@ TEST(SimulateJobTest, SpillBytesPricedOnLocalDiskBandwidth) {
   EXPECT_DOUBLE_EQ(clean.spill_seconds, 0.0);
 }
 
+TEST(SimulateJobTest, IntegrityBytesPricedOnChecksumBandwidth) {
+  JobMetrics metrics;
+  metrics.integrity_bytes_verified = 1000;
+  ClusterConfig cluster;
+  cluster.nodes = 2;
+  cluster.integrity_bytes_per_second_per_node = 100;
+  // Each verified byte is hashed exactly once: 1000 bytes over 200 bytes/s.
+  EXPECT_DOUBLE_EQ(SimulateJob(metrics, cluster).integrity_seconds, 5.0);
+  cluster.nodes = 10;
+  EXPECT_DOUBLE_EQ(SimulateJob(metrics, cluster).integrity_seconds, 1.0);
+
+  // Part of the total; jobs that never verify pay zero.
+  EXPECT_DOUBLE_EQ(SimulateJob(metrics, cluster).total(),
+                   cluster.job_startup_seconds + 1.0);
+  metrics.integrity_bytes_verified = 0;
+  EXPECT_DOUBLE_EQ(SimulateJob(metrics, cluster).integrity_seconds, 0.0);
+}
+
+TEST(SimulateJobTest, IntegritySecondsScaleWithWorkScale) {
+  JobMetrics metrics;
+  metrics.integrity_bytes_verified = 1000;
+  ClusterConfig cluster;
+  cluster.nodes = 1;
+  cluster.integrity_bytes_per_second_per_node = 100;
+  double base = SimulateJob(metrics, cluster).integrity_seconds;
+  cluster.work_scale = 8.0;
+  EXPECT_DOUBLE_EQ(SimulateJob(metrics, cluster).integrity_seconds, 8 * base);
+}
+
 TEST(SimulateJobTest, SpillSecondsScaleWithWorkScale) {
   JobMetrics metrics;
   metrics.spilled_bytes = 1000;

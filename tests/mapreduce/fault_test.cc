@@ -402,6 +402,62 @@ TEST(FaultTest, JobSubstringScopesSpecsToMatchingJobs) {
   EXPECT_FALSE(scoped.AppliesTo(TaskPhase::kMap, 1, 0, "stage2"));
 }
 
+TEST(FaultTest, CorruptionRecoverabilityRequiresVerification) {
+  FaultPlan plan;
+  plan.faults.push_back(FaultSpec{.phase = TaskPhase::kMap,
+                                  .task_id = 0,
+                                  .first_attempt = 0,
+                                  .failing_attempts = 2,
+                                  .corrupt_target = CorruptTarget::kMapOutput});
+  EXPECT_FALSE(plan.Empty());
+  // Without verification nothing detects the flipped byte — the plan can
+  // never be recovered from, whatever the attempt budget.
+  EXPECT_FALSE(plan.RecoverableWith(4));
+  EXPECT_FALSE(plan.RecoverableWith(100, false));
+  // With verification, detection converts corruption into bounded retries:
+  // attempts 0 and 1 fail, so a budget of 3+ recovers and 2 does not.
+  EXPECT_TRUE(plan.RecoverableWith(3, true));
+  EXPECT_FALSE(plan.RecoverableWith(2, true));
+
+  FaultPlan probabilistic;
+  probabilistic.corrupt_probability = 0.3;
+  probabilistic.corrupt_failing_attempts = 2;
+  EXPECT_FALSE(probabilistic.Empty());
+  EXPECT_FALSE(probabilistic.RecoverableWith(4));
+  EXPECT_TRUE(probabilistic.RecoverableWith(4, true));
+  EXPECT_FALSE(probabilistic.RecoverableWith(2, true));
+
+  FaultPlan permanent;
+  permanent.faults.push_back(
+      FaultSpec{.phase = TaskPhase::kMap,
+                .failing_attempts = FaultSpec::kAllAttempts,
+                .corrupt_target = CorruptTarget::kMapOutput});
+  EXPECT_FALSE(permanent.RecoverableWith(100, true));
+}
+
+TEST(FaultTest, CorruptionSaltsAreDeterministicAndPerAttempt) {
+  FaultPlan plan;
+  plan.faults.push_back(FaultSpec{.phase = TaskPhase::kMap,
+                                  .task_id = 1,
+                                  .first_attempt = 0,
+                                  .failing_attempts = 2,
+                                  .corrupt_target = CorruptTarget::kSpill,
+                                  .corrupt_salt = 9});
+  FaultInjector a(&plan, "job");
+  FaultInjector b(&plan, "job");
+  AttemptFault first = a.FaultFor(TaskPhase::kMap, 1, 0);
+  ASSERT_TRUE(first.corrupts());
+  EXPECT_EQ(first.corrupt_target, CorruptTarget::kSpill);
+  // Same coordinates resolve to the same salt across injectors...
+  EXPECT_EQ(first.corrupt_salt, b.FaultFor(TaskPhase::kMap, 1, 0).corrupt_salt);
+  // ...different attempts corrupt a different deterministic location, and
+  // attempts past the failing range are clean.
+  EXPECT_NE(first.corrupt_salt, a.FaultFor(TaskPhase::kMap, 1, 1).corrupt_salt);
+  EXPECT_FALSE(a.FaultFor(TaskPhase::kMap, 1, 2).corrupts());
+  EXPECT_FALSE(a.FaultFor(TaskPhase::kMap, 0, 0).corrupts());
+  EXPECT_FALSE(a.FaultFor(TaskPhase::kReduce, 1, 0).corrupts());
+}
+
 TEST(FaultTest, InvalidSpeculationConfigRejected) {
   Dfs dfs;
   WriteInput(&dfs);

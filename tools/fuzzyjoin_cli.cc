@@ -9,7 +9,10 @@
 //             [--threads=N] [--sort_buffer=BYTES] [--merge_factor=N]
 //             [--max_attempts=4] [--speculate] [--speculation_factor=3]
 //             [--fault_seed=S] [--fault_crash_p=P] [--fault_straggler_p=P]
-//             [--fault_slowdown=F]
+//             [--fault_slowdown=F] [--fault_corrupt_p=P]
+//             [--fault_corrupt_attempts=N]
+//             [--verify_integrity] [--max_skipped=N]
+//             [--resume] [--dfs_dir=PATH]
 //             [--stats]                      set-similarity self-join
 //   rsjoin    --r=FILE --s=FILE --out=FILE [same tuning flags]
 //   editjoin  --input=FILE --out=FILE --distance=D [--qgram=3]
@@ -19,6 +22,7 @@
 // lines (see data/record.h); join output files are JoinedPair lines (see
 // fuzzyjoin/stage3.h).
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -104,21 +108,35 @@ Result<fj::join::JoinConfig> ConfigFromFlags(const Flags& flags) {
   config.speculative_execution = flags.Has("speculate");
   config.speculation_slowdown_factor =
       flags.GetDouble("speculation_factor", 3.0);
+  config.verify_integrity = flags.Has("verify_integrity");
+  config.resume = flags.Has("resume");
+  if (flags.Has("max_skipped")) {
+    config.max_skipped_records =
+        static_cast<uint64_t>(flags.GetInt("max_skipped", 0));
+  }
   // Deterministic fault injection: any non-zero probability builds a
   // FaultPlan shared by every job of the pipeline. Joins still produce
   // byte-identical output as long as the plan is recoverable.
   const double crash_p = flags.GetDouble("fault_crash_p", 0.0);
   const double straggler_p = flags.GetDouble("fault_straggler_p", 0.0);
-  if (crash_p > 0.0 || straggler_p > 0.0) {
+  const double corrupt_p = flags.GetDouble("fault_corrupt_p", 0.0);
+  if (crash_p > 0.0 || straggler_p > 0.0 || corrupt_p > 0.0) {
     auto plan = std::make_shared<fj::mr::FaultPlan>();
     plan->seed = static_cast<uint64_t>(flags.GetInt("fault_seed", 1));
     plan->crash_probability = crash_p;
     plan->straggler_probability = straggler_p;
     plan->straggler_slowdown = flags.GetDouble("fault_slowdown", 4.0);
-    if (!plan->RecoverableWith(config.max_task_attempts)) {
+    plan->corrupt_probability = corrupt_p;
+    plan->corrupt_failing_attempts =
+        static_cast<uint32_t>(flags.GetInt("fault_corrupt_attempts", 2));
+    if (!plan->RecoverableWith(config.max_task_attempts,
+                               config.verify_integrity)) {
       return Status::InvalidArgument(
-          "fault plan is not recoverable with --max_attempts=" +
-          std::to_string(config.max_task_attempts));
+          corrupt_p > 0.0 && !config.verify_integrity
+              ? "corruption injection without --verify_integrity is never "
+                "recoverable (nothing detects the flipped bytes)"
+              : "fault plan is not recoverable with --max_attempts=" +
+                    std::to_string(config.max_task_attempts));
     }
     config.fault_plan = std::move(plan);
   }
@@ -131,8 +149,16 @@ Result<fj::join::JoinConfig> ConfigFromFlags(const Flags& flags) {
 }
 
 void PrintStats(const fj::join::JoinRunResult& result) {
+  // Simulated seconds (incl. wasted slot time) use the paper's default
+  // 10-node cluster shape.
+  const fj::mr::ClusterConfig cluster;
   std::fprintf(stderr, "stages:\n");
   for (const auto& stage : result.stages) {
+    if (stage.resumed_from_checkpoint) {
+      std::fprintf(stderr, "  %-12s resumed from checkpoint (0 jobs)\n",
+                   stage.stage_name.c_str());
+      continue;
+    }
     double seconds = 0;
     uint64_t shuffle = 0;
     for (const auto& job : stage.jobs) {
@@ -142,23 +168,48 @@ void PrintStats(const fj::join::JoinRunResult& result) {
     std::fprintf(stderr, "  %-12s %7.3fs  %9.1f KB shuffled  (%zu job%s)\n",
                  stage.stage_name.c_str(), seconds, shuffle / 1024.0,
                  stage.jobs.size(), stage.jobs.size() == 1 ? "" : "s");
+    uint64_t attempts = 0, tasks = 0;
     uint64_t failed = 0, spec_launched = 0, spec_wins = 0;
-    double wasted = 0;
+    uint64_t corrupt = 0, skipped = 0;
+    double wasted = 0, sim_wasted = 0;
     for (const auto& job : stage.jobs) {
+      for (const auto& task : job.map_tasks) attempts += task.attempts;
+      for (const auto& task : job.reduce_tasks) attempts += task.attempts;
+      tasks += job.map_tasks.size() + job.reduce_tasks.size();
       failed += job.failed_attempts;
       spec_launched += job.speculative_launched;
       spec_wins += job.speculative_wins;
+      corrupt += job.corruption_detected;
+      skipped += job.records_skipped;
       wasted += job.wasted_task_seconds;
+      sim_wasted += fj::mr::SimulateJob(job, cluster).wasted_seconds;
     }
-    if (failed > 0 || spec_launched > 0) {
+    if (attempts > tasks || spec_launched > 0) {
       std::fprintf(stderr,
-                   "    fault tolerance: %llu failed attempt%s, %llu backup%s "
-                   "(%llu won), %.3fs wasted\n",
+                   "    fault tolerance: %llu attempts for %llu tasks "
+                   "(%llu failed), %llu backup%s (%llu won), %.3fs wasted "
+                   "(%.1fs simulated on the cluster)\n",
+                   static_cast<unsigned long long>(attempts),
+                   static_cast<unsigned long long>(tasks),
                    static_cast<unsigned long long>(failed),
-                   failed == 1 ? "" : "s",
                    static_cast<unsigned long long>(spec_launched),
                    spec_launched == 1 ? "" : "s",
-                   static_cast<unsigned long long>(spec_wins), wasted);
+                   static_cast<unsigned long long>(spec_wins), wasted,
+                   sim_wasted);
+    }
+    if (corrupt > 0) {
+      std::fprintf(stderr,
+                   "    integrity: %llu corrupted attempt%s detected and "
+                   "re-run\n",
+                   static_cast<unsigned long long>(corrupt),
+                   corrupt == 1 ? "" : "s");
+    }
+    if (skipped > 0) {
+      std::fprintf(stderr,
+                   "    %llu malformed input record%s quarantined to "
+                   "<output>.bad\n",
+                   static_cast<unsigned long long>(skipped),
+                   skipped == 1 ? "" : "s");
     }
     for (const auto& job : stage.jobs) {
       for (const auto& [name, value] : job.counters.Snapshot()) {
@@ -167,6 +218,50 @@ void PrintStats(const fj::join::JoinRunResult& result) {
       }
     }
   }
+}
+
+// --- optional on-disk Dfs state (--dfs_dir=PATH) ------------------------
+//
+// The Dfs is in-memory, so by default every CLI invocation starts from an
+// empty file system and --resume has nothing to resume from. --dfs_dir
+// persists the Dfs across invocations: each Dfs file becomes one regular
+// file inside the directory. The directory is owned by the tool — saving
+// replaces its contents with the Dfs's current files.
+
+Status LoadDfsDir(const std::string& dir, fj::mr::Dfs* dfs) {
+  namespace fsys = std::filesystem;
+  std::error_code ec;
+  if (!fsys::exists(dir, ec)) return Status::OK();  // first invocation
+  for (const auto& entry : fsys::directory_iterator(dir, ec)) {
+    if (!entry.is_regular_file()) continue;
+    FJ_ASSIGN_OR_RETURN(std::vector<std::string> lines,
+                        ReadLines(entry.path().string()));
+    FJ_RETURN_IF_ERROR(
+        dfs->WriteFile(entry.path().filename().string(), std::move(lines)));
+  }
+  if (ec) return Status::IOError("cannot list " + dir + ": " + ec.message());
+  return Status::OK();
+}
+
+Status SaveDfsDir(const std::string& dir, const fj::mr::Dfs& dfs) {
+  namespace fsys = std::filesystem;
+  std::error_code ec;
+  fsys::create_directories(dir, ec);
+  if (ec) return Status::IOError("cannot create " + dir + ": " + ec.message());
+  // Drop files deleted from the Dfs (e.g. stale outputs cleared before a
+  // stage re-ran) so the next load does not resurrect them.
+  for (const auto& entry : fsys::directory_iterator(dir, ec)) {
+    if (entry.is_regular_file() &&
+        !dfs.Exists(entry.path().filename().string())) {
+      fsys::remove(entry.path(), ec);
+    }
+  }
+  for (const std::string& name : dfs.ListFiles()) {
+    auto lines = dfs.ReadFile(name);
+    if (!lines.ok()) return lines.status();
+    FJ_RETURN_IF_ERROR(WriteLines(dir + "/" + name, *lines.value()));
+  }
+  return Status::OK();
 }
 
 int Generate(const Flags& flags) {
@@ -225,8 +320,26 @@ int SelfJoin(const Flags& flags) {
     return 1;
   }
   fj::mr::Dfs dfs;
+  const std::string dfs_dir = flags.GetString("dfs_dir", "");
+  if (!dfs_dir.empty()) {
+    if (auto status = LoadDfsDir(dfs_dir, &dfs); !status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      return 1;
+    }
+    // The local file is authoritative for the input; a stale copy loaded
+    // from the state directory would shadow it.
+    if (dfs.Exists("input")) (void)dfs.DeleteFile("input");
+  }
   (void)dfs.WriteFile("input", std::move(lines).value());
   auto result = fj::join::RunSelfJoin(&dfs, "input", "join", *config);
+  // Persist the Dfs even when the pipeline failed: the checkpoint manifest
+  // of the committed stages is exactly what --resume needs next time.
+  if (!dfs_dir.empty()) {
+    if (auto status = SaveDfsDir(dfs_dir, dfs); !status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      return 1;
+    }
+  }
   if (!result.ok()) {
     std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
     return 1;
@@ -266,9 +379,24 @@ int RSJoin(const Flags& flags) {
     return 1;
   }
   fj::mr::Dfs dfs;
+  const std::string dfs_dir = flags.GetString("dfs_dir", "");
+  if (!dfs_dir.empty()) {
+    if (auto status = LoadDfsDir(dfs_dir, &dfs); !status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      return 1;
+    }
+    if (dfs.Exists("r")) (void)dfs.DeleteFile("r");
+    if (dfs.Exists("s")) (void)dfs.DeleteFile("s");
+  }
   (void)dfs.WriteFile("r", std::move(r_lines).value());
   (void)dfs.WriteFile("s", std::move(s_lines).value());
   auto result = fj::join::RunRSJoin(&dfs, "r", "s", "join", *config);
+  if (!dfs_dir.empty()) {
+    if (auto status = SaveDfsDir(dfs_dir, dfs); !status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      return 1;
+    }
+  }
   if (!result.ok()) {
     std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
     return 1;
