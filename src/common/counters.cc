@@ -1,5 +1,6 @@
 #include "common/counters.h"
 
+#include <mutex>
 #include <sstream>
 
 namespace fj {

@@ -13,9 +13,9 @@ Flags::Flags(int argc, char** argv) {
     }
     size_t eq = arg.find('=');
     if (eq == std::string::npos) {
-      values_[arg.substr(2)] = "1";
+      values_.insert_or_assign(arg.substr(2), std::string("1"));
     } else {
-      values_[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+      values_.insert_or_assign(arg.substr(2, eq - 2), arg.substr(eq + 1));
     }
   }
 }

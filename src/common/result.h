@@ -10,8 +10,10 @@
 namespace fj {
 
 /// Holds either a T or a non-OK Status. Analogous to absl::StatusOr<T>.
+/// [[nodiscard]] as a class: see status.h — dropping a Result drops its
+/// error too.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit from a value (success).
   Result(T value) : data_(std::move(value)) {}  // NOLINT(runtime/explicit)

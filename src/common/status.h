@@ -30,7 +30,11 @@ enum class StatusCode {
 const char* StatusCodeName(StatusCode code);
 
 /// A success-or-error value. Cheap to copy in the OK case (no allocation).
-class Status {
+///
+/// [[nodiscard]] on the class makes every function returning a Status
+/// nodiscard by default — silently dropping an error is a compile error
+/// (promoted by -Werror); deliberate drops must spell out `(void)`.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}

@@ -1,6 +1,8 @@
 #include "common/thread_pool.h"
 
 #include <algorithm>
+#include <functional>
+#include <mutex>
 
 namespace fj {
 

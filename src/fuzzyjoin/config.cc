@@ -91,6 +91,9 @@ Status JoinConfig::Validate() const {
     return Status::InvalidArgument(
         "speculation_slowdown_factor must be > 1");
   }
+  if (check_contracts && contract_sample_every < 1) {
+    return Status::InvalidArgument("contract_sample_every must be >= 1");
+  }
   if (tokenizer == nullptr) {
     return Status::InvalidArgument("tokenizer must be set");
   }

@@ -18,6 +18,12 @@
 #include "similarity/similarity.h"
 #include "text/tokenizer.h"
 
+namespace fj::mr {
+// Default for check_contracts (defined in mapreduce/contract.cc): on in
+// debug builds and under FJ_CHECK_CONTRACTS=1, off under NDEBUG.
+bool ContractChecksDefaultOn();
+}  // namespace fj::mr
+
 namespace fj::join {
 
 enum class Stage1Algorithm {
@@ -150,6 +156,21 @@ struct JoinConfig {
   /// model prices the checksum passes separately
   /// (SimulatedJobTime::integrity_seconds).
   bool verify_integrity = false;
+
+  /// Verify the user-hook contract of every job in the pipeline
+  /// (JobSpec::check_contracts): sort/group comparators against the
+  /// strict-weak-ordering axioms, partitioner against the group
+  /// comparator, combiner algebra on sampled key groups, key immutability
+  /// across reduce calls. A violation fails the pipeline with a structured
+  /// FailedPrecondition Status naming the offending key pair — never a
+  /// wrong join result. Default: on in debug builds and CI
+  /// (FJ_CHECK_CONTRACTS=1), off in optimized builds; the cluster model
+  /// prices the checks separately (SimulatedJobTime::contract_seconds).
+  bool check_contracts = mr::ContractChecksDefaultOn();
+
+  /// Every kth emitted key enters the contract checker's sampled axiom
+  /// pool (1 = check every key). Must be >= 1 when check_contracts is on.
+  uint32_t contract_sample_every = 16;
 
   /// Resume a previous run of the same pipeline from its stage manifest
   /// ("<output_prefix>.manifest"): stages whose manifest entry validates

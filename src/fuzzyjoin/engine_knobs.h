@@ -30,6 +30,8 @@ void ApplyEngineKnobs(const JoinConfig& config, mr::JobSpec<K, V>* spec) {
   spec->fault_plan = config.fault_plan;
   spec->verify_integrity = config.verify_integrity;
   spec->max_skipped_records = config.max_skipped_records;
+  spec->check_contracts = config.check_contracts;
+  spec->contract_sample_every = config.contract_sample_every;
 }
 
 }  // namespace fj::join

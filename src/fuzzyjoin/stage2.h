@@ -62,6 +62,13 @@ struct Stage2Key {
 
 inline uint64_t FjKeyHash(const Stage2Key& k) { return HashInt64(k.group); }
 inline size_t FjByteSize(const Stage2Key&) { return 10; }
+/// Contract-checker debug rendering (mapreduce/contract.h): violations
+/// involving Stage2Keys name the concrete fields, not an opaque hash.
+inline std::string FjDebugString(const Stage2Key& k) {
+  return "Stage2Key{group=" + std::to_string(k.group) +
+         ", s1=" + std::to_string(k.s1) + ", s2=" + std::to_string(k.s2) +
+         ", s3=" + std::to_string(k.s3) + "}";
+}
 /// Integrity hash (integrity.h): unlike the partition hash above this
 /// covers every field, so a flipped secondary-sort field is detected too.
 inline uint64_t FjContentHash(const Stage2Key& k) {

@@ -92,6 +92,16 @@ SimulatedJobTime SimulateJob(const JobMetrics& metrics,
         integrity_bandwidth;
   }
 
+  // Contract checking is priced like integrity verification: every counted
+  // check was really evaluated (across failed attempts too), against the
+  // cluster's aggregate predicate throughput.
+  double contract_bandwidth = cluster.contract_checks_per_second_per_node *
+                              static_cast<double>(cluster.nodes);
+  if (metrics.contract_checks > 0 && contract_bandwidth > 0) {
+    out.contract_seconds = static_cast<double>(metrics.contract_checks) *
+                           scale / contract_bandwidth;
+  }
+
   return out;
 }
 

@@ -60,6 +60,13 @@ struct ClusterConfig {
   /// hashing streams at several hundred MB/s per core.
   double integrity_bytes_per_second_per_node = 400.0 * 1024 * 1024;
 
+  /// Aggregate contract-check throughput contributed by each node
+  /// (JobSpec::check_contracts): comparator/partitioner/combiner predicate
+  /// evaluations and key hashes performed by the contract checker, priced
+  /// against JobMetrics::contract_checks. Each check is a handful of
+  /// comparisons on in-cache keys — order 10^8/s per node.
+  double contract_checks_per_second_per_node = 100.0 * 1000 * 1000;
+
   /// Fixed cost of launching one MapReduce job (Hadoop job startup,
   /// scheduling, JVM spawn). Charged once per job.
   double job_startup_seconds = 3.0;
@@ -93,6 +100,10 @@ struct SimulatedJobTime {
   /// JobSpec::verify_integrity was off) — the price of the corruption
   /// guarantee, reported separately so benchmarks can quote the overhead.
   double integrity_seconds = 0;
+  /// Contract-checker time (zero when JobSpec::check_contracts was off) —
+  /// the price of proving the comparator/partitioner/combiner contract,
+  /// reported separately so benchmarks can quote the overhead.
+  double contract_seconds = 0;
 
   /// Slot time consumed by attempts that did not commit: crashed attempts
   /// (serialized into their task's chain) and speculation losers (parallel
@@ -102,7 +113,7 @@ struct SimulatedJobTime {
 
   double total() const {
     return startup_seconds + map_seconds + shuffle_seconds + spill_seconds +
-           reduce_seconds + integrity_seconds;
+           reduce_seconds + integrity_seconds + contract_seconds;
   }
 };
 

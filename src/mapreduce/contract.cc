@@ -1,0 +1,68 @@
+#include "mapreduce/contract.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace fj::mr {
+
+bool ContractChecksDefaultOn() {
+  // Resolved once: the FJ_CHECK_CONTRACTS env var wins (CI sets it to run
+  // release builds with checks on), otherwise debug builds default on and
+  // optimized builds default off — mirroring assert().
+  static const bool kDefault = [] {
+    if (const char* env = std::getenv("FJ_CHECK_CONTRACTS")) {
+      return env[0] != '\0' && env[0] != '0';
+    }
+#ifdef NDEBUG
+    return false;
+#else
+    return true;
+#endif
+  }();
+  return kDefault;
+}
+
+Status ContractViolation(const std::string& job_name, const std::string& rule,
+                         const std::string& detail) {
+  return Status::FailedPrecondition("job '" + job_name +
+                                    "': contract violation [" + rule +
+                                    "]: " + detail);
+}
+
+namespace contract_internal {
+
+std::string QuoteForDebug(const std::string& s) {
+  constexpr size_t kMaxShown = 48;
+  std::string out = "\"";
+  const size_t shown = std::min(s.size(), kMaxShown);
+  for (size_t i = 0; i < shown; ++i) {
+    const char c = s[i];
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (c == '\n') {
+      out += "\\n";
+    } else if (c == '\t') {
+      out += "\\t";
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\x%02x",
+                    static_cast<unsigned>(static_cast<unsigned char>(c)));
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  out += '"';
+  if (s.size() > kMaxShown) {
+    out += "… (";
+    out += std::to_string(s.size());
+    out += " bytes)";
+  }
+  return out;
+}
+
+}  // namespace contract_internal
+
+}  // namespace fj::mr

@@ -27,6 +27,9 @@
 
 namespace fj::mr {
 
+// Every fallible method returns Status/Result, which are [[nodiscard]] at
+// the class level (status.h / result.h): ignoring a Dfs error is a compile
+// error, deliberate drops are written `(void)dfs.DeleteFile(...)`.
 class Dfs {
  public:
   Dfs() = default;

@@ -86,6 +86,7 @@
 #include <limits>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -95,6 +96,7 @@
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
+#include "mapreduce/contract.h"
 #include "mapreduce/dfs.h"
 #include "mapreduce/fault.h"
 #include "mapreduce/input.h"
@@ -152,6 +154,10 @@ class Job {
     MapTaskOutput<K, V> output;
     /// Malformed input lines the attempt quarantined (committed with it).
     std::vector<std::string> quarantined;
+    /// Contract violation found by this attempt (JobSpec::check_contracts).
+    /// Attempts are deterministic, so a violation is PERMANENT: the job
+    /// fails with this Status immediately, no retry.
+    Status contract;
   };
 
   struct ReduceAttemptResult {
@@ -159,6 +165,8 @@ class Job {
     TaskMetrics metrics;
     CounterSet counters;
     std::vector<std::string> output;
+    /// See MapAttemptResult::contract.
+    Status contract;
   };
 
   // Copies a finished task's scratch I/O into the attempt's counters.
@@ -246,7 +254,15 @@ typename Job<K, V>::MapAttemptResult Job<K, V>::RunMapAttempt(
   WallTimer timer;
   TaskContext ctx(task_id, attempt, &res.counters);
   ctx.set_fault(fault);
-  SortBuffer<K, V> buffer(&spec_, &ordering, &ctx, &res.metrics, &res.output);
+  // Attempt-scoped contract checker: like counters and the sort buffer, a
+  // crashed attempt's checker state is dropped with the attempt.
+  std::optional<KeyContractChecker<K, SpecOrdering<K, V>>> checker;
+  if (spec_.check_contracts) {
+    checker.emplace(&ordering, spec_.num_reduce_tasks,
+                    spec_.contract_sample_every, spec_.name);
+  }
+  SortBuffer<K, V> buffer(&spec_, &ordering, &ctx, &res.metrics, &res.output,
+                          checker ? &*checker : nullptr);
 
   auto mapper = spec_.mapper_factory();
   mapper->Setup(&ctx);
@@ -255,6 +271,9 @@ typename Job<K, V>::MapAttemptResult Job<K, V>::RunMapAttempt(
       res.crashed = true;
       break;
     }
+    // A latched contract violation fails the whole job; stop feeding the
+    // mapper so the attempt winds down fast.
+    if (checker && !checker->ok()) break;
     InputRecord record{split.file_index, &split.file_name, i, &lines[i]};
     mapper->Map(record, &buffer, &ctx);
     ctx.NoteRecordProcessed();
@@ -264,11 +283,22 @@ typename Job<K, V>::MapAttemptResult Job<K, V>::RunMapAttempt(
   // A crash budget equal to the split size fires before Teardown — the
   // attempt dies without flushing (OPTO-style Teardown emitters included).
   if (!res.crashed && ctx.CrashDue()) res.crashed = true;
-  if (!res.crashed) {
+  if (!res.crashed && (!checker || checker->ok())) {
     mapper->Teardown(&buffer, &ctx);
     buffer.Flush();
     AccountScratch(ctx, &res.counters);
     res.quarantined = ctx.TakeQuarantined();
+  }
+  if (checker) {
+    // Every observed key did a partition-range check; the rest of the work
+    // is counted per predicate evaluation in ContractStats::checks.
+    res.metrics.contract_checks =
+        checker->stats().checks + checker->stats().keys_observed;
+    res.contract = checker->status();
+    if (!res.contract.ok()) {
+      res.metrics.seconds = AttemptSeconds(timer, ctx, fault);
+      return res;
+    }
   }
   if (!res.crashed && (fault.corrupt_target == CorruptTarget::kMapOutput ||
                        fault.corrupt_target == CorruptTarget::kSpill)) {
@@ -346,20 +376,43 @@ typename Job<K, V>::ReduceAttemptResult Job<K, V>::RunReduceAttempt(
     }
   }
 
+  // Reduce-side contract checker: verifies group contiguity, merge order,
+  // and that user code leaves group keys untouched mid-call.
+  std::optional<GroupContractChecker<K, SpecOrdering<K, V>>> checker;
+  if (spec_.check_contracts) checker.emplace(&ordering, spec_.name);
+
   auto reducer = spec_.reducer_factory();
   reducer->Setup(&ctx);
   RunMerger<K, V> merger(&ordering, std::move(runs), merge_factor, &ctx,
                          &res.metrics);
   merger.ForEachGroup(
-      [&reducer, &out, &ctx, &res](std::span<const Pair> group) -> bool {
+      [&reducer, &out, &ctx, &res, &checker](std::span<const Pair> group)
+          -> bool {
         if (ctx.CrashDue()) {
           res.crashed = true;
           return false;
         }
+        uint64_t key_fingerprint = 0;
+        if (checker) {
+          key_fingerprint = checker->ObserveGroup(group.front().first);
+          if (!checker->ok()) return false;
+        }
         reducer->Reduce(group.front().first, group, &out, &ctx);
+        if (checker) {
+          checker->CheckKeyUnchanged(group.front().first, key_fingerprint);
+          if (!checker->ok()) return false;
+        }
         ctx.NoteRecordProcessed();
         return true;
       });
+  if (checker) {
+    res.metrics.contract_checks = checker->stats().checks;
+    res.contract = checker->status();
+    if (!res.contract.ok()) {
+      res.metrics.seconds = AttemptSeconds(timer, ctx, fault);
+      return res;
+    }
+  }
   if (!res.crashed && ctx.CrashDue()) res.crashed = true;
   if (!res.crashed) {
     reducer->Teardown(&out, &ctx);
@@ -410,6 +463,10 @@ Result<JobMetrics> Job<K, V>::Run() {
   if (spec_.speculative_execution && spec_.speculation_slowdown_factor <= 1.0) {
     return Status::InvalidArgument(
         "job '" + spec_.name + "': speculation_slowdown_factor must be > 1");
+  }
+  if (spec_.check_contracts && spec_.contract_sample_every < 1) {
+    return Status::InvalidArgument(
+        "job '" + spec_.name + "': contract_sample_every must be >= 1");
   }
   if (spec_.input_files.empty()) {
     return Status::InvalidArgument("job '" + spec_.name + "': no input files");
@@ -467,6 +524,12 @@ Result<JobMetrics> Job<K, V>::Run() {
           std::to_string(spec_.max_task_attempts) + " attempts");
     }
   };
+  // Contract violations are deterministic user-code bugs, not transient
+  // faults: the first one fails the job (no retry, no output).
+  auto latch_status = [&failure_mu, &job_status](const Status& s) {
+    std::lock_guard<std::mutex> lock(failure_mu);
+    if (job_status.ok()) job_status = s;
+  };
 
   metrics.map_tasks.resize(num_map_tasks);
   std::vector<MapTaskOutput<K, V>> map_outputs(num_map_tasks);
@@ -477,7 +540,8 @@ Result<JobMetrics> Job<K, V>::Run() {
   map_fns.reserve(num_map_tasks);
   for (size_t m = 0; m < num_map_tasks; ++m) {
     map_fns.push_back([this, m, &splits, &file_lines, &metrics, &map_outputs,
-                       &quarantined, &ordering, &injector, &record_failure] {
+                       &quarantined, &ordering, &injector, &record_failure,
+                       &latch_status] {
       const InputSplit& split = splits[m];
       const std::vector<std::string>& lines = *file_lines[split.file_index];
       uint32_t failed = 0;
@@ -493,6 +557,12 @@ Result<JobMetrics> Job<K, V>::Run() {
                           injector.FaultFor(TaskPhase::kMap, m, attempt));
         integrity_bytes += res.metrics.integrity_bytes_verified;
         corruption_detected += res.metrics.corruption_detected;
+        if (!res.contract.ok()) {
+          // Deterministic violation — retrying would find it again.
+          metrics.map_tasks[m].contract_checks = res.metrics.contract_checks;
+          latch_status(res.contract);
+          return;
+        }
         if (res.crashed) {
           failed++;
           failed_seconds += res.metrics.seconds;
@@ -628,7 +698,7 @@ Result<JobMetrics> Job<K, V>::Run() {
   for (size_t r = 0; r < num_reduce_tasks; ++r) {
     reduce_fns.push_back([this, r, preserve_runs, &metrics, &partition_runs,
                           &reduce_outputs, &ordering, merge_factor, &injector,
-                          &record_failure] {
+                          &record_failure, &latch_status] {
       uint32_t failed = 0;
       double failed_seconds = 0;
       uint64_t integrity_bytes = 0;
@@ -640,6 +710,12 @@ Result<JobMetrics> Job<K, V>::Run() {
             attempt, injector.FaultFor(TaskPhase::kReduce, r, attempt));
         integrity_bytes += res.metrics.integrity_bytes_verified;
         corruption_detected += res.metrics.corruption_detected;
+        if (!res.contract.ok()) {
+          metrics.reduce_tasks[r].contract_checks =
+              res.metrics.contract_checks;
+          latch_status(res.contract);
+          return;
+        }
         if (res.crashed) {
           failed++;
           failed_seconds += res.metrics.seconds;
@@ -746,7 +822,12 @@ Result<JobMetrics> Job<K, V>::Run() {
       metrics.wasted_task_seconds += t.wasted_seconds();
       metrics.integrity_bytes_verified += t.integrity_bytes_verified;
       metrics.corruption_detected += t.corruption_detected;
+      metrics.contract_checks += t.contract_checks;
     }
+  }
+  if (spec_.check_contracts && metrics.contract_checks > 0) {
+    metrics.counters.Add("contract.checks",
+                         static_cast<int64_t>(metrics.contract_checks));
   }
   metrics.integrity_bytes_verified += input_integrity_bytes;
   if (spec_.verify_integrity) {

@@ -24,6 +24,11 @@
 
 namespace fj::mr {
 
+/// Default for JobSpec::check_contracts: the FJ_CHECK_CONTRACTS env var if
+/// set, else on in debug builds and off under NDEBUG (defined in
+/// contract.cc; declared here so the spec default needs no heavy include).
+bool ContractChecksDefaultOn();
+
 /// Receives intermediate (key, value) pairs from map or combine functions.
 template <typename K, typename V>
 class Emitter {
@@ -197,6 +202,23 @@ struct JobSpec {
   /// Straggler threshold for speculation, as a multiple of the phase's
   /// median committed task cost. Must be > 1.
   double speculation_slowdown_factor = 3.0;
+
+  /// Contract checking (mapreduce/contract.h): verify the user-supplied
+  /// sort/group comparators against the strict-weak-ordering axioms, the
+  /// partitioner against the group comparator (group-equal keys must share
+  /// a partition; partition ids in range), the combiner's algebraic laws
+  /// (associativity, order-insensitivity, idempotence) on sampled key
+  /// groups, and key immutability across reduce calls. A violation fails
+  /// the job with a structured FailedPrecondition Status naming the
+  /// offending key pair — never a wrong answer. Checks are sampled (see
+  /// contract_sample_every), metered as TaskMetrics::contract_checks, and
+  /// priced by the cluster model. Default: on in debug builds and CI, off
+  /// under NDEBUG (overridable via the FJ_CHECK_CONTRACTS env var).
+  bool check_contracts = ContractChecksDefaultOn();
+
+  /// Every kth emitted key enters the contract checker's axiom pool
+  /// (1 = every key). Must be >= 1 when check_contracts is on.
+  uint32_t contract_sample_every = 16;
 
   /// Deterministic fault plan injected into this job's task attempts;
   /// nullptr = fault-free. Shared so one plan can be handed to every job

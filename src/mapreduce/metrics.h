@@ -81,6 +81,14 @@ struct TaskMetrics {
   /// (converted into a transient failure and retried).
   uint32_t corruption_detected = 0;
 
+  /// --- Contract checking (JobSpec::check_contracts) ---
+  /// Comparator/partitioner/combiner predicate evaluations and key hashes
+  /// performed by the contract checker for the COMMITTED attempt. Failed
+  /// attempts' check time is already inside failed_attempt_seconds (checks
+  /// run inline), so this stays deterministic across fault plans; priced by
+  /// ClusterConfig::contract_checks_per_second_per_node.
+  uint64_t contract_checks = 0;
+
   /// Work thrown away by failures and lost speculation races.
   double wasted_seconds() const {
     return failed_attempt_seconds + speculative_loser_seconds;
@@ -119,6 +127,8 @@ struct JobMetrics {
   /// job-level input-file verification pass.
   uint64_t integrity_bytes_verified = 0;
   uint64_t corruption_detected = 0;
+  /// Contract-checker work over all tasks (see TaskMetrics).
+  uint64_t contract_checks = 0;
   /// Malformed input records quarantined to `<output_file>.bad` instead of
   /// aborting (see JobSpec::max_skipped_records).
   uint64_t records_skipped = 0;

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "mapreduce/byte_size.h"
+#include "mapreduce/contract.h"
 #include "mapreduce/integrity.h"
 #include "mapreduce/job_spec.h"
 #include "mapreduce/metrics.h"
@@ -62,11 +63,16 @@ class SortBuffer : public Emitter<K, V> {
   using Pair = std::pair<K, V>;
 
   SortBuffer(const JobSpec<K, V>* spec, const SpecOrdering<K, V>* ordering,
-             TaskContext* ctx, TaskMetrics* metrics, MapTaskOutput<K, V>* out)
+             TaskContext* ctx, TaskMetrics* metrics, MapTaskOutput<K, V>* out,
+             KeyContractChecker<K, SpecOrdering<K, V>>* checker = nullptr)
       : spec_(spec), ordering_(ordering), ctx_(ctx), metrics_(metrics),
-        out_(out) {}
+        out_(out), checker_(checker) {}
 
   void Emit(K key, V value) override {
+    // Once the checker latched a violation the job is failing anyway;
+    // stop accepting output so the attempt winds down fast.
+    if (checker_ != nullptr && !checker_->ok()) return;
+
     const uint64_t pair_bytes = ByteSizeOf(key) + ByteSizeOf(value);
     metrics_->output_records++;
     metrics_->output_bytes += pair_bytes;
@@ -81,6 +87,13 @@ class SortBuffer : public Emitter<K, V> {
     }
 
     const size_t partition = ordering_->PartitionOf(key);
+    if (checker_ != nullptr) {
+      // The checker reports an out-of-range partition as a structured
+      // violation BEFORE the assert below would hit it (in release builds
+      // the assert compiles away and the bad index would be UB).
+      checker_->ObserveEmit(key, partition);
+      if (!checker_->ok()) return;
+    }
     assert(partition < spec_->num_reduce_tasks);
     entries_.push_back(
         Entry{partition, pair_bytes, Pair(std::move(key), std::move(value))});
@@ -177,6 +190,8 @@ class SortBuffer : public Emitter<K, V> {
   void CombineRuns(std::vector<SortedRun<K, V>>* runs) {
     CombineCollector collector(ordering_, spec_->num_reduce_tasks);
     size_t begin = 0;
+    size_t groups_checked = 0;
+    size_t groups_seen = 0;
     while (begin < entries_.size()) {
       size_t end = begin + 1;
       while (end < entries_.size() &&
@@ -189,6 +204,16 @@ class SortBuffer : public Emitter<K, V> {
       values.reserve(end - begin);
       for (size_t i = begin; i < end; ++i) {
         values.push_back(std::move(entries_[i].pair.second));
+      }
+      // Property-test the combiner on a few sampled groups per spill,
+      // BEFORE the real run consumes the values (the test only copies).
+      if (checker_ != nullptr && checker_->ok() &&
+          groups_checked < kContractCombinerGroupsPerSpill &&
+          groups_seen++ % checker_->sample_every() == 0) {
+        ++groups_checked;
+        checker_->Latch(CheckCombinerContract(
+            spec_->combiner, *ordering_, entries_[begin].pair.first, values,
+            checker_->job_name(), &checker_->stats()));
       }
       spec_->combiner(entries_[begin].pair.first, std::move(values),
                       &collector);
@@ -212,6 +237,9 @@ class SortBuffer : public Emitter<K, V> {
   TaskContext* ctx_;
   TaskMetrics* metrics_;
   MapTaskOutput<K, V>* out_;
+  /// Optional contract checker for this attempt; nullptr when
+  /// JobSpec::check_contracts is off.
+  KeyContractChecker<K, SpecOrdering<K, V>>* checker_;
 
   std::vector<Entry> entries_;
   uint64_t buffered_bytes_ = 0;

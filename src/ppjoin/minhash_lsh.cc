@@ -47,9 +47,13 @@ std::vector<SimilarPair> MinHashLshSelfJoin(
   }
 
   // Band buckets: hash of the band's rows -> record indices.
+  // Approximate baseline, not the PPJoin kernel; candidates are sorted
+  // before use, so bucket order never leaks out.
+  // lint: allow-unordered (LSH baseline, order never observable)
   std::unordered_set<uint64_t> seen_pairs;  // packed (i, j) dedupe
   std::vector<std::pair<size_t, size_t>> candidates;
   for (size_t band = 0; band < options.num_bands; ++band) {
+    // lint: allow-unordered (same waiver as seen_pairs above)
     std::unordered_map<uint64_t, std::vector<size_t>> buckets;
     buckets.reserve(records.size());
     for (size_t i = 0; i < records.size(); ++i) {

@@ -210,6 +210,7 @@ class PPJoinStream {
   uint64_t resident_tokens_ = 0;
 
   std::vector<PostingList> dense_index_;  ///< slot = stage-1 token rank
+  // lint: allow-unordered (cold path: only tokens with no stage-1 rank)
   std::unordered_map<TokenId, PostingList> unknown_index_;
 
   std::vector<CandidateSlot> candidate_slots_;  ///< one per indexed record

@@ -20,7 +20,10 @@ void ApplyDuplicatePolicy(DuplicatePolicy policy,
     std::unordered_map<std::string, size_t> occurrences;
     for (auto& t : *tokens) {
       size_t n = occurrences[t]++;
-      if (n > 0) t += "#" + std::to_string(n);
+      if (n > 0) {
+        t += '#';
+        t += std::to_string(n);
+      }
     }
   }
 }

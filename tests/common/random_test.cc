@@ -1,6 +1,7 @@
 // Rng / Zipf sampler tests: determinism, range contracts, skew shape.
 #include "common/random.h"
 
+#include <algorithm>
 #include <gtest/gtest.h>
 
 #include <map>

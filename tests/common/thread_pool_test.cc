@@ -1,6 +1,7 @@
 // ThreadPool / RunParallel behaviour.
 #include "common/thread_pool.h"
 
+#include <functional>
 #include <gtest/gtest.h>
 
 #include <atomic>

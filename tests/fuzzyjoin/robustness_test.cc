@@ -98,7 +98,10 @@ TEST(RobustnessTest, AllRecordsIdentical) {
 
 TEST(RobustnessTest, HugeRecordAmongTinyOnes) {
   std::string huge_title;
-  for (int i = 0; i < 500; ++i) huge_title += " tok" + std::to_string(i);
+  for (int i = 0; i < 500; ++i) {
+    huge_title += " tok";
+    huge_title += std::to_string(i);
+  }
   std::vector<data::Record> records{
       {1, "tiny title", "", "p"},
       {2, huge_title, "", "p"},

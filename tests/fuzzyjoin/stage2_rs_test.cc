@@ -21,7 +21,8 @@ std::string TitleOfLength(size_t n, size_t offset = 0) {
   std::string title;
   for (size_t i = 0; i < n; ++i) {
     if (!title.empty()) title += ' ';
-    title += "w" + std::to_string(offset + i);
+    title += 'w';
+    title += std::to_string(offset + i);
   }
   return title;
 }

@@ -65,6 +65,23 @@ void WriteInput(Dfs* dfs) {
           .ok());
 }
 
+// Charges every task of `phase` a uniform simulated second on its first
+// attempt. The speculation detector works on measured wall time, and these
+// tiny test tasks finish in microseconds — one scheduler hiccup can push a
+// task past 3x the phase median and trigger a spurious backup (which may
+// even win, perturbing the job's speculation counters). A flat charge
+// swamps that noise: no task in the stabilized phase can exceed the
+// threshold, so only the phase under test ever speculates.
+void StabilizePhase(FaultPlan* plan, TaskPhase phase, size_t tasks) {
+  for (size_t t = 0; t < tasks; ++t) {
+    plan->faults.push_back(FaultSpec{.phase = phase,
+                                     .task_id = static_cast<uint32_t>(t),
+                                     .first_attempt = 0,
+                                     .failing_attempts = 1,
+                                     .extra_seconds = 1.0});
+  }
+}
+
 std::vector<std::string> OutputLines(const Dfs& dfs, const std::string& file) {
   auto lines = dfs.ReadFile(file);
   EXPECT_TRUE(lines.ok()) << lines.status().ToString();
@@ -215,6 +232,7 @@ TEST(FaultTest, StragglerGetsSpeculativeBackupThatWins) {
   Dfs dfs;
   WriteInput(&dfs);
   auto plan = std::make_shared<FaultPlan>();
+  StabilizePhase(plan.get(), TaskPhase::kReduce, 3);
   // Map task 2's original attempt straggles badly; the backup (attempt 1)
   // is unaffected and finishes first.
   plan->faults.push_back(FaultSpec{.phase = TaskPhase::kMap,
@@ -252,6 +270,7 @@ TEST(FaultTest, CrashedBackupLeavesPrimaryCommitStanding) {
   Dfs dfs;
   WriteInput(&dfs);
   auto plan = std::make_shared<FaultPlan>();
+  StabilizePhase(plan.get(), TaskPhase::kMap, 3);
   // Reduce task 1 straggles (but commits) — and its backup crashes.
   plan->faults.push_back(FaultSpec{.phase = TaskPhase::kReduce,
                                    .task_id = 1,

@@ -4,6 +4,7 @@
 // determinism.
 #include "mapreduce/job.h"
 
+#include <algorithm>
 #include <gtest/gtest.h>
 
 #include <map>
@@ -171,7 +172,8 @@ TEST(JobTest, SecondarySortGroupsByPrimaryAndSortsBySecondary) {
            OutputEmitter* out, TaskContext*) {
           std::string line = key.first + ":";
           for (const auto& [k, v] : group) {
-            line += " " + std::to_string(k.second);
+            line += ' ';
+            line += std::to_string(k.second);
           }
           out->Emit(line);
         });
@@ -270,8 +272,11 @@ TEST(JobTest, RepeatedRunsProduceIdenticalOutput) {
   Dfs dfs;
   std::vector<std::string> lines;
   for (int i = 0; i < 100; ++i) {
-    lines.push_back("w" + std::to_string(i % 17) + " w" +
-                    std::to_string(i % 5));
+    std::string line = "w";
+    line += std::to_string(i % 17);
+    line += " w";
+    line += std::to_string(i % 5);
+    lines.push_back(std::move(line));
   }
   ASSERT_TRUE(dfs.WriteFile("in", lines).ok());
   Job<K, V> job1(&dfs, WordCountSpec("in", "out1"));

@@ -234,7 +234,8 @@ TEST(SpillShuffleTest, SecondarySortComparatorsSurviveSpilling) {
              OutputEmitter* out, TaskContext*) {
             std::string line = key.first + ":";
             for (const auto& [k, v] : group) {
-              line += " " + std::to_string(k.second);
+              line += ' ';
+              line += std::to_string(k.second);
             }
             out->Emit(line);
           });

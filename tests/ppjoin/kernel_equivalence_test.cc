@@ -5,6 +5,7 @@
 // (>= text::kUnknownTokenBase, exercising the fallback posting map), for
 // self-joins and R-S joins. Also checks the filter-counter accounting
 // invariants the bitmap filter must preserve.
+#include <algorithm>
 #include <gtest/gtest.h>
 
 #include <string>

@@ -4,6 +4,7 @@
 // memory-footprint behaviour (length-filter eviction) and filter stats.
 #include "ppjoin/ppjoin.h"
 
+#include <algorithm>
 #include <gtest/gtest.h>
 
 #include <vector>
@@ -69,7 +70,8 @@ struct KernelParam {
 std::string KernelName(const testing::TestParamInfo<KernelParam>& info) {
   const KernelParam& p = info.param;
   std::string name = sim::SimilarityFunctionName(p.fn);
-  name += "_" + std::to_string(static_cast<int>(p.tau * 100));
+  name += '_';
+  name += std::to_string(static_cast<int>(p.tau * 100));
   if (p.positional && p.suffix) {
     name += "_ppjoinplus";
   } else if (p.positional) {

@@ -12,6 +12,7 @@
 //             [--fault_slowdown=F] [--fault_corrupt_p=P]
 //             [--fault_corrupt_attempts=N]
 //             [--verify_integrity] [--max_skipped=N]
+//             [--check_contracts[=0|1]] [--contract_sample_every=N]
 //             [--resume] [--dfs_dir=PATH]
 //             [--stats]                      set-similarity self-join
 //   rsjoin    --r=FILE --s=FILE --out=FILE [same tuning flags]
@@ -109,6 +110,13 @@ Result<fj::join::JoinConfig> ConfigFromFlags(const Flags& flags) {
   config.speculation_slowdown_factor =
       flags.GetDouble("speculation_factor", 3.0);
   config.verify_integrity = flags.Has("verify_integrity");
+  // --check_contracts / --check_contracts=0 override the build-type
+  // default (on in debug builds, off under NDEBUG).
+  if (flags.Has("check_contracts")) {
+    config.check_contracts = flags.GetInt("check_contracts", 1) != 0;
+  }
+  config.contract_sample_every =
+      static_cast<uint32_t>(flags.GetInt("contract_sample_every", 16));
   config.resume = flags.Has("resume");
   if (flags.Has("max_skipped")) {
     config.max_skipped_records =
@@ -170,8 +178,8 @@ void PrintStats(const fj::join::JoinRunResult& result) {
                  stage.jobs.size(), stage.jobs.size() == 1 ? "" : "s");
     uint64_t attempts = 0, tasks = 0;
     uint64_t failed = 0, spec_launched = 0, spec_wins = 0;
-    uint64_t corrupt = 0, skipped = 0;
-    double wasted = 0, sim_wasted = 0;
+    uint64_t corrupt = 0, skipped = 0, contract_checks = 0;
+    double wasted = 0, sim_wasted = 0, sim_contract = 0;
     for (const auto& job : stage.jobs) {
       for (const auto& task : job.map_tasks) attempts += task.attempts;
       for (const auto& task : job.reduce_tasks) attempts += task.attempts;
@@ -181,8 +189,11 @@ void PrintStats(const fj::join::JoinRunResult& result) {
       spec_wins += job.speculative_wins;
       corrupt += job.corruption_detected;
       skipped += job.records_skipped;
+      contract_checks += job.contract_checks;
       wasted += job.wasted_task_seconds;
-      sim_wasted += fj::mr::SimulateJob(job, cluster).wasted_seconds;
+      const auto sim = fj::mr::SimulateJob(job, cluster);
+      sim_wasted += sim.wasted_seconds;
+      sim_contract += sim.contract_seconds;
     }
     if (attempts > tasks || spec_launched > 0) {
       std::fprintf(stderr,
@@ -210,6 +221,13 @@ void PrintStats(const fj::join::JoinRunResult& result) {
                    "<output>.bad\n",
                    static_cast<unsigned long long>(skipped),
                    skipped == 1 ? "" : "s");
+    }
+    if (contract_checks > 0) {
+      std::fprintf(stderr,
+                   "    contracts: %llu checks, clean (%.3fs simulated on "
+                   "the cluster)\n",
+                   static_cast<unsigned long long>(contract_checks),
+                   sim_contract);
     }
     for (const auto& job : stage.jobs) {
       for (const auto& [name, value] : job.counters.Snapshot()) {

@@ -1,0 +1,138 @@
+#!/usr/bin/env python3
+"""Repo-local lint: mechanical hygiene rules clang-tidy doesn't cover.
+
+Run from anywhere: paths resolve relative to the repo root (this file's
+parent directory). Exits non-zero with one `path:line: [rule] message`
+per violation. Stdlib only — runs in CI before the clang-tidy job and
+locally as `python3 tools/lint.py`.
+
+Rules:
+  pragma-once      every header under src/tools/bench/tests/examples uses
+                   #pragma once (the tree's include-guard idiom).
+  banned-rand      libc rand() is banned everywhere: it is a process-global
+                   PRNG, so two interleaved tasks perturb each other's
+                   streams and break the engine's determinism contract.
+                   Use common/hash.h's HashInt64 / a seeded <random> engine.
+  no-unordered-ppjoin
+                   std::unordered_map/set are banned in src/ppjoin (the
+                   kernel hot path): iteration order is unspecified (feeds
+                   nondeterminism into candidate order) and probes chase
+                   cache-hostile buckets — use the dense_index_ idiom.
+                   Cold paths may waive with a trailing or preceding
+                   `lint: allow-unordered (<reason>)` comment.
+  nodiscard-status Status and Result must stay class-level [[nodiscard]]
+                   so dropped errors are compile errors under -Werror.
+  iwyu-lite        a file that names selected std:: symbols must include
+                   the owning header itself, not lean on transitive
+                   includes (the symbols below broke builds on libstdc++
+                   upgrades before; the list is deliberately small).
+"""
+
+import os
+import re
+import sys
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SOURCE_DIRS = ("src", "tools", "bench", "tests", "examples")
+
+# iwyu-lite: std symbol pattern -> required include. Only symbols whose
+# home header is unambiguous and commonly reached transitively.
+IWYU_SYMBOLS = [
+    (re.compile(r"\bstd::(?:stable_)?sort\b"), "<algorithm>"),
+    (re.compile(r"\bstd::nth_element\b"), "<algorithm>"),
+    (re.compile(r"\bstd::unordered_map\b"), "<unordered_map>"),
+    (re.compile(r"\bstd::unordered_set\b"), "<unordered_set>"),
+    (re.compile(r"\bstd::optional\b"), "<optional>"),
+    (re.compile(r"\bstd::variant\b"), "<variant>"),
+    (re.compile(r"\bstd::mutex\b"), "<mutex>"),
+    (re.compile(r"\bstd::thread\b"), "<thread>"),
+    (re.compile(r"\bstd::function\b"), "<functional>"),
+    (re.compile(r"\bstd::snprintf\b"), "<cstdio>"),
+]
+
+RAND_RE = re.compile(r"(?<![\w.])rand\s*\(")
+UNORDERED_RE = re.compile(r"\bstd::unordered_(?:map|set|multimap|multiset)\b")
+WAIVER = "lint: allow-unordered"
+
+
+def source_files():
+    for d in SOURCE_DIRS:
+        for dirpath, _, names in os.walk(os.path.join(ROOT, d)):
+            for name in sorted(names):
+                if name.endswith((".h", ".cc")):
+                    yield os.path.join(dirpath, name)
+
+
+def strip_comments_and_strings(line):
+    """Coarse: drop // comments and the contents of "..." literals."""
+    line = re.sub(r'"(?:\\.|[^"\\])*"', '""', line)
+    return line.split("//", 1)[0]
+
+
+def main():
+    problems = []
+
+    def report(path, lineno, rule, msg):
+        rel = os.path.relpath(path, ROOT)
+        problems.append(f"{rel}:{lineno}: [{rule}] {msg}")
+
+    for path in source_files():
+        with open(path, encoding="utf-8") as f:
+            lines = f.read().splitlines()
+        is_header = path.endswith(".h")
+        in_ppjoin = os.sep + os.path.join("src", "ppjoin") + os.sep in path
+
+        if is_header and not any(l.startswith("#pragma once") for l in lines):
+            report(path, 1, "pragma-once", "header missing '#pragma once'")
+
+        needed = {}  # include -> first (lineno, symbol) needing it
+        includes = set()
+        for lineno, raw in enumerate(lines, 1):
+            stripped = raw.strip()
+            if stripped.startswith("#include"):
+                m = re.search(r"[<\"]([^>\"]+)[>\"]", stripped)
+                if m:
+                    includes.add("<%s>" % m.group(1))
+                continue
+            code = strip_comments_and_strings(raw)
+
+            if RAND_RE.search(code):
+                report(path, lineno, "banned-rand",
+                       "libc rand() breaks task determinism; use "
+                       "common/hash.h or a seeded <random> engine")
+
+            if in_ppjoin and UNORDERED_RE.search(code):
+                prev = lines[lineno - 2] if lineno >= 2 else ""
+                if WAIVER not in raw and WAIVER not in prev:
+                    report(path, lineno, "no-unordered-ppjoin",
+                           "unordered containers are banned in the ppjoin "
+                           "hot path; waive cold paths with "
+                           "'// %s (<reason>)'" % WAIVER)
+
+            for pattern, include in IWYU_SYMBOLS:
+                m = pattern.search(code)
+                if m and include not in needed:
+                    needed[include] = (lineno, m.group(0))
+        for include, (lineno, symbol) in sorted(needed.items()):
+            if include not in includes:
+                report(path, lineno, "iwyu-lite",
+                       f"uses {symbol} but does not include {include}")
+
+    for rel, cls in (("src/common/status.h", "class [[nodiscard]] Status"),
+                     ("src/common/result.h", "class [[nodiscard]] Result")):
+        path = os.path.join(ROOT, rel)
+        with open(path, encoding="utf-8") as f:
+            if cls not in f.read():
+                report(path, 1, "nodiscard-status",
+                       f"expected '{cls}' — dropped errors must not compile")
+
+    if problems:
+        print("\n".join(problems))
+        print(f"\nlint.py: {len(problems)} problem(s)", file=sys.stderr)
+        return 1
+    print("lint.py: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
