@@ -33,6 +33,7 @@ int main(int argc, char** argv) {
   std::printf("\n");
 
   std::vector<std::vector<double>> totals(bench::PaperCombos().size());
+  std::vector<std::vector<double>> measured(bench::PaperCombos().size());
   for (const auto& [nodes, factor] : points) {
     mr::Dfs dfs;
     bench::PrepareSelfData(&dfs, "dblp", base, factor, 42);
@@ -48,10 +49,27 @@ int main(int argc, char** argv) {
       if (!run.ok()) {
         std::printf(" %12s", "FAILED");
         totals[c].push_back(0);
+        measured[c].push_back(0);
         continue;
       }
       totals[c].push_back(run->times.total());
+      measured[c].push_back(run->measured.total());
       std::printf(" %11.1fs", run->times.total());
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\n[measured] host wall-clock seconds (min of %zu reps)\n",
+              reps);
+  std::printf("%-14s", "nodes/factor");
+  for (const auto& combo : bench::PaperCombos()) {
+    std::printf(" %12s", combo.name);
+  }
+  std::printf("\n");
+  for (size_t i = 0; i < points.size(); ++i) {
+    std::printf("%2zu / x%-8zu", points[i].first, points[i].second);
+    for (size_t c = 0; c < measured.size(); ++c) {
+      std::printf(" %11.3fs", measured[c][i]);
     }
     std::printf("\n");
   }

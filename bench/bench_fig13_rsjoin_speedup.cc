@@ -29,6 +29,7 @@ int main(int argc, char** argv) {
 
   const std::vector<size_t> node_counts{2, 4, 6, 8, 10};
   std::vector<std::vector<double>> totals(bench::PaperCombos().size());
+  std::vector<std::vector<double>> measured(bench::PaperCombos().size());
 
   std::printf("%-7s", "nodes");
   for (const auto& combo : bench::PaperCombos()) {
@@ -48,10 +49,27 @@ int main(int argc, char** argv) {
       if (!run.ok()) {
         std::printf(" %12s", "FAILED");
         totals[c].push_back(0);
+        measured[c].push_back(0);
         continue;
       }
       totals[c].push_back(run->times.total());
+      measured[c].push_back(run->measured.total());
       std::printf(" %11.1fs", run->times.total());
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\n[measured] host wall-clock seconds (min of %zu reps)\n",
+              reps);
+  std::printf("%-7s", "nodes");
+  for (const auto& combo : bench::PaperCombos()) {
+    std::printf(" %12s", combo.name);
+  }
+  std::printf("\n");
+  for (size_t i = 0; i < node_counts.size(); ++i) {
+    std::printf("%-7zu", node_counts[i]);
+    for (size_t c = 0; c < measured.size(); ++c) {
+      std::printf(" %11.3fs", measured[c][i]);
     }
     std::printf("\n");
   }

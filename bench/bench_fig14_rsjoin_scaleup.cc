@@ -40,6 +40,7 @@ int main(int argc, char** argv) {
   std::printf("\n");
 
   std::vector<std::vector<double>> totals(bench::PaperCombos().size());
+  std::vector<std::vector<double>> measured(bench::PaperCombos().size());
   bool oprj_oom_seen = false;
   for (const auto& [nodes, factor] : points) {
     mr::Dfs dfs;
@@ -63,10 +64,27 @@ int main(int argc, char** argv) {
           std::printf(" %12s", "FAILED");
         }
         totals[c].push_back(0);
+        measured[c].push_back(0);
         continue;
       }
       totals[c].push_back(run->times.total());
+      measured[c].push_back(run->measured.total());
       std::printf(" %11.1fs", run->times.total());
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\n[measured] host wall-clock seconds (min of %zu reps; "
+              "0 = OOM/failed)\n", reps);
+  std::printf("%-14s", "nodes/factor");
+  for (const auto& combo : bench::PaperCombos()) {
+    std::printf(" %12s", combo.name);
+  }
+  std::printf("\n");
+  for (size_t i = 0; i < points.size(); ++i) {
+    std::printf("%2zu / x%-8zu", points[i].first, points[i].second);
+    for (size_t c = 0; c < measured.size(); ++c) {
+      std::printf(" %11.3fs", measured[c][i]);
     }
     std::printf("\n");
   }

@@ -99,13 +99,15 @@ Result<RepeatedRun> RunSelfRepeated(mr::Dfs* dfs, const std::string& input,
   if (reps == 0) reps = 1;
   Result<RepeatedRun> out = Status::Internal("no runs");
   StageTimes min_times;
+  StageTimes min_measured;
   for (size_t rep = 0; rep < reps; ++rep) {
     auto result = join::RunSelfJoin(
         dfs, input, prefix + ".rep" + std::to_string(rep), config);
     if (!result.ok()) return result.status();  // e.g. OPRJ OOM
     FoldMin(&min_times, Simulate(*result, cluster), rep == 0);
+    FoldMin(&min_measured, Measured(*result), rep == 0);
     if (rep + 1 == reps) {
-      out = RepeatedRun{min_times, std::move(result).value()};
+      out = RepeatedRun{min_times, min_measured, std::move(result).value()};
     }
   }
   return out;
@@ -120,14 +122,16 @@ Result<RepeatedRun> RunRSRepeated(mr::Dfs* dfs, const std::string& r,
   if (reps == 0) reps = 1;
   Result<RepeatedRun> out = Status::Internal("no runs");
   StageTimes min_times;
+  StageTimes min_measured;
   for (size_t rep = 0; rep < reps; ++rep) {
     auto result = join::RunRSJoin(dfs, r, s,
                                   prefix + ".rep" + std::to_string(rep),
                                   config);
     if (!result.ok()) return result.status();
     FoldMin(&min_times, Simulate(*result, cluster), rep == 0);
+    FoldMin(&min_measured, Measured(*result), rep == 0);
     if (rep + 1 == reps) {
-      out = RepeatedRun{min_times, std::move(result).value()};
+      out = RepeatedRun{min_times, min_measured, std::move(result).value()};
     }
   }
   return out;
@@ -139,6 +143,17 @@ StageTimes Simulate(const join::JoinRunResult& result,
   times.stage1 = result.SimulatedStageSeconds(0, cluster);
   times.stage2 = result.SimulatedStageSeconds(1, cluster);
   times.stage3 = result.SimulatedStageSeconds(2, cluster);
+  return times;
+}
+
+StageTimes Measured(const join::JoinRunResult& result) {
+  StageTimes times;
+  double* stages[] = {&times.stage1, &times.stage2, &times.stage3};
+  for (size_t i = 0; i < result.stages.size() && i < 3; ++i) {
+    for (const auto& job : result.stages[i].jobs) {
+      *stages[i] += job.wall_seconds;
+    }
+  }
   return times;
 }
 

@@ -68,6 +68,10 @@ struct StageTimes {
 StageTimes Simulate(const join::JoinRunResult& result,
                     const mr::ClusterConfig& cluster);
 
+/// MEASURED per-stage host wall seconds of a finished run (sums of the
+/// jobs' wall_seconds) — the real-execution complement of Simulate.
+StageTimes Measured(const join::JoinRunResult& result);
+
 /// One repeated pipeline execution: per-stage element-wise minimum
 /// simulated times across the repetitions (minimum-of-N strips scheduler /
 /// allocator noise from the metered task costs — each local task runs only
@@ -75,6 +79,7 @@ StageTimes Simulate(const join::JoinRunResult& result,
 /// and output files.
 struct RepeatedRun {
   StageTimes times;              ///< element-wise min across reps
+  StageTimes measured;           ///< measured host walls, min across reps
   join::JoinRunResult last_run;  ///< for counters / output inspection
 };
 

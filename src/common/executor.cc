@@ -1,0 +1,197 @@
+#include "common/executor.h"
+
+#include <algorithm>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+
+namespace fj {
+namespace {
+
+// Which executor (if any) the current thread serves, and as which index.
+// Plain thread_locals: written once at worker startup, read only by the
+// owning thread.
+thread_local const Executor* tls_executor = nullptr;
+thread_local size_t tls_worker_index = Executor::kNotAWorker;
+
+uint64_t ElapsedNs(std::chrono::steady_clock::time_point from,
+                   std::chrono::steady_clock::time_point to) {
+  if (to <= from) return 0;
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(to - from)
+          .count());
+}
+
+}  // namespace
+
+size_t ResolveWorkerCount(size_t requested) {
+  if (requested > 0) return requested;
+  return std::max<size_t>(1, std::thread::hardware_concurrency());
+}
+
+Executor::Executor(size_t num_threads) {
+  const size_t n = ResolveWorkerCount(num_threads);
+  workers_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    workers_.push_back(std::make_unique<Worker>());
+  }
+  // Start threads only after the vector is fully built: WorkerLoop steals
+  // from sibling slots, so every Worker must exist first.
+  for (size_t i = 0; i < n; ++i) {
+    workers_[i]->thread = std::thread([this, i] { WorkerLoop(i); });
+  }
+}
+
+Executor::~Executor() {
+  {
+    std::lock_guard<std::mutex> lock(idle_mu_);
+    shutting_down_ = true;
+  }
+  idle_cv_.notify_all();
+  for (auto& w : workers_) w->thread.join();
+}
+
+size_t Executor::CurrentWorkerIndex() const {
+  return tls_executor == this ? tls_worker_index : kNotAWorker;
+}
+
+ExecutorStats Executor::stats() const {
+  ExecutorStats s;
+  s.workers = workers_.size();
+  for (const auto& w : workers_) {
+    s.tasks_executed += w->tasks_executed.load(std::memory_order_relaxed);
+    s.tasks_stolen += w->tasks_stolen.load(std::memory_order_relaxed);
+    s.busy_seconds +=
+        static_cast<double>(w->busy_ns.load(std::memory_order_relaxed)) * 1e-9;
+    s.queue_delay_seconds +=
+        static_cast<double>(
+            w->queue_delay_ns.load(std::memory_order_relaxed)) *
+        1e-9;
+  }
+  return s;
+}
+
+void Executor::Submit(TaskGroup* group, std::function<void()> fn) {
+  Task task{std::move(fn), group, std::chrono::steady_clock::now()};
+  // A worker submits to its own deque (popped LIFO for locality); external
+  // threads spread round-robin. queued_ is bumped BEFORE the push so a
+  // concurrent pop can never observe the task ahead of the count.
+  queued_.fetch_add(1, std::memory_order_release);
+  size_t target = CurrentWorkerIndex();
+  if (target == kNotAWorker) {
+    target = submit_cursor_.fetch_add(1, std::memory_order_relaxed) %
+             workers_.size();
+  }
+  {
+    std::lock_guard<std::mutex> lock(workers_[target]->mu);
+    workers_[target]->deque.push_back(std::move(task));
+  }
+  {
+    // Empty critical section: pairs the queued_ bump with the idle wait's
+    // predicate check so the notify cannot be lost.
+    std::lock_guard<std::mutex> lock(idle_mu_);
+  }
+  idle_cv_.notify_one();
+}
+
+bool Executor::PopLocal(size_t index, Task* out) {
+  Worker& self = *workers_[index];
+  std::lock_guard<std::mutex> lock(self.mu);
+  if (self.deque.empty()) return false;
+  *out = std::move(self.deque.back());
+  self.deque.pop_back();
+  queued_.fetch_sub(1, std::memory_order_relaxed);
+  return true;
+}
+
+bool Executor::Steal(size_t thief, Task* out) {
+  const size_t n = workers_.size();
+  for (size_t k = 1; k < n; ++k) {
+    Worker& victim = *workers_[(thief + k) % n];
+    std::lock_guard<std::mutex> lock(victim.mu);
+    if (victim.deque.empty()) continue;
+    // FIFO steal: the victim's oldest task — least cache-warm for it and
+    // most likely to still be a large unit of work.
+    *out = std::move(victim.deque.front());
+    victim.deque.pop_front();
+    queued_.fetch_sub(1, std::memory_order_relaxed);
+    workers_[thief]->tasks_stolen.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  return false;
+}
+
+void Executor::WorkerLoop(size_t index) {
+  tls_executor = this;
+  tls_worker_index = index;
+  Worker& self = *workers_[index];
+  for (;;) {
+    Task task;
+    if (!PopLocal(index, &task) && !Steal(index, &task)) {
+      std::unique_lock<std::mutex> lock(idle_mu_);
+      idle_cv_.wait(lock, [this] {
+        return shutting_down_ || queued_.load(std::memory_order_acquire) > 0;
+      });
+      // Drain before exiting: shutdown only stops the worker once no
+      // submitted task remains.
+      if (shutting_down_ &&
+          queued_.load(std::memory_order_acquire) == 0) {
+        return;
+      }
+      continue;
+    }
+    const auto start = std::chrono::steady_clock::now();
+    self.queue_delay_ns.fetch_add(ElapsedNs(task.submitted, start),
+                                  std::memory_order_relaxed);
+    Status status = Status::OK();
+    try {
+      task.fn();
+    } catch (const std::exception& e) {
+      status = Status::Internal(std::string("task threw: ") + e.what());
+    } catch (...) {
+      status = Status::Internal("task threw a non-std::exception");
+    }
+    self.busy_ns.fetch_add(
+        ElapsedNs(start, std::chrono::steady_clock::now()),
+        std::memory_order_relaxed);
+    self.tasks_executed.fetch_add(1, std::memory_order_relaxed);
+    task.group->TaskDone(std::move(status));
+  }
+}
+
+void TaskGroup::Spawn(std::function<void()> fn) {
+  pending_.fetch_add(1, std::memory_order_relaxed);
+  executor_->Submit(this, std::move(fn));
+}
+
+Status TaskGroup::Wait() {
+  // Fast path — and the empty-group guard: waiting on a group that never
+  // spawned anything must not touch the executor at all.
+  if (pending_.load(std::memory_order_acquire) == 0) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return status_;
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this] {
+    return pending_.load(std::memory_order_acquire) == 0;
+  });
+  return status_;
+}
+
+void TaskGroup::TaskDone(Status status) {
+  if (!status.ok()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (status_.ok()) status_ = std::move(status);
+  }
+  if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    // Notify under the mutex so the waiter cannot miss the final wakeup
+    // between its predicate check and its sleep.
+    std::lock_guard<std::mutex> lock(mu_);
+    done_cv_.notify_all();
+  }
+}
+
+}  // namespace fj

@@ -13,6 +13,7 @@
 #include <memory>
 #include <string>
 
+#include "common/executor.h"
 #include "common/result.h"
 #include "mapreduce/fault.h"
 #include "similarity/similarity.h"
@@ -115,8 +116,17 @@ struct JoinConfig {
   size_t num_map_tasks = 8;
   /// Reduce tasks per job (the paper runs 4 per node).
   size_t num_reduce_tasks = 8;
-  /// Host threads executing tasks (physical concurrency only).
+  /// Host threads executing tasks (physical concurrency only). 0 = auto:
+  /// use std::thread::hardware_concurrency(). Excluded from the resume
+  /// fingerprint — join output is byte-identical at any thread count.
   size_t local_threads = 1;
+
+  /// Host executor shared by every job of the pipeline, so workers
+  /// persist across stage boundaries (no per-phase pool construction,
+  /// warm caches). nullptr = the driver creates one with local_threads
+  /// workers at pipeline entry. Callers running several pipelines can
+  /// pass their own to share it across runs (bench sweeps do).
+  std::shared_ptr<Executor> executor;
 
   /// Per-map-task sort buffer budget in bytes, applied to every job in the
   /// pipeline (JobSpec::sort_buffer_bytes — the analogue of Hadoop's

@@ -1,7 +1,9 @@
 #include "fuzzyjoin/driver.h"
 
+#include <memory>
 #include <utility>
 
+#include "common/executor.h"
 #include "fuzzyjoin/manifest.h"
 #include "fuzzyjoin/stage1.h"
 #include "fuzzyjoin/stage2.h"
@@ -176,43 +178,50 @@ Result<JoinRunResult> RunSelfJoin(mr::Dfs* dfs, const std::string& input_file,
                                   const std::string& output_prefix,
                                   const JoinConfig& config) {
   FJ_RETURN_IF_ERROR(config.Validate());
+  // One executor serves every job of the pipeline: workers persist across
+  // stage boundaries instead of being rebuilt per phase. Callers that set
+  // config.executor share theirs (bench sweeps reuse one across runs).
+  JoinConfig cfg = config;
+  if (!cfg.executor) {
+    cfg.executor = std::make_shared<Executor>(cfg.local_threads);
+  }
   JoinRunResult result;
   result.ordering_file = output_prefix + ".ordering";
   result.rid_pairs_file = output_prefix + ".ridpairs";
   result.output_file = output_prefix + ".joined";
 
   FJ_ASSIGN_OR_RETURN(uint64_t fingerprint,
-                      PipelineFingerprint(config, *dfs, {input_file}));
+                      PipelineFingerprint(cfg, *dfs, {input_file}));
   StageCheckpointer ckpt(dfs, output_prefix + ".manifest", fingerprint,
                          config.resume);
   FJ_RETURN_IF_ERROR(ckpt.Init());
 
   FJ_RETURN_IF_ERROR(RunStage(
-      &ckpt, &result, std::string("1-") + Stage1Name(config.stage1),
+      &ckpt, &result, std::string("1-") + Stage1Name(cfg.stage1),
       {result.ordering_file}, [&]() -> Result<std::vector<mr::JobMetrics>> {
         FJ_ASSIGN_OR_RETURN(
             Stage1Result stage1,
-            RunStage1(dfs, input_file, result.ordering_file, config));
+            RunStage1(dfs, input_file, result.ordering_file, cfg));
         return std::move(stage1.jobs);
       }));
 
   FJ_RETURN_IF_ERROR(RunStage(
-      &ckpt, &result, std::string("2-") + Stage2Name(config.stage2),
+      &ckpt, &result, std::string("2-") + Stage2Name(cfg.stage2),
       {result.rid_pairs_file}, [&]() -> Result<std::vector<mr::JobMetrics>> {
         FJ_ASSIGN_OR_RETURN(
             Stage2Result stage2,
             RunStage2SelfJoin(dfs, input_file, result.ordering_file,
-                              result.rid_pairs_file, config));
+                              result.rid_pairs_file, cfg));
         return std::move(stage2.jobs);
       }));
 
   FJ_RETURN_IF_ERROR(RunStage(
-      &ckpt, &result, std::string("3-") + Stage3Name(config.stage3),
+      &ckpt, &result, std::string("3-") + Stage3Name(cfg.stage3),
       {result.output_file}, [&]() -> Result<std::vector<mr::JobMetrics>> {
         FJ_ASSIGN_OR_RETURN(
             Stage3Result stage3,
             RunStage3SelfJoin(dfs, input_file, result.rid_pairs_file,
-                              result.output_file, config));
+                              result.output_file, cfg));
         return std::move(stage3.jobs);
       }));
 
@@ -224,44 +233,49 @@ Result<JoinRunResult> RunRSJoin(mr::Dfs* dfs, const std::string& r_file,
                                 const std::string& output_prefix,
                                 const JoinConfig& config) {
   FJ_RETURN_IF_ERROR(config.Validate());
+  // Same pipeline-wide executor policy as RunSelfJoin.
+  JoinConfig cfg = config;
+  if (!cfg.executor) {
+    cfg.executor = std::make_shared<Executor>(cfg.local_threads);
+  }
   JoinRunResult result;
   result.ordering_file = output_prefix + ".ordering";
   result.rid_pairs_file = output_prefix + ".ridpairs";
   result.output_file = output_prefix + ".joined";
 
   FJ_ASSIGN_OR_RETURN(uint64_t fingerprint,
-                      PipelineFingerprint(config, *dfs, {r_file, s_file}));
+                      PipelineFingerprint(cfg, *dfs, {r_file, s_file}));
   StageCheckpointer ckpt(dfs, output_prefix + ".manifest", fingerprint,
                          config.resume);
   FJ_RETURN_IF_ERROR(ckpt.Init());
 
   // Stage 1 runs on relation R only (Section 4).
   FJ_RETURN_IF_ERROR(RunStage(
-      &ckpt, &result, std::string("1-") + Stage1Name(config.stage1),
+      &ckpt, &result, std::string("1-") + Stage1Name(cfg.stage1),
       {result.ordering_file}, [&]() -> Result<std::vector<mr::JobMetrics>> {
         FJ_ASSIGN_OR_RETURN(
             Stage1Result stage1,
-            RunStage1(dfs, r_file, result.ordering_file, config));
+            RunStage1(dfs, r_file, result.ordering_file, cfg));
         return std::move(stage1.jobs);
       }));
 
   FJ_RETURN_IF_ERROR(RunStage(
-      &ckpt, &result, std::string("2-") + Stage2Name(config.stage2),
+      &ckpt, &result, std::string("2-") + Stage2Name(cfg.stage2),
       {result.rid_pairs_file}, [&]() -> Result<std::vector<mr::JobMetrics>> {
         FJ_ASSIGN_OR_RETURN(
             Stage2Result stage2,
             RunStage2RSJoin(dfs, r_file, s_file, result.ordering_file,
-                            result.rid_pairs_file, config));
+                            result.rid_pairs_file, cfg));
         return std::move(stage2.jobs);
       }));
 
   FJ_RETURN_IF_ERROR(RunStage(
-      &ckpt, &result, std::string("3-") + Stage3Name(config.stage3),
+      &ckpt, &result, std::string("3-") + Stage3Name(cfg.stage3),
       {result.output_file}, [&]() -> Result<std::vector<mr::JobMetrics>> {
         FJ_ASSIGN_OR_RETURN(
             Stage3Result stage3,
             RunStage3RSJoin(dfs, r_file, s_file, result.rid_pairs_file,
-                            result.output_file, config));
+                            result.output_file, cfg));
         return std::move(stage3.jobs);
       }));
 

@@ -22,6 +22,7 @@ namespace fj::join {
 template <typename K, typename V>
 void ApplyEngineKnobs(const JoinConfig& config, mr::JobSpec<K, V>* spec) {
   spec->local_threads = config.local_threads;
+  spec->executor = config.executor;
   spec->sort_buffer_bytes = config.sort_buffer_bytes;
   spec->merge_factor = config.merge_factor;
   spec->max_task_attempts = config.max_task_attempts;

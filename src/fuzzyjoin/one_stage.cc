@@ -6,6 +6,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/executor.h"
 #include "common/string_util.h"
 #include "data/record.h"
 #include "fuzzyjoin/engine_knobs.h"
@@ -195,6 +196,12 @@ Result<JoinRunResult> RunOneStageSelfJoin(mr::Dfs* dfs,
                                           const std::string& output_prefix,
                                           const JoinConfig& config) {
   FJ_RETURN_IF_ERROR(config.Validate());
+  // One-stage pipelines share a pipeline-wide executor too (see
+  // driver.cc); both jobs below run on it via ApplyEngineKnobs.
+  JoinConfig cfg = config;
+  if (!cfg.executor) {
+    cfg.executor = std::make_shared<Executor>(cfg.local_threads);
+  }
   JoinRunResult result;
   result.ordering_file = output_prefix + ".ordering";
   result.rid_pairs_file = "";  // no projection stage exists
@@ -202,26 +209,26 @@ Result<JoinRunResult> RunOneStageSelfJoin(mr::Dfs* dfs,
 
   FJ_ASSIGN_OR_RETURN(
       Stage1Result stage1,
-      RunStage1(dfs, input_file, result.ordering_file, config));
+      RunStage1(dfs, input_file, result.ordering_file, cfg));
   result.stages.push_back(StageMetrics{
-      std::string("1-") + Stage1Name(config.stage1), std::move(stage1.jobs)});
+      std::string("1-") + Stage1Name(cfg.stage1), std::move(stage1.jobs)});
 
   FJ_ASSIGN_OR_RETURN(const std::vector<std::string>* ordering_lines,
                       dfs->ReadFile(result.ordering_file));
 
   // The fat-value kernel job.
-  sim::SimilaritySpec spec = config.MakeSpec();
-  auto tokenizer = config.tokenizer;
-  auto routing = config.routing;
-  auto num_groups = config.num_groups;
+  sim::SimilaritySpec spec = cfg.MakeSpec();
+  auto tokenizer = cfg.tokenizer;
+  auto routing = cfg.routing;
+  auto num_groups = cfg.num_groups;
 
   mr::JobSpec<Stage2Key, std::string> kernel;
   kernel.name = "onestage-kernel";
   kernel.input_files = {input_file};
   kernel.output_file = output_prefix + ".withdups";
-  kernel.num_map_tasks = config.num_map_tasks;
-  kernel.num_reduce_tasks = config.num_reduce_tasks;
-  ApplyEngineKnobs(config, &kernel);
+  kernel.num_map_tasks = cfg.num_map_tasks;
+  kernel.num_reduce_tasks = cfg.num_reduce_tasks;
+  ApplyEngineKnobs(cfg, &kernel);
   kernel.group_equal = [](const Stage2Key& a, const Stage2Key& b) {
     return a.group == b.group;
   };
@@ -244,9 +251,9 @@ Result<JoinRunResult> RunOneStageSelfJoin(mr::Dfs* dfs,
   dedup.name = "onestage-dedup";
   dedup.input_files = {output_prefix + ".withdups"};
   dedup.output_file = result.output_file;
-  dedup.num_map_tasks = config.num_map_tasks;
-  dedup.num_reduce_tasks = config.num_reduce_tasks;
-  ApplyEngineKnobs(config, &dedup);
+  dedup.num_map_tasks = cfg.num_map_tasks;
+  dedup.num_reduce_tasks = cfg.num_reduce_tasks;
+  ApplyEngineKnobs(cfg, &dedup);
   dedup.mapper_factory = [] { return std::make_unique<DedupMapper>(); };
   dedup.reducer_factory = [] { return std::make_unique<DedupReducer>(); };
   mr::Job<std::pair<uint64_t, uint64_t>, std::string> dedup_job(

@@ -41,7 +41,12 @@
 //     exceeds speculation_slowdown_factor x the phase median get a
 //     speculative backup attempt; the first finisher (by simulated
 //     completion time, backups handicapped by the detection delay) wins
-//     the commit and the loser's cost is recorded as wasted work;
+//     the COST-ACCOUNTING commit and the loser's cost is recorded as
+//     wasted work. The data hand-off is never re-pointed: attempts are
+//     deterministic, so the backup's bytes are identical to the
+//     primary's already-published bytes — which is what lets reduce
+//     tasks start consuming the shuffle while map backups still run
+//     (and means a backup can never poison committed data);
 //   - committed TaskMetrics/counters always describe exactly one clean
 //     attempt, so a faulted run's committed metrics — and its output
 //     bytes — match the fault-free run; the wasted work is tracked in the
@@ -71,16 +76,41 @@
 // committed lines land in `<output_file>.bad`, bounded by
 // JobSpec::max_skipped_records.
 //
+// Execution (common/executor.h) is task-graph scheduling on a persistent
+// work-stealing executor, not barrier-per-phase:
+//
+//   - every map task is spawned onto the executor (normally the pipeline's
+//     shared JobSpec::executor; a job-private one otherwise). A map task's
+//     commit PUBLISHES its sorted runs into per-(map-task x partition)
+//     shuffle slots and decrements each partition's pending-input counter;
+//     the decrement that hits zero spawns that reduce task. Slots are
+//     indexed by map task, so runs are consumed in map-task-then-spill
+//     order no matter which order commits land in — the rank order the
+//     merger's tie-break relies on;
+//   - speculative backups narrow the old map->reduce barrier instead of
+//     re-imposing it: reduce tasks overlap still-running map backups,
+//     which only ever re-commit cost accounting (see above);
+//   - reduce attempts that must copy their runs (preserve_runs) reuse a
+//     per-WORKER scratch buffer — overwritten in full by each attempt, so
+//     attempt isolation is preserved without reallocating per attempt;
+//   - an exception escaping a task surfaces as an Internal Status from
+//     the job (first one wins), not a std::terminate;
+//   - measured per-phase wall times and the executor's activity counters
+//     land in JobMetrics (map/reduce_phase_wall_seconds, runtime) next to
+//     the simulated charges.
+//
 // Determinism: runs are internally in emit order (stable sort) and the
 // merge breaks ties toward earlier runs, so output is byte-identical to
 // the legacy unbounded path (sort_buffer_bytes == 0, a single in-memory
 // run per map task) — and, because attempts re-execute deterministically,
-// also byte-identical under any recoverable fault plan. Reduce output
-// lines are written to the job's output file in the Dfs, concatenated in
-// reduce-task order.
+// also byte-identical under any recoverable fault plan AND under any
+// thread count (committed counters and committed task metrics too; only
+// wall-time-derived fields vary). Reduce output lines are written to the
+// job's output file in the Dfs, concatenated in reduce-task order.
 #pragma once
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <limits>
@@ -91,10 +121,10 @@
 #include <utility>
 #include <vector>
 
+#include "common/executor.h"
 #include "common/hash.h"
 #include "common/result.h"
 #include "common/status.h"
-#include "common/thread_pool.h"
 #include "common/timer.h"
 #include "mapreduce/contract.h"
 #include "mapreduce/dfs.h"
@@ -236,10 +266,15 @@ class Job {
                                  size_t task_id, uint32_t attempt,
                                  const AttemptFault& fault);
 
+  /// `copy_scratch` is the executing worker's reusable run-copy buffer for
+  /// the preserve_runs path; every attempt overwrites it in full, so reuse
+  /// across attempts (and across tasks on the same worker) cannot leak
+  /// state between them.
   ReduceAttemptResult RunReduceAttempt(
       const std::vector<SortedRun<K, V>*>& partition_runs, bool preserve_runs,
       const SpecOrdering<K, V>& ordering, size_t merge_factor, size_t task_id,
-      uint32_t attempt, const AttemptFault& fault);
+      uint32_t attempt, const AttemptFault& fault,
+      std::vector<SortedRun<K, V>>* copy_scratch);
 
   Dfs* dfs_;
   JobSpec<K, V> spec_;
@@ -328,7 +363,8 @@ template <typename K, typename V>
 typename Job<K, V>::ReduceAttemptResult Job<K, V>::RunReduceAttempt(
     const std::vector<SortedRun<K, V>*>& partition_runs, bool preserve_runs,
     const SpecOrdering<K, V>& ordering, size_t merge_factor, size_t task_id,
-    uint32_t attempt, const AttemptFault& fault) {
+    uint32_t attempt, const AttemptFault& fault,
+    std::vector<SortedRun<K, V>>* copy_scratch) {
   ReduceAttemptResult res;
   WallTimer timer;
   TaskContext ctx(task_id, attempt, &res.counters);
@@ -339,11 +375,14 @@ typename Job<K, V>::ReduceAttemptResult Job<K, V>::RunReduceAttempt(
   // The merge consumes its input runs, so when this task may run more than
   // once (faults or speculation active) each attempt merges an
   // attempt-scoped copy and the shuffle data stays pristine for the next
-  // attempt. Fault-free jobs keep the zero-copy path.
-  std::vector<SortedRun<K, V>> copies;
+  // attempt. The copies land in the worker's reusable scratch (every
+  // element copy-assigned from the pristine run, so nothing of a previous
+  // attempt survives, but pair-vector capacity is recycled). Fault-free
+  // jobs keep the zero-copy path.
+  std::vector<SortedRun<K, V>>& copies = *copy_scratch;
   std::vector<SortedRun<K, V>*> runs;
   if (preserve_runs) {
-    copies.assign(partition_runs.size(), SortedRun<K, V>{});
+    copies.resize(partition_runs.size());
     runs.reserve(partition_runs.size());
     for (size_t i = 0; i < partition_runs.size(); ++i) {
       copies[i] = *partition_runs[i];
@@ -511,11 +550,20 @@ Result<JobMetrics> Job<K, V>::Run() {
   // might need it again.
   const bool preserve_runs = injector.active() || spec_.speculative_execution;
 
+  // The host executor: normally the pipeline's shared one (one set of
+  // persistent workers serving every job of every stage); a standalone
+  // job gets a private executor sized by local_threads.
+  std::shared_ptr<Executor> executor = spec_.executor;
+  if (!executor) executor = std::make_shared<Executor>(spec_.local_threads);
+  const ExecutorStats runtime_before = executor->stats();
+
   // First permanent task failure wins; later ones are redundant detail.
+  // job_failed is the lock-free "already latched?" flag task bodies poll.
   std::mutex failure_mu;
   Status job_status;
-  auto record_failure = [this, &failure_mu, &job_status](TaskPhase phase,
-                                                         size_t task_id) {
+  std::atomic<bool> job_failed{false};
+  auto record_failure = [this, &failure_mu, &job_status, &job_failed](
+                            TaskPhase phase, size_t task_id) {
     std::lock_guard<std::mutex> lock(failure_mu);
     if (job_status.ok()) {
       job_status = Status::Internal(
@@ -523,25 +571,70 @@ Result<JobMetrics> Job<K, V>::Run() {
           std::to_string(task_id) + " failed permanently after " +
           std::to_string(spec_.max_task_attempts) + " attempts");
     }
+    job_failed.store(true, std::memory_order_release);
   };
   // Contract violations are deterministic user-code bugs, not transient
   // faults: the first one fails the job (no retry, no output).
-  auto latch_status = [&failure_mu, &job_status](const Status& s) {
+  auto latch_status = [&failure_mu, &job_status, &job_failed](const Status& s) {
     std::lock_guard<std::mutex> lock(failure_mu);
     if (job_status.ok()) job_status = s;
+    job_failed.store(true, std::memory_order_release);
   };
 
   metrics.map_tasks.resize(num_map_tasks);
+  metrics.reduce_tasks.resize(num_reduce_tasks);
   std::vector<MapTaskOutput<K, V>> map_outputs(num_map_tasks);
   std::vector<std::vector<std::string>> quarantined(num_map_tasks);
+  std::vector<std::vector<std::string>> reduce_outputs(num_reduce_tasks);
 
-  // ---- Map phase: retry each task's attempts until one commits ----
-  std::vector<std::function<void()>> map_fns;
-  map_fns.reserve(num_map_tasks);
-  for (size_t m = 0; m < num_map_tasks; ++m) {
-    map_fns.push_back([this, m, &splits, &file_lines, &metrics, &map_outputs,
-                       &quarantined, &ordering, &injector, &record_failure,
-                       &latch_status] {
+  // Unbounded runs are plain in-memory vectors; a single merge pass over
+  // any number of them is free, so the multi-pass collapse (and its disk
+  // charges) only applies when the job actually spills.
+  const size_t merge_factor = spec_.sort_buffer_bytes > 0
+                                  ? spec_.merge_factor
+                                  : std::numeric_limits<size_t>::max();
+
+  // ---- Task-graph state ----
+  // The shuffle hand-off is partition-granular: map_outputs[m] is task m's
+  // slot row (its committed runs, per partition), and reduce task r is
+  // released the instant reduce_inputs_pending[r] — decremented once per
+  // finished map task, acq_rel so the publish is visible — hits zero.
+  // Failed maps decrement too; the reduce bodies early-out on the latched
+  // status, which keeps the countdown total.
+  std::vector<std::atomic<size_t>> reduce_inputs_pending(num_reduce_tasks);
+  for (auto& pending : reduce_inputs_pending) {
+    pending.store(num_map_tasks, std::memory_order_relaxed);
+  }
+  // Built by each reduce task from the committed slot board, reused by
+  // its speculative backup (which runs strictly after it).
+  std::vector<std::vector<SortedRun<K, V>*>> partition_runs(num_reduce_tasks);
+  std::atomic<size_t> maps_remaining{num_map_tasks};
+  std::atomic<size_t> reduces_remaining{num_reduce_tasks};
+  // Measured phase walls, stamped by whichever worker completed the
+  // phase; read by this thread only after the group Wait synchronizes.
+  double map_done_wall = 0;
+  double reduce_done_wall = 0;
+
+  // Per-worker reduce-side run-copy scratch (see RunReduceAttempt). The
+  // extra slot serves a non-worker caller — impossible today, but it
+  // keeps the indexing total.
+  std::vector<std::vector<SortedRun<K, V>>> reduce_scratch(
+      executor->num_workers() + 1);
+  auto worker_scratch = [&reduce_scratch, &executor] {
+    const size_t w = executor->CurrentWorkerIndex();
+    return &reduce_scratch[w == Executor::kNotAWorker
+                               ? reduce_scratch.size() - 1
+                               : w];
+  };
+
+  TaskGroup group(executor.get());
+
+  // ---- Task bodies ----
+  // The retry chain of one map task: attempts run sequentially on one
+  // worker until one commits (or the budget is exhausted).
+  auto run_map_chain = [this, &splits, &file_lines, &metrics, &map_outputs,
+                        &quarantined, &ordering, &injector, &record_failure,
+                        &latch_status](size_t m) {
       const InputSplit& split = splits[m];
       const std::vector<std::string>& lines = *file_lines[split.file_index];
       uint32_t failed = 0;
@@ -589,20 +682,23 @@ Result<JobMetrics> Job<K, V>::Run() {
       metrics.map_tasks[m].integrity_bytes_verified = integrity_bytes;
       metrics.map_tasks[m].corruption_detected = corruption_detected;
       record_failure(TaskPhase::kMap, m);
-    });
-  }
-  RunParallel(map_fns, spec_.local_threads);
-  FJ_RETURN_IF_ERROR(job_status);
+  };
 
-  // ---- Map-side speculation: back up stragglers, first finisher wins ----
-  if (spec_.speculative_execution && num_map_tasks >= 2) {
+  // Speculative map backups, spawned by the map phase's completion
+  // continuation: back up stragglers, first finisher (by simulated time)
+  // wins the COST commit. The backup never re-points map_outputs[m]:
+  // attempts are deterministic, so its bytes equal the already-published
+  // primary bytes — which is exactly what lets the released reduce tasks
+  // keep consuming the shuffle while backups are still in flight.
+  auto spawn_map_backups = [this, &group, &splits, &file_lines, &metrics,
+                            &ordering, &injector, num_map_tasks] {
+    if (!spec_.speculative_execution || num_map_tasks < 2) return;
     const double median = MedianSeconds(metrics.map_tasks);
     const double threshold = median * spec_.speculation_slowdown_factor;
-    std::vector<std::function<void()>> backup_fns;
     for (size_t m = 0; m < num_map_tasks; ++m) {
       if (median <= 0 || metrics.map_tasks[m].seconds <= threshold) continue;
-      backup_fns.push_back([this, m, median, &splits, &file_lines, &metrics,
-                            &map_outputs, &ordering, &injector] {
+      group.Spawn([this, m, median, &splits, &file_lines, &metrics, &ordering,
+                   &injector] {
         const InputSplit& split = splits[m];
         const std::vector<std::string>& lines = *file_lines[split.file_index];
         TaskMetrics& task = metrics.map_tasks[m];
@@ -644,61 +740,59 @@ Result<JobMetrics> Job<K, V>::Run() {
           committed.integrity_bytes_verified = task.integrity_bytes_verified;
           committed.corruption_detected = task.corruption_detected;
           task = std::move(committed);
-          // Deterministic attempts emit identical counters, so the
-          // primary's already-merged counters stand for the backup too —
-          // and likewise its quarantined lines.
-          map_outputs[m] = std::move(res.output);
+          // Deterministic attempts emit identical counters, output bytes,
+          // and quarantined lines, so the primary's already-merged
+          // counters — and its published runs — stand for the backup too.
         } else {
           task.speculative_loser_seconds += std::min(
               res.metrics.seconds, std::max(0.0, primary_finish - median));
         }
       });
     }
-    RunParallel(backup_fns, spec_.local_threads);
-  }
+  };
 
-  // ---- Quarantine bookkeeping: malformed input lines the committed map
-  // attempts routed to TaskContext::QuarantineRecord (attempts are
-  // deterministic, so retries and backups quarantine identically) ----
-  for (const auto& task_lines : quarantined) {
-    metrics.records_skipped += task_lines.size();
-  }
-  if (metrics.records_skipped > spec_.max_skipped_records) {
-    return Status::DataLoss(
-        "job '" + spec_.name + "': " +
-        std::to_string(metrics.records_skipped) +
-        " malformed input records exceed max_skipped_records=" +
-        std::to_string(spec_.max_skipped_records));
-  }
-
-  // ---- Reduce phase: streaming k-way merge over sorted runs ----
-  metrics.reduce_tasks.resize(num_reduce_tasks);
-  std::vector<std::vector<std::string>> reduce_outputs(num_reduce_tasks);
-
-  // Unbounded runs are plain in-memory vectors; a single merge pass over
-  // any number of them is free, so the multi-pass collapse (and its disk
-  // charges) only applies when the job actually spills.
-  const size_t merge_factor = spec_.sort_buffer_bytes > 0
-                                  ? spec_.merge_factor
-                                  : std::numeric_limits<size_t>::max();
-
-  // This partition's runs from every map task, in map-task-then-spill
-  // order — the rank order the merger's tie-break relies on.
-  std::vector<std::vector<SortedRun<K, V>*>> partition_runs(num_reduce_tasks);
-  for (size_t m = 0; m < num_map_tasks; ++m) {
-    for (auto& spill : map_outputs[m].spills) {
-      for (size_t r = 0; r < num_reduce_tasks; ++r) {
-        if (!spill[r].pairs.empty()) partition_runs[r].push_back(&spill[r]);
-      }
+  // Map-phase completion continuation, run by whichever worker finished
+  // the last map task. Quarantine accounting must precede the final
+  // reduce release (the old engine checked it between the phases).
+  auto on_maps_done = [this, &job_timer, &map_done_wall, &metrics,
+                       &quarantined, &latch_status, &job_failed,
+                       &spawn_map_backups] {
+    map_done_wall = job_timer.ElapsedSeconds();
+    // Quarantine bookkeeping: malformed input lines the committed map
+    // attempts routed to TaskContext::QuarantineRecord (attempts are
+    // deterministic, so retries and backups quarantine identically).
+    for (const auto& task_lines : quarantined) {
+      metrics.records_skipped += task_lines.size();
     }
-  }
+    if (metrics.records_skipped > spec_.max_skipped_records) {
+      latch_status(Status::DataLoss(
+          "job '" + spec_.name + "': " +
+          std::to_string(metrics.records_skipped) +
+          " malformed input records exceed max_skipped_records=" +
+          std::to_string(spec_.max_skipped_records)));
+      return;
+    }
+    if (!job_failed.load(std::memory_order_acquire)) spawn_map_backups();
+  };
 
-  std::vector<std::function<void()>> reduce_fns;
-  reduce_fns.reserve(num_reduce_tasks);
-  for (size_t r = 0; r < num_reduce_tasks; ++r) {
-    reduce_fns.push_back([this, r, preserve_runs, &metrics, &partition_runs,
-                          &reduce_outputs, &ordering, merge_factor, &injector,
-                          &record_failure, &latch_status] {
+  // The retry chain of one reduce task: a streaming k-way merge over the
+  // partition's committed runs.
+  auto run_reduce_chain = [this, preserve_runs, &metrics, &map_outputs,
+                           &partition_runs, &reduce_outputs, &ordering,
+                           merge_factor, &injector, &record_failure,
+                           &latch_status, &job_failed, &worker_scratch,
+                           num_map_tasks](size_t r) {
+      if (job_failed.load(std::memory_order_acquire)) return;
+      // This partition's runs from every map task, in map-task-then-spill
+      // order — the rank order the merger's tie-break relies on. The slot
+      // board is indexed by map task, so commit ARRIVAL order cannot
+      // perturb it.
+      std::vector<SortedRun<K, V>*>& runs = partition_runs[r];
+      for (size_t m = 0; m < num_map_tasks; ++m) {
+        for (auto& spill : map_outputs[m].spills) {
+          if (!spill[r].pairs.empty()) runs.push_back(&spill[r]);
+        }
+      }
       uint32_t failed = 0;
       double failed_seconds = 0;
       uint64_t integrity_bytes = 0;
@@ -706,8 +800,9 @@ Result<JobMetrics> Job<K, V>::Run() {
       for (uint32_t attempt = 0; attempt < spec_.max_task_attempts;
            ++attempt) {
         ReduceAttemptResult res = RunReduceAttempt(
-            partition_runs[r], preserve_runs, ordering, merge_factor, r,
-            attempt, injector.FaultFor(TaskPhase::kReduce, r, attempt));
+            runs, preserve_runs, ordering, merge_factor, r, attempt,
+            injector.FaultFor(TaskPhase::kReduce, r, attempt),
+            worker_scratch());
         integrity_bytes += res.metrics.integrity_bytes_verified;
         corruption_detected += res.metrics.corruption_detected;
         if (!res.contract.ok()) {
@@ -738,28 +833,28 @@ Result<JobMetrics> Job<K, V>::Run() {
       metrics.reduce_tasks[r].integrity_bytes_verified = integrity_bytes;
       metrics.reduce_tasks[r].corruption_detected = corruption_detected;
       record_failure(TaskPhase::kReduce, r);
-    });
-  }
-  RunParallel(reduce_fns, spec_.local_threads);
-  FJ_RETURN_IF_ERROR(job_status);
+  };
 
-  // ---- Reduce-side speculation ----
-  if (spec_.speculative_execution && num_reduce_tasks >= 2) {
+  // Speculative reduce backups (see spawn_map_backups: cost-accounting
+  // commit only, reduce_outputs[r] is never re-pointed).
+  auto spawn_reduce_backups = [this, &group, preserve_runs, &metrics,
+                               &partition_runs, &ordering, merge_factor,
+                               &injector, &worker_scratch, num_reduce_tasks] {
+    if (!spec_.speculative_execution || num_reduce_tasks < 2) return;
     const double median = MedianSeconds(metrics.reduce_tasks);
     const double threshold = median * spec_.speculation_slowdown_factor;
-    std::vector<std::function<void()>> backup_fns;
     for (size_t r = 0; r < num_reduce_tasks; ++r) {
       if (median <= 0 || metrics.reduce_tasks[r].seconds <= threshold) {
         continue;
       }
-      backup_fns.push_back([this, r, median, preserve_runs, &metrics,
-                            &partition_runs, &reduce_outputs, &ordering,
-                            merge_factor, &injector] {
+      group.Spawn([this, r, median, preserve_runs, &metrics, &partition_runs,
+                   &ordering, merge_factor, &injector, &worker_scratch] {
         TaskMetrics& task = metrics.reduce_tasks[r];
         const uint32_t attempt = task.attempts;
         ReduceAttemptResult res = RunReduceAttempt(
             partition_runs[r], preserve_runs, ordering, merge_factor, r,
-            attempt, injector.FaultFor(TaskPhase::kReduce, r, attempt));
+            attempt, injector.FaultFor(TaskPhase::kReduce, r, attempt),
+            worker_scratch());
         task.attempts++;
         task.speculative_launched = true;
         task.integrity_bytes_verified += res.metrics.integrity_bytes_verified;
@@ -787,15 +882,73 @@ Result<JobMetrics> Job<K, V>::Run() {
           committed.integrity_bytes_verified = task.integrity_bytes_verified;
           committed.corruption_detected = task.corruption_detected;
           task = std::move(committed);
-          reduce_outputs[r] = std::move(res.output);
         } else {
           task.speculative_loser_seconds += std::min(
               res.metrics.seconds, std::max(0.0, primary_finish - median));
         }
       });
     }
-    RunParallel(backup_fns, spec_.local_threads);
+  };
+
+  // Reduce-phase completion continuation: stamp the wall when the last
+  // PRIMARY reduce commits (backups it spawns run past it, tracked by the
+  // same group).
+  auto on_reduces_done = [&job_timer, &reduce_done_wall, &job_failed,
+                          &spawn_reduce_backups] {
+    reduce_done_wall = job_timer.ElapsedSeconds();
+    if (!job_failed.load(std::memory_order_acquire)) spawn_reduce_backups();
+  };
+
+  auto run_reduce_task = [&run_reduce_chain, &reduces_remaining,
+                          &on_reduces_done](size_t r) {
+    run_reduce_chain(r);
+    if (reduces_remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      on_reduces_done();
+    }
+  };
+
+  // Map-task completion: run the phase continuation when this was the
+  // last map task (BEFORE the final release, so quarantine accounting and
+  // backup spawning precede the reduces it unblocks), then decrement
+  // every partition's countdown, spawning each reduce task the moment its
+  // inputs are complete.
+  auto finish_map_task = [&group, &maps_remaining, &on_maps_done,
+                          &reduce_inputs_pending, &run_reduce_task,
+                          num_reduce_tasks] {
+    if (maps_remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      on_maps_done();
+    }
+    for (size_t r = 0; r < num_reduce_tasks; ++r) {
+      if (reduce_inputs_pending[r].fetch_sub(1, std::memory_order_acq_rel) ==
+          1) {
+        group.Spawn([&run_reduce_task, r] { run_reduce_task(r); });
+      }
+    }
+  };
+
+  // ---- Spawn the graph: map tasks now, reduce tasks as their inputs
+  // commit, backups from the phase-completion continuations ----
+  for (size_t m = 0; m < num_map_tasks; ++m) {
+    group.Spawn([&run_map_chain, &finish_map_task, m] {
+      run_map_chain(m);
+      finish_map_task();
+    });
   }
+  if (num_map_tasks == 0) {
+    // An empty input still runs every reduce task (reducers may emit in
+    // Teardown) — there is just no shuffle to wait for.
+    on_maps_done();
+    for (size_t r = 0; r < num_reduce_tasks; ++r) {
+      group.Spawn([&run_reduce_task, r] { run_reduce_task(r); });
+    }
+  }
+
+  // Wait drains the whole graph — including tasks the continuations
+  // spawned mid-flight — and surfaces the first task exception as a
+  // Status instead of std::terminate.
+  FJ_RETURN_IF_ERROR(group.Wait());
+  // All tasks are done: job_status is stable without the lock.
+  FJ_RETURN_IF_ERROR(job_status);
 
   // ---- Job-level accounting (O(tasks): totals were metered on the emit
   // and spill paths, never by re-walking the intermediate data) ----
@@ -876,6 +1029,10 @@ Result<JobMetrics> Job<K, V>::Run() {
   }
 
   metrics.wall_seconds = job_timer.ElapsedSeconds();
+  metrics.map_phase_wall_seconds = map_done_wall;
+  metrics.reduce_phase_wall_seconds =
+      std::max(0.0, reduce_done_wall - map_done_wall);
+  metrics.runtime = executor->stats() - runtime_before;
   return metrics;
 }
 

@@ -17,6 +17,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/executor.h"
 #include "mapreduce/fault.h"
 #include "mapreduce/input.h"
 #include "mapreduce/key_traits.h"
@@ -124,8 +125,16 @@ struct JobSpec {
   size_t num_reduce_tasks = 1;
 
   /// Host threads used to execute tasks (physical concurrency only; the
-  /// simulated cluster size lives in ClusterConfig, not here).
+  /// simulated cluster size lives in ClusterConfig, not here). 0 = auto:
+  /// resolve to std::thread::hardware_concurrency(). Ignored when
+  /// `executor` is set — the host executor's worker count rules.
   size_t local_threads = 1;
+
+  /// Host executor running this job's tasks. Shared across the jobs of a
+  /// pipeline so workers persist (warm caches, no per-phase pool
+  /// construction). nullptr = the job creates a private executor with
+  /// local_threads workers for the duration of Run().
+  std::shared_ptr<Executor> executor;
 
   std::function<std::unique_ptr<Mapper<K, V>>()> mapper_factory;
   std::function<std::unique_ptr<Reducer<K, V>>()> reducer_factory;

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/counters.h"
+#include "common/executor.h"
 
 namespace fj::mr {
 
@@ -135,6 +136,21 @@ struct JobMetrics {
 
   /// Real wall time of the whole (local) execution.
   double wall_seconds = 0;
+  /// Measured wall time until the last primary map task committed — the
+  /// host-machine complement of the simulated map-phase charge. With the
+  /// task-graph scheduler reduce tasks overlap map backups, so these two
+  /// phases can sum to more than wall_seconds.
+  double map_phase_wall_seconds = 0;
+  /// Measured wall time from the last map commit to the last primary
+  /// reduce commit (clamped at 0 if a reduce finished inside the map
+  /// phase's backup window).
+  double reduce_phase_wall_seconds = 0;
+  /// Executor activity attributable to this job (stats delta across
+  /// Run()): tasks executed/stolen, busy seconds, queue delay. Measured
+  /// host values — the simulated cluster charges live in the per-task
+  /// records above. Wall-derived, so NOT covered by the determinism
+  /// contract (unlike every committed counter above).
+  ExecutorStats runtime;
 
   CounterSet counters;
 

@@ -1,0 +1,240 @@
+// Tests for the persistent work-stealing executor (common/executor.h):
+// submit/steal under load, nested spawns growing the task graph,
+// exception capture into Status, per-worker identity, oversubscription,
+// and the empty-group fast path.
+#include "common/executor.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+
+namespace fj {
+namespace {
+
+TEST(ResolveWorkerCountTest, PositiveRequestIsTakenVerbatim) {
+  EXPECT_EQ(ResolveWorkerCount(1), 1u);
+  EXPECT_EQ(ResolveWorkerCount(7), 7u);
+}
+
+TEST(ResolveWorkerCountTest, ZeroMeansHardwareConcurrency) {
+  const size_t resolved = ResolveWorkerCount(0);
+  EXPECT_GE(resolved, 1u);
+  if (std::thread::hardware_concurrency() > 0) {
+    EXPECT_EQ(resolved, std::thread::hardware_concurrency());
+  }
+}
+
+TEST(ExecutorTest, ZeroThreadsResolvesToAtLeastOneWorker) {
+  Executor executor(0);
+  EXPECT_GE(executor.num_workers(), 1u);
+  EXPECT_EQ(executor.num_workers(), ResolveWorkerCount(0));
+}
+
+TEST(ExecutorTest, RunsEveryTaskExactlyOnce) {
+  Executor executor(4);
+  constexpr size_t kTasks = 1000;
+  std::vector<std::atomic<int>> ran(kTasks);
+  TaskGroup group(&executor);
+  for (size_t i = 0; i < kTasks; ++i) {
+    group.Spawn([&ran, i] { ran[i].fetch_add(1); });
+  }
+  ASSERT_TRUE(group.Wait().ok());
+  for (size_t i = 0; i < kTasks; ++i) EXPECT_EQ(ran[i].load(), 1);
+  EXPECT_GE(executor.stats().tasks_executed, kTasks);
+}
+
+TEST(ExecutorTest, EmptyGroupWaitReturnsImmediately) {
+  Executor executor(2);
+  TaskGroup group(&executor);
+  EXPECT_TRUE(group.Wait().ok());
+  // Waiting again is also fine (Wait is idempotent once drained).
+  EXPECT_TRUE(group.Wait().ok());
+  EXPECT_EQ(executor.stats().tasks_executed, 0u);
+}
+
+TEST(ExecutorTest, NestedSpawnGrowsTheGraph) {
+  Executor executor(3);
+  std::atomic<size_t> leaves{0};
+  TaskGroup group(&executor);
+  // Each root task spawns children from inside the pool; Wait must drain
+  // tasks spawned by tasks, not just the initial submissions.
+  for (int root = 0; root < 8; ++root) {
+    group.Spawn([&group, &leaves] {
+      for (int child = 0; child < 16; ++child) {
+        group.Spawn([&leaves] { leaves.fetch_add(1); });
+      }
+    });
+  }
+  ASSERT_TRUE(group.Wait().ok());
+  EXPECT_EQ(leaves.load(), 8u * 16u);
+}
+
+TEST(ExecutorTest, TaskExceptionBecomesInternalStatus) {
+  Executor executor(2);
+  std::atomic<int> survivors{0};
+  TaskGroup group(&executor);
+  group.Spawn([] { throw std::runtime_error("boom"); });
+  for (int i = 0; i < 50; ++i) {
+    group.Spawn([&survivors] { survivors.fetch_add(1); });
+  }
+  Status status = group.Wait();
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInternal);
+  EXPECT_NE(status.message().find("boom"), std::string::npos);
+  // The failure did not cancel the rest of the group.
+  EXPECT_EQ(survivors.load(), 50);
+}
+
+TEST(ExecutorTest, NonStdExceptionIsCapturedToo) {
+  Executor executor(1);
+  TaskGroup group(&executor);
+  group.Spawn([] { throw 42; });  // NOLINT(hicpp-exception-baseclass)
+  Status status = group.Wait();
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInternal);
+}
+
+TEST(ExecutorTest, CurrentWorkerIndexIdentifiesWorkers) {
+  Executor executor(4);
+  // The submitting thread is not a worker.
+  EXPECT_EQ(executor.CurrentWorkerIndex(), Executor::kNotAWorker);
+  std::mutex mu;
+  std::set<size_t> seen;
+  TaskGroup group(&executor);
+  for (int i = 0; i < 200; ++i) {
+    group.Spawn([&executor, &mu, &seen] {
+      const size_t index = executor.CurrentWorkerIndex();
+      std::lock_guard<std::mutex> lock(mu);
+      seen.insert(index);
+    });
+  }
+  ASSERT_TRUE(group.Wait().ok());
+  EXPECT_EQ(seen.count(Executor::kNotAWorker), 0u);
+  for (size_t index : seen) EXPECT_LT(index, executor.num_workers());
+}
+
+TEST(ExecutorTest, SingleWorkerRunsNestedSpawnsWithoutDeadlock) {
+  // A 1-worker executor must still drain tasks spawned from inside the
+  // only worker (they cannot be stolen — only popped locally).
+  Executor executor(1);
+  std::atomic<int> total{0};
+  TaskGroup group(&executor);
+  group.Spawn([&group, &total] {
+    total.fetch_add(1);
+    group.Spawn([&group, &total] {
+      total.fetch_add(1);
+      group.Spawn([&total] { total.fetch_add(1); });
+    });
+  });
+  ASSERT_TRUE(group.Wait().ok());
+  EXPECT_EQ(total.load(), 3);
+}
+
+TEST(ExecutorTest, OversubscriptionStressWithUnevenTasks) {
+  // Far more workers than cores and far more tasks than workers, with
+  // wildly uneven task sizes — the steal path must keep everything moving
+  // and every task must run exactly once.
+  Executor executor(16);
+  constexpr size_t kTasks = 2000;
+  std::vector<std::atomic<int>> ran(kTasks);
+  TaskGroup group(&executor);
+  for (size_t i = 0; i < kTasks; ++i) {
+    group.Spawn([&ran, i] {
+      if (i % 97 == 0) {
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+      }
+      ran[i].fetch_add(1);
+    });
+  }
+  ASSERT_TRUE(group.Wait().ok());
+  for (size_t i = 0; i < kTasks; ++i) EXPECT_EQ(ran[i].load(), 1);
+  const ExecutorStats stats = executor.stats();
+  EXPECT_GE(stats.tasks_executed, kTasks);
+  EXPECT_GT(stats.busy_seconds, 0.0);
+}
+
+TEST(ExecutorTest, StealsHappenUnderImbalancedLoad) {
+  // All tasks are submitted from one external thread in a burst while
+  // workers sleep inside the first tasks; idle workers must steal. The
+  // round-robin external spread makes literal steals probabilistic, so
+  // spawn nested children from one task: they land on ONE worker's deque
+  // and the others can only get them by stealing.
+  Executor executor(4);
+  std::atomic<size_t> done{0};
+  TaskGroup group(&executor);
+  group.Spawn([&group, &done] {
+    for (int i = 0; i < 256; ++i) {
+      group.Spawn([&done] {
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+        done.fetch_add(1);
+      });
+    }
+  });
+  ASSERT_TRUE(group.Wait().ok());
+  EXPECT_EQ(done.load(), 256u);
+  // With one producer deque and 4 consumers, at least one task must have
+  // been stolen (3 workers have nothing else to run).
+  EXPECT_GT(executor.stats().tasks_stolen, 0u);
+}
+
+TEST(ExecutorTest, StatsDeltaMetersOneBatch) {
+  Executor executor(2);
+  {
+    TaskGroup group(&executor);
+    for (int i = 0; i < 10; ++i) group.Spawn([] {});
+    ASSERT_TRUE(group.Wait().ok());
+  }
+  const ExecutorStats before = executor.stats();
+  {
+    TaskGroup group(&executor);
+    for (int i = 0; i < 25; ++i) group.Spawn([] {});
+    ASSERT_TRUE(group.Wait().ok());
+  }
+  const ExecutorStats delta = executor.stats() - before;
+  EXPECT_EQ(delta.tasks_executed, 25u);
+  EXPECT_EQ(delta.workers, 2u);
+}
+
+TEST(ExecutorTest, ManyGroupsShareOneExecutor) {
+  // The pipeline pattern: one persistent executor, a fresh TaskGroup per
+  // job. Groups must not interfere.
+  Executor executor(4);
+  for (int round = 0; round < 20; ++round) {
+    std::atomic<int> count{0};
+    TaskGroup group(&executor);
+    for (int i = 0; i < 64; ++i) {
+      group.Spawn([&count] { count.fetch_add(1); });
+    }
+    ASSERT_TRUE(group.Wait().ok());
+    EXPECT_EQ(count.load(), 64);
+  }
+}
+
+TEST(ExecutorTest, DestructorDrainsOutstandingWork) {
+  std::atomic<int> ran{0};
+  {
+    Executor executor(2);
+    TaskGroup group(&executor);
+    for (int i = 0; i < 100; ++i) {
+      group.Spawn([&ran] {
+        std::this_thread::sleep_for(std::chrono::microseconds(10));
+        ran.fetch_add(1);
+      });
+    }
+    // TaskGroup's destructor Waits; the executor's joins. Either way no
+    // task may be dropped.
+  }
+  EXPECT_EQ(ran.load(), 100);
+}
+
+}  // namespace
+}  // namespace fj

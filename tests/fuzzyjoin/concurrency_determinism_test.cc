@@ -1,12 +1,20 @@
 // Determinism under physical concurrency: the full three-stage pipeline
 // must produce byte-identical output whether tasks execute on one host
 // thread or several — fault-free AND under a fault plan with retries and
-// speculative backups in flight. This is the invariant the TSan CI job
+// speculative backups in flight, with and without a spill budget, with
+// and without contract checking. This is the invariant the TSan CI job
 // guards: attempt-scoped state means concurrent attempts share nothing
 // but the (preserved) shuffle input and the injector's pure hash.
+//
+// Beyond output bytes, every COMMITTED counter must match: job counters,
+// committed byte/record totals, and the committed per-task metrics.
+// Wall-derived fields (seconds, speculation launches, executor runtime)
+// are the only ones allowed to vary with the thread count.
 #include <gtest/gtest.h>
 
+#include <cstddef>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -28,7 +36,21 @@ std::vector<std::string> OuterInputLines() {
   return data::RecordsToLines(data::GenerateRecords(config));
 }
 
-JoinConfig MakeConfig(size_t threads, bool faults) {
+struct Variant {
+  bool faults = false;
+  bool spill = false;
+  bool contracts = false;
+
+  std::string Name() const {
+    std::string name;
+    name += faults ? "faults" : "clean";
+    name += spill ? "+spill" : "";
+    name += contracts ? "+contracts" : "";
+    return name;
+  }
+};
+
+JoinConfig MakeConfig(size_t threads, const Variant& variant) {
   JoinConfig config;
   config.stage1 = Stage1Algorithm::kBTO;
   config.stage2 = Stage2Algorithm::kPK;
@@ -36,8 +58,9 @@ JoinConfig MakeConfig(size_t threads, bool faults) {
   config.num_map_tasks = 4;
   config.num_reduce_tasks = 3;
   config.local_threads = threads;
-  config.sort_buffer_bytes = 512;  // spilling + concurrency together
-  if (faults) {
+  config.sort_buffer_bytes = variant.spill ? 512 : 0;
+  config.check_contracts = variant.contracts;
+  if (variant.faults) {
     auto plan = std::make_shared<mr::FaultPlan>();
     plan->seed = 5;
     plan->crash_probability = 0.5;
@@ -58,43 +81,136 @@ const std::vector<std::string>& Lines(const mr::Dfs& dfs,
   return *lines.value();
 }
 
+// Every committed (thread-count-invariant) number of one pipeline run,
+// flattened to text so a mismatch pinpoints the offending field. Wall
+// times, speculation launches, and executor runtime stats are excluded
+// by design — they measure the host, not the data.
+std::string CommittedSignature(const JoinRunResult& result) {
+  std::ostringstream out;
+  for (const auto& stage : result.stages) {
+    out << "stage " << stage.stage_name << "\n";
+    for (const auto& job : stage.jobs) {
+      out << " job " << job.job_name << " shuffle_bytes=" << job.shuffle_bytes
+          << " map_output_bytes=" << job.map_output_bytes
+          << " map_output_records=" << job.map_output_records
+          << " shuffle_records=" << job.shuffle_records
+          << " input_bytes=" << job.input_bytes
+          << " spill_count=" << job.spill_count
+          << " spilled_bytes=" << job.spilled_bytes
+          << " merge_passes=" << job.merge_passes
+          << " failed_attempts=" << job.failed_attempts
+          << " corruption_detected=" << job.corruption_detected
+          << " contract_checks=" << job.contract_checks
+          << " records_skipped=" << job.records_skipped << "\n";
+      for (const auto* tasks : {&job.map_tasks, &job.reduce_tasks}) {
+        for (const auto& task : *tasks) {
+          out << "  task input_records=" << task.input_records
+              << " input_bytes=" << task.input_bytes
+              << " output_records=" << task.output_records
+              << " output_bytes=" << task.output_bytes
+              << " shuffle_records=" << task.shuffle_records
+              << " shuffle_bytes=" << task.shuffle_bytes
+              << " spill_count=" << task.spill_count
+              << " spilled_bytes=" << task.spilled_bytes
+              << " peak_buffer_bytes=" << task.peak_buffer_bytes
+              << " merge_passes=" << task.merge_passes
+              << " failed_attempts=" << task.failed_attempts
+              << " corruption_detected=" << task.corruption_detected
+              << " contract_checks=" << task.contract_checks << "\n";
+        }
+      }
+      for (const auto& [name, value] : job.counters.Snapshot()) {
+        out << "  counter " << name << "=" << value << "\n";
+      }
+    }
+  }
+  return out.str();
+}
+
 TEST(ConcurrencyDeterminismTest, SelfJoinThreadCountInvariant) {
-  for (bool faults : {false, true}) {
+  const Variant variants[] = {
+      {false, false, false},
+      {true, false, false},
+      {false, true, false},
+      {false, false, true},
+      {true, true, true},
+  };
+  for (const Variant& variant : variants) {
     mr::Dfs dfs;
     ASSERT_TRUE(dfs.WriteFile("records", SelfInputLines()).ok());
-    auto serial = RunSelfJoin(&dfs, "records", "serial", MakeConfig(1, faults));
-    ASSERT_TRUE(serial.ok()) << serial.status().ToString();
-    auto threaded =
-        RunSelfJoin(&dfs, "records", "threaded", MakeConfig(4, faults));
-    ASSERT_TRUE(threaded.ok()) << threaded.status().ToString();
+    auto serial =
+        RunSelfJoin(&dfs, "records", "serial", MakeConfig(1, variant));
+    ASSERT_TRUE(serial.ok())
+        << variant.Name() << ": " << serial.status().ToString();
+    const std::string serial_signature = CommittedSignature(*serial);
 
-    EXPECT_EQ(Lines(dfs, serial->output_file), Lines(dfs, threaded->output_file))
-        << "faults=" << faults;
-    EXPECT_EQ(Lines(dfs, serial->ordering_file),
-              Lines(dfs, threaded->ordering_file))
-        << "faults=" << faults;
-    EXPECT_EQ(Lines(dfs, serial->rid_pairs_file),
-              Lines(dfs, threaded->rid_pairs_file))
-        << "faults=" << faults;
+    for (size_t threads : {2, 8}) {
+      const std::string prefix = "threaded" + std::to_string(threads);
+      auto threaded =
+          RunSelfJoin(&dfs, "records", prefix, MakeConfig(threads, variant));
+      ASSERT_TRUE(threaded.ok())
+          << variant.Name() << ": " << threaded.status().ToString();
+
+      EXPECT_EQ(Lines(dfs, serial->output_file),
+                Lines(dfs, threaded->output_file))
+          << variant.Name() << " threads=" << threads;
+      EXPECT_EQ(Lines(dfs, serial->ordering_file),
+                Lines(dfs, threaded->ordering_file))
+          << variant.Name() << " threads=" << threads;
+      EXPECT_EQ(Lines(dfs, serial->rid_pairs_file),
+                Lines(dfs, threaded->rid_pairs_file))
+          << variant.Name() << " threads=" << threads;
+      EXPECT_EQ(serial_signature, CommittedSignature(*threaded))
+          << variant.Name() << " threads=" << threads;
+    }
   }
 }
 
 TEST(ConcurrencyDeterminismTest, RSJoinThreadCountInvariant) {
-  for (bool faults : {false, true}) {
+  const Variant variants[] = {
+      {false, false, false},
+      {true, true, false},
+  };
+  for (const Variant& variant : variants) {
     mr::Dfs dfs;
     ASSERT_TRUE(dfs.WriteFile("r", SelfInputLines()).ok());
     ASSERT_TRUE(dfs.WriteFile("s", OuterInputLines()).ok());
-    auto serial = RunRSJoin(&dfs, "r", "s", "serial", MakeConfig(1, faults));
-    ASSERT_TRUE(serial.ok()) << serial.status().ToString();
-    auto threaded = RunRSJoin(&dfs, "r", "s", "threaded", MakeConfig(4, faults));
-    ASSERT_TRUE(threaded.ok()) << threaded.status().ToString();
+    auto serial = RunRSJoin(&dfs, "r", "s", "serial", MakeConfig(1, variant));
+    ASSERT_TRUE(serial.ok())
+        << variant.Name() << ": " << serial.status().ToString();
+    const std::string serial_signature = CommittedSignature(*serial);
 
-    EXPECT_EQ(Lines(dfs, serial->output_file), Lines(dfs, threaded->output_file))
-        << "faults=" << faults;
-    EXPECT_EQ(Lines(dfs, serial->rid_pairs_file),
-              Lines(dfs, threaded->rid_pairs_file))
-        << "faults=" << faults;
+    for (size_t threads : {2, 8}) {
+      const std::string prefix = "threaded" + std::to_string(threads);
+      auto threaded =
+          RunRSJoin(&dfs, "r", "s", prefix, MakeConfig(threads, variant));
+      ASSERT_TRUE(threaded.ok())
+          << variant.Name() << ": " << threaded.status().ToString();
+
+      EXPECT_EQ(Lines(dfs, serial->output_file),
+                Lines(dfs, threaded->output_file))
+          << variant.Name() << " threads=" << threads;
+      EXPECT_EQ(Lines(dfs, serial->rid_pairs_file),
+                Lines(dfs, threaded->rid_pairs_file))
+          << variant.Name() << " threads=" << threads;
+      EXPECT_EQ(serial_signature, CommittedSignature(*threaded))
+          << variant.Name() << " threads=" << threads;
+    }
   }
+}
+
+// `--local_threads 0` (auto-detect) must behave exactly like any explicit
+// thread count: same bytes, same committed counters.
+TEST(ConcurrencyDeterminismTest, AutoThreadCountMatchesSerial) {
+  mr::Dfs dfs;
+  ASSERT_TRUE(dfs.WriteFile("records", SelfInputLines()).ok());
+  const Variant variant{true, true, false};
+  auto serial = RunSelfJoin(&dfs, "records", "serial", MakeConfig(1, variant));
+  ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+  auto auto_run = RunSelfJoin(&dfs, "records", "auto", MakeConfig(0, variant));
+  ASSERT_TRUE(auto_run.ok()) << auto_run.status().ToString();
+  EXPECT_EQ(Lines(dfs, serial->output_file), Lines(dfs, auto_run->output_file));
+  EXPECT_EQ(CommittedSignature(*serial), CommittedSignature(*auto_run));
 }
 
 }  // namespace

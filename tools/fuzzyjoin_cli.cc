@@ -6,7 +6,8 @@
 //   selfjoin  --input=FILE --out=FILE [--tau=0.8] [--function=jaccard]
 //             [--stage1=bto|opto] [--stage2=bk|pk] [--stage3=brj|oprj]
 //             [--routing=individual|grouped] [--groups=N] [--qgram=Q]
-//             [--threads=N] [--sort_buffer=BYTES] [--merge_factor=N]
+//             [--threads=N (0 = auto-detect)] [--sort_buffer=BYTES]
+//             [--merge_factor=N]
 //             [--max_attempts=4] [--speculate] [--speculation_factor=3]
 //             [--fault_seed=S] [--fault_crash_p=P] [--fault_straggler_p=P]
 //             [--fault_slowdown=F] [--fault_corrupt_p=P]
@@ -22,6 +23,7 @@
 // Record files are tab-separated "rid<TAB>title<TAB>authors<TAB>payload"
 // lines (see data/record.h); join output files are JoinedPair lines (see
 // fuzzyjoin/stage3.h).
+#include <algorithm>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -176,6 +178,33 @@ void PrintStats(const fj::join::JoinRunResult& result) {
     std::fprintf(stderr, "  %-12s %7.3fs  %9.1f KB shuffled  (%zu job%s)\n",
                  stage.stage_name.c_str(), seconds, shuffle / 1024.0,
                  stage.jobs.size(), stage.jobs.size() == 1 ? "" : "s");
+    // Measured host-executor activity (the simulated cluster charges are
+    // reported separately below).
+    {
+      fj::ExecutorStats rt;
+      double map_wall = 0, reduce_wall = 0;
+      for (const auto& job : stage.jobs) {
+        rt.tasks_executed += job.runtime.tasks_executed;
+        rt.tasks_stolen += job.runtime.tasks_stolen;
+        rt.busy_seconds += job.runtime.busy_seconds;
+        rt.queue_delay_seconds += job.runtime.queue_delay_seconds;
+        rt.workers = std::max(rt.workers, job.runtime.workers);
+        map_wall += job.map_phase_wall_seconds;
+        reduce_wall += job.reduce_phase_wall_seconds;
+      }
+      const double capacity = seconds * static_cast<double>(rt.workers);
+      const double utilization =
+          capacity > 0 ? 100.0 * rt.busy_seconds / capacity : 0.0;
+      std::fprintf(stderr,
+                   "    runtime: %zu worker%s, map %.3fs / reduce %.3fs "
+                   "measured, %llu tasks (%llu stolen), %.0f%% utilized, "
+                   "%.3fs queue delay\n",
+                   rt.workers, rt.workers == 1 ? "" : "s", map_wall,
+                   reduce_wall,
+                   static_cast<unsigned long long>(rt.tasks_executed),
+                   static_cast<unsigned long long>(rt.tasks_stolen),
+                   utilization, rt.queue_delay_seconds);
+    }
     uint64_t attempts = 0, tasks = 0;
     uint64_t failed = 0, spec_launched = 0, spec_wins = 0;
     uint64_t corrupt = 0, skipped = 0, contract_checks = 0;

@@ -20,6 +20,14 @@ Rules:
                    cache-hostile buckets — use the dense_index_ idiom.
                    Cold paths may waive with a trailing or preceding
                    `lint: allow-unordered (<reason>)` comment.
+  no-raw-thread    spawning std::thread directly is banned outside
+                   src/common/executor.{h,cc}: ad-hoc threads bypass the
+                   work-stealing executor (no stats, no per-worker scratch
+                   identity, unbounded oversubscription). Querying
+                   std::thread::hardware_concurrency and std::this_thread
+                   are fine. Waive deliberate uses (e.g. a test that needs
+                   a bare thread) with a trailing or preceding
+                   `lint: allow-thread (<reason>)` comment.
   nodiscard-status Status and Result must stay class-level [[nodiscard]]
                    so dropped errors are compile errors under -Werror.
   iwyu-lite        a file that names selected std:: symbols must include
@@ -53,6 +61,16 @@ IWYU_SYMBOLS = [
 RAND_RE = re.compile(r"(?<![\w.])rand\s*\(")
 UNORDERED_RE = re.compile(r"\bstd::unordered_(?:map|set|multimap|multiset)\b")
 WAIVER = "lint: allow-unordered"
+
+# no-raw-thread: a std::thread being constructed or declared (spawning /
+# owning), as opposed to static queries like hardware_concurrency or the
+# std::this_thread namespace.
+RAW_THREAD_RE = re.compile(r"\bstd::thread\b(?!\s*::)")
+THREAD_WAIVER = "lint: allow-thread"
+EXECUTOR_FILES = (
+    os.path.join("src", "common", "executor.h"),
+    os.path.join("src", "common", "executor.cc"),
+)
 
 
 def source_files():
@@ -100,6 +118,14 @@ def main():
                 report(path, lineno, "banned-rand",
                        "libc rand() breaks task determinism; use "
                        "common/hash.h or a seeded <random> engine")
+
+            if not path.endswith(EXECUTOR_FILES) and RAW_THREAD_RE.search(code):
+                prev = lines[lineno - 2] if lineno >= 2 else ""
+                if THREAD_WAIVER not in raw and THREAD_WAIVER not in prev:
+                    report(path, lineno, "no-raw-thread",
+                           "spawn tasks on the common/executor.h Executor "
+                           "instead of a raw std::thread; waive deliberate "
+                           "uses with '// %s (<reason>)'" % THREAD_WAIVER)
 
             if in_ppjoin and UNORDERED_RE.search(code):
                 prev = lines[lineno - 2] if lineno >= 2 else ""
