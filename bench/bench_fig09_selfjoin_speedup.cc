@@ -231,16 +231,21 @@ int main(int argc, char** argv) {
     sweep.points.push_back(point);
   }
 
-  // Acceptance check: >=2x measured speedup at 4 threads. Only meaningful
-  // when the host actually has >=4 cores (CI does; small containers may
-  // not) — skipped, not failed, elsewhere.
+  // Acceptance check: >=2x measured speedup at 4 threads. Enforced (exit
+  // code 1 on FAIL) so the CI smoke step catches speedup regressions, not
+  // just output drift. Only meaningful when the host actually has >=4
+  // cores (CI does; small containers may not) — skipped, not failed,
+  // elsewhere.
+  int exit_code = 0;
   bool checked = false;
   for (const ThreadPoint& p : sweep.points) {
     if (p.threads != 4) continue;
     checked = true;
     if (hw >= 4) {
+      const bool pass = p.speedup >= 2.0;
       std::printf("  measured speedup at 4 threads: %.2fx (target >=2x): %s\n",
-                  p.speedup, p.speedup >= 2.0 ? "PASS" : "FAIL");
+                  p.speedup, pass ? "PASS" : "FAIL");
+      if (!pass) exit_code = 1;
     } else {
       std::printf("  measured speedup at 4 threads: %.2fx — target check "
                   "skipped (host has only %zu core%s)\n",
@@ -252,6 +257,9 @@ int main(int argc, char** argv) {
                 "check skipped\n", max_threads);
   }
 
-  if (!json_path.empty()) return WriteJson(sweep, json_path);
-  return 0;
+  if (!json_path.empty()) {
+    int json_rc = WriteJson(sweep, json_path);
+    if (json_rc != 0) exit_code = json_rc;
+  }
+  return exit_code;
 }

@@ -77,9 +77,7 @@ ExecutorStats Executor::stats() const {
 void Executor::Submit(TaskGroup* group, std::function<void()> fn) {
   Task task{std::move(fn), group, std::chrono::steady_clock::now()};
   // A worker submits to its own deque (popped LIFO for locality); external
-  // threads spread round-robin. queued_ is bumped BEFORE the push so a
-  // concurrent pop can never observe the task ahead of the count.
-  queued_.fetch_add(1, std::memory_order_release);
+  // threads spread round-robin.
   size_t target = CurrentWorkerIndex();
   if (target == kNotAWorker) {
     target = submit_cursor_.fetch_add(1, std::memory_order_relaxed) %
@@ -87,6 +85,13 @@ void Executor::Submit(TaskGroup* group, std::function<void()> fn) {
   }
   {
     std::lock_guard<std::mutex> lock(workers_[target]->mu);
+    // queued_ is bumped under the same worker mutex as the push: an idle
+    // worker that observes the count and then locks this deque blocks
+    // until the push has landed and finds the task, instead of spinning
+    // through fail-pop / re-wait cycles while the push is still in
+    // flight. Pops decrement under the same lock, so the count can never
+    // trail the deque either.
+    queued_.fetch_add(1, std::memory_order_release);
     workers_[target]->deque.push_back(std::move(task));
   }
   {
@@ -182,14 +187,16 @@ Status TaskGroup::Wait() {
 }
 
 void TaskGroup::TaskDone(Status status) {
-  if (!status.ok()) {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (status_.ok()) status_ = std::move(status);
-  }
+  // The final decrement must happen under mu_: a waiter that observes
+  // pending_ == 0 (lock-free fast path or the wait predicate) goes on to
+  // acquire mu_ before returning from Wait, so it serializes after this
+  // worker released the lock — at which point the worker is done touching
+  // the group and the caller may destroy it. Decrementing outside the
+  // lock would let the waiter return (and destroy the group) between the
+  // decrement and the notify, a use-after-free.
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!status.ok() && status_.ok()) status_ = std::move(status);
   if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-    // Notify under the mutex so the waiter cannot miss the final wakeup
-    // between its predicate check and its sleep.
-    std::lock_guard<std::mutex> lock(mu_);
     done_cv_.notify_all();
   }
 }
