@@ -16,6 +16,7 @@
 #include "common/executor.h"
 #include "common/result.h"
 #include "mapreduce/fault.h"
+#include "mapreduce/record_format.h"
 #include "similarity/similarity.h"
 #include "text/tokenizer.h"
 
@@ -196,6 +197,24 @@ struct JoinConfig {
   /// this many records it fails with DataLoss
   /// (JobSpec::max_skipped_records). ~0 = unlimited.
   uint64_t max_skipped_records = ~0ULL;
+
+  // --- intermediate-data representation (applied to every job) ---
+  /// Representation of spill runs, shuffle segments, and stage
+  /// intermediate files (JobSpec::record_format). Text (the default)
+  /// shuffles tab-separated lines and meters size estimates; binary
+  /// serializes every run with the varint record codec
+  /// (mapreduce/record_format.h), stores stage-1 token lists and stage-2
+  /// RID pairs as binary wire records, and meters the actual encoded
+  /// bytes. The final ".joined" output is text either way, and join
+  /// results are byte-identical across formats. Part of the resume
+  /// fingerprint — a manifest written under one format cannot be resumed
+  /// under the other.
+  mr::RecordFormat record_format = mr::RecordFormat::kText;
+
+  /// Block codec applied to every spill-run/shuffle block in binary
+  /// format (JobSpec::block_codec). Requires record_format = binary when
+  /// not kNone; codec CPU is metered and priced by the cluster model.
+  mr::BlockCodec block_codec = mr::BlockCodec::kNone;
 
   /// OPRJ loads the whole RID-pair list in every mapper. If the estimated
   /// in-memory size exceeds this budget, stage 3 fails with

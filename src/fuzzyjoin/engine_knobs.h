@@ -33,6 +33,8 @@ void ApplyEngineKnobs(const JoinConfig& config, mr::JobSpec<K, V>* spec) {
   spec->max_skipped_records = config.max_skipped_records;
   spec->check_contracts = config.check_contracts;
   spec->contract_sample_every = config.contract_sample_every;
+  spec->record_format = config.record_format;
+  spec->block_codec = config.block_codec;
 }
 
 }  // namespace fj::join

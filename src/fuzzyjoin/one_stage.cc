@@ -213,8 +213,12 @@ Result<JoinRunResult> RunOneStageSelfJoin(mr::Dfs* dfs,
   result.stages.push_back(StageMetrics{
       std::string("1-") + Stage1Name(cfg.stage1), std::move(stage1.jobs)});
 
-  FJ_ASSIGN_OR_RETURN(const std::vector<std::string>* ordering_lines,
-                      dfs->ReadFile(result.ordering_file));
+  // Owned decode of the (possibly binary) stage-1 ordering; both jobs
+  // below run synchronously, so the local outlives every mapper/reducer
+  // holding a pointer to it.
+  FJ_ASSIGN_OR_RETURN(const std::vector<std::string> ordering_owned,
+                      ReadOrderingLines(*dfs, result.ordering_file));
+  const std::vector<std::string>* ordering_lines = &ordering_owned;
 
   // The fat-value kernel job.
   sim::SimilaritySpec spec = cfg.MakeSpec();

@@ -10,6 +10,7 @@
 #include "common/string_util.h"
 #include "data/record.h"
 #include "mapreduce/job.h"
+#include "mapreduce/record_format.h"
 
 namespace fj::join {
 
@@ -52,22 +53,41 @@ void SumCombiner(const std::string& token, std::vector<uint64_t>&& counts,
   out->Emit(token, total);
 }
 
+/// Renders one (token, count) entry in the configured representation:
+/// "token<TAB>count" text or a binary token-count wire record.
+std::string FormatCountEntry(mr::RecordFormat format, const std::string& token,
+                             uint64_t count) {
+  if (format == mr::RecordFormat::kBinary) {
+    std::string record;
+    mr::FormatTokenCountRecord(token, count, &record);
+    return record;
+  }
+  return token + "\t" + std::to_string(count);
+}
+
 /// BTO phase-1 reducer: total count per token.
 class TokenCountReducer : public mr::Reducer<std::string, uint64_t> {
  public:
+  explicit TokenCountReducer(mr::RecordFormat format) : format_(format) {}
+
   void Reduce(const std::string& token,
               std::span<const std::pair<std::string, uint64_t>> group,
               OutputEmitter* out, TaskContext*) override {
     uint64_t total = 0;
     for (const auto& [key, count] : group) total += count;
-    out->Emit(token + "\t" + std::to_string(total));
+    out->Emit(FormatCountEntry(format_, token, total));
   }
+
+ private:
+  mr::RecordFormat format_;
 };
 
 /// OPTO reducer: accumulates all (token, count) pairs and emits the sorted
 /// ordering from Teardown (the paper's tear-down trick).
 class OptoReducer : public mr::Reducer<std::string, uint64_t> {
  public:
+  explicit OptoReducer(mr::RecordFormat format) : format_(format) {}
+
   void Reduce(const std::string& token,
               std::span<const std::pair<std::string, uint64_t>> group,
               OutputEmitter*, TaskContext*) override {
@@ -83,11 +103,12 @@ class OptoReducer : public mr::Reducer<std::string, uint64_t> {
                 return a.first < b.first;
               });
     for (const auto& [token, count] : totals_) {
-      out->Emit(token + "\t" + std::to_string(count));
+      out->Emit(FormatCountEntry(format_, token, count));
     }
   }
 
  private:
+  mr::RecordFormat format_;
   std::vector<std::pair<std::string, uint64_t>> totals_;
 };
 
@@ -95,10 +116,22 @@ using SortKey = std::pair<uint64_t, std::string>;  // (count, token)
 
 /// BTO phase-2 mapper: swap (token, count) into a (count, token) sort key,
 /// exactly the paper's "map function swaps the input keys and values".
+/// Sniffs the phase-1 representation per record, so it reads both text
+/// count lines and binary token-count records.
 class SwapMapper : public mr::Mapper<SortKey, uint8_t> {
  public:
   void Map(const InputRecord& record, Emitter<SortKey, uint8_t>* out,
            TaskContext* ctx) override {
+    if (mr::IsBinaryRecord(*record.line)) {
+      std::string token;
+      uint64_t count = 0;
+      if (!mr::ParseTokenCountRecord(*record.line, &token, &count)) {
+        ctx->counters().Add("stage1.bad_count_lines", 1);
+        return;
+      }
+      out->Emit(SortKey(count, std::move(token)), 0);
+      return;
+    }
     std::vector<std::string> fields = fj::Split(*record.line, '\t');
     if (fields.size() != 2) {
       ctx->counters().Add("stage1.bad_count_lines", 1);
@@ -115,10 +148,15 @@ class SwapMapper : public mr::Mapper<SortKey, uint8_t> {
 
 class EmitOrderingReducer : public mr::Reducer<SortKey, uint8_t> {
  public:
+  explicit EmitOrderingReducer(mr::RecordFormat format) : format_(format) {}
+
   void Reduce(const SortKey& key, std::span<const std::pair<SortKey, uint8_t>>,
               OutputEmitter* out, TaskContext*) override {
-    out->Emit(key.second + "\t" + std::to_string(key.first));
+    out->Emit(FormatCountEntry(format_, key.second, key.first));
   }
+
+ private:
+  mr::RecordFormat format_;
 };
 
 }  // namespace
@@ -129,6 +167,8 @@ Result<Stage1Result> RunStage1(mr::Dfs* dfs, const std::string& input_file,
   FJ_RETURN_IF_ERROR(config.Validate());
   Stage1Result result;
   result.ordering_file = output_file;
+  const mr::RecordFormat format = config.record_format;
+  const bool binary = format == mr::RecordFormat::kBinary;
 
   if (config.stage1 == Stage1Algorithm::kBTO) {
     // Phase 1: count token frequencies (combiner cuts shuffle traffic).
@@ -139,12 +179,13 @@ Result<Stage1Result> RunStage1(mr::Dfs* dfs, const std::string& input_file,
     count_spec.num_map_tasks = config.num_map_tasks;
     count_spec.num_reduce_tasks = config.num_reduce_tasks;
     ApplyEngineKnobs(config, &count_spec);
+    count_spec.binary_output = binary;
     auto tokenizer = config.tokenizer;
     count_spec.mapper_factory = [tokenizer] {
       return std::make_unique<TokenCountMapper>(tokenizer);
     };
-    count_spec.reducer_factory = [] {
-      return std::make_unique<TokenCountReducer>();
+    count_spec.reducer_factory = [format] {
+      return std::make_unique<TokenCountReducer>(format);
     };
     if (config.use_stage1_combiner) count_spec.combiner = SumCombiner;
     Job<std::string, uint64_t> count_job(dfs, std::move(count_spec));
@@ -159,9 +200,10 @@ Result<Stage1Result> RunStage1(mr::Dfs* dfs, const std::string& input_file,
     sort_spec.num_map_tasks = config.num_map_tasks;
     sort_spec.num_reduce_tasks = 1;  // total order requires one reducer
     ApplyEngineKnobs(config, &sort_spec);
+    sort_spec.binary_output = binary;
     sort_spec.mapper_factory = [] { return std::make_unique<SwapMapper>(); };
-    sort_spec.reducer_factory = [] {
-      return std::make_unique<EmitOrderingReducer>();
+    sort_spec.reducer_factory = [format] {
+      return std::make_unique<EmitOrderingReducer>(format);
     };
     Job<SortKey, uint8_t> sort_job(dfs, std::move(sort_spec));
     FJ_ASSIGN_OR_RETURN(mr::JobMetrics sort_metrics, sort_job.Run());
@@ -177,16 +219,39 @@ Result<Stage1Result> RunStage1(mr::Dfs* dfs, const std::string& input_file,
   spec.num_map_tasks = config.num_map_tasks;
   spec.num_reduce_tasks = 1;
   ApplyEngineKnobs(config, &spec);
+  spec.binary_output = binary;
   auto tokenizer = config.tokenizer;
   spec.mapper_factory = [tokenizer] {
     return std::make_unique<TokenCountMapper>(tokenizer);
   };
-  spec.reducer_factory = [] { return std::make_unique<OptoReducer>(); };
+  spec.reducer_factory = [format] {
+    return std::make_unique<OptoReducer>(format);
+  };
   if (config.use_stage1_combiner) spec.combiner = SumCombiner;
   Job<std::string, uint64_t> job(dfs, std::move(spec));
   FJ_ASSIGN_OR_RETURN(mr::JobMetrics metrics, job.Run());
   result.jobs.push_back(std::move(metrics));
   return result;
+}
+
+Result<std::vector<std::string>> ReadOrderingLines(
+    const mr::Dfs& dfs, const std::string& ordering_file) {
+  FJ_ASSIGN_OR_RETURN(const std::vector<std::string>* stored,
+                      dfs.ReadFile(ordering_file));
+  if (!dfs.IsBinary(ordering_file)) return *stored;
+  std::vector<std::string> lines;
+  lines.reserve(stored->size());
+  std::string token;
+  for (size_t i = 0; i < stored->size(); ++i) {
+    uint64_t count = 0;
+    if (!mr::ParseTokenCountRecord((*stored)[i], &token, &count)) {
+      return Status::DataLoss("ordering file " + ordering_file + ": record " +
+                              std::to_string(i) +
+                              " is not a token-count record");
+    }
+    lines.push_back(token + "\t" + std::to_string(count));
+  }
+  return lines;
 }
 
 }  // namespace fj::join

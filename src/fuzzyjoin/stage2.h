@@ -18,16 +18,20 @@
 // more than one prefix token); stage 3 deduplicates.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <tuple>
 #include <vector>
 
 #include "common/hash.h"
 #include "common/result.h"
+#include "common/varint.h"
 #include "fuzzyjoin/config.h"
 #include "mapreduce/dfs.h"
 #include "mapreduce/metrics.h"
+#include "mapreduce/record_format.h"
 
 namespace fj::join {
 
@@ -75,6 +79,29 @@ inline uint64_t FjContentHash(const Stage2Key& k) {
   return HashCombine(HashCombine(HashInt64(k.group), HashInt64(k.s1)),
                      HashCombine(HashInt64(k.s2), HashInt64(k.s3)));
 }
+/// Binary run encoding (mapreduce/record_format.h): four varints. The
+/// secondary-sort fields are small (lengths, rounds, 0/1 relation flags),
+/// so most keys encode in 4-6 bytes against 16 raw.
+inline void FjEncodeContent(const Stage2Key& k, std::string* out) {
+  AppendVarint(out, k.group);
+  AppendVarint(out, k.s1);
+  AppendVarint(out, k.s2);
+  AppendVarint(out, k.s3);
+}
+inline bool FjDecodeContent(std::string_view buf, size_t* pos, Stage2Key* k) {
+  size_t at = *pos;
+  uint64_t f[4];
+  for (uint64_t& v : f) {
+    if (!DecodeVarint(buf, &at, &v)) return false;
+    if (v > UINT32_MAX) return false;
+  }
+  k->group = static_cast<uint32_t>(f[0]);
+  k->s1 = static_cast<uint32_t>(f[1]);
+  k->s2 = static_cast<uint32_t>(f[2]);
+  k->s3 = static_cast<uint32_t>(f[3]);
+  *pos = at;
+  return true;
+}
 
 /// Formats one kernel output line ("rid1<TAB>rid2<TAB>sim") into `*out`
 /// (overwritten); fixed-width similarity so duplicated pairs serialize
@@ -87,7 +114,15 @@ void FormatRidPairLine(uint64_t rid1, uint64_t rid2, double similarity,
 /// Allocating convenience overload (tests, one-off formatting).
 std::string FormatRidPairLine(uint64_t rid1, uint64_t rid2, double similarity);
 
-/// Parses a kernel output line.
+/// Formats one kernel output record in the configured representation: the
+/// text line above, or (binary) a rid-pair wire record carrying the exact
+/// double bits (mapreduce/record_format.h). Both are deterministic byte
+/// strings, so stage 3's string-equality deduplication works unchanged.
+void FormatRidPairOut(mr::RecordFormat format, uint64_t rid1, uint64_t rid2,
+                      double similarity, std::string* out);
+
+/// Parses a kernel output record, sniffing the representation per record:
+/// binary rid-pair wire records by their magic byte, text lines otherwise.
 Result<std::tuple<uint64_t, uint64_t, double>> ParseRidPairLine(
     const std::string& line);
 

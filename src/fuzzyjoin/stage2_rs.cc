@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "fuzzyjoin/engine_knobs.h"
+#include "fuzzyjoin/stage1.h"
 #include "fuzzyjoin/stage2.h"
 #include "fuzzyjoin/stage2_internal.h"
 #include "ppjoin/ppjoin.h"
@@ -102,7 +103,8 @@ class RSKernelMapper : public ProjectionMapperBase {
 /// BK: store the R partition (it arrives first), stream S against it.
 class BkRSReducer : public mr::Reducer<Stage2Key, TokenSetRecord> {
  public:
-  explicit BkRSReducer(sim::SimilaritySpec spec) : spec_(spec) {}
+  BkRSReducer(sim::SimilaritySpec spec, mr::RecordFormat format)
+      : spec_(spec), format_(format) {}
 
   void Reduce(const Stage2Key&, PairSpan group, OutputEmitter* out,
               TaskContext* ctx) override {
@@ -113,7 +115,7 @@ class BkRSReducer : public mr::Reducer<Stage2Key, TokenSetRecord> {
         r_records.push_back(&projection);
       } else {
         for (const TokenSetRecord* r : r_records) {
-          BkVerifyPair(spec_, *r, projection, /*self_canonical=*/false, &line_buf, out,
+          BkVerifyPair(spec_, format_, *r, projection, /*self_canonical=*/false, &line_buf, out,
                        ctx);
         }
       }
@@ -124,6 +126,7 @@ class BkRSReducer : public mr::Reducer<Stage2Key, TokenSetRecord> {
 
  private:
   sim::SimilaritySpec spec_;
+  mr::RecordFormat format_;
 };
 
 /// PK: index R projections, probe with S projections, in length-class
@@ -131,7 +134,8 @@ class BkRSReducer : public mr::Reducer<Stage2Key, TokenSetRecord> {
 /// remaining probe.
 class PkRSReducer : public mr::Reducer<Stage2Key, TokenSetRecord> {
  public:
-  explicit PkRSReducer(sim::SimilaritySpec spec) : spec_(spec) {}
+  PkRSReducer(sim::SimilaritySpec spec, mr::RecordFormat format)
+      : spec_(spec), format_(format) {}
 
   void Reduce(const Stage2Key&, PairSpan group, OutputEmitter* out,
               TaskContext* ctx) override {
@@ -146,7 +150,7 @@ class PkRSReducer : public mr::Reducer<Stage2Key, TokenSetRecord> {
     }
     std::string line_buf;  // reused across emitted pairs
     for (const auto& p : pairs) {
-      FormatRidPairLine(p.rid1, p.rid2, p.similarity, &line_buf);
+      FormatRidPairOut(format_, p.rid1, p.rid2, p.similarity, &line_buf);
       out->Emit(line_buf);
     }
     internal::MergePPJoinStats(stream.stats(), ctx);
@@ -157,13 +161,15 @@ class PkRSReducer : public mr::Reducer<Stage2Key, TokenSetRecord> {
 
  private:
   sim::SimilaritySpec spec_;
+  mr::RecordFormat format_;
 };
 
 /// BK + map-based blocks: round r holds R block r followed by the full S
 /// partition (replicated by the mapper).
 class BkRSMapBlockReducer : public mr::Reducer<Stage2Key, TokenSetRecord> {
  public:
-  explicit BkRSMapBlockReducer(sim::SimilaritySpec spec) : spec_(spec) {}
+  BkRSMapBlockReducer(sim::SimilaritySpec spec, mr::RecordFormat format)
+      : spec_(spec), format_(format) {}
 
   void Reduce(const Stage2Key&, PairSpan group, OutputEmitter* out,
               TaskContext* ctx) override {
@@ -181,7 +187,7 @@ class BkRSMapBlockReducer : public mr::Reducer<Stage2Key, TokenSetRecord> {
         peak = std::max(peak, memory.size());
       } else {
         for (const TokenSetRecord* r : memory) {
-          BkVerifyPair(spec_, *r, projection, /*self_canonical=*/false, &line_buf, out,
+          BkVerifyPair(spec_, format_, *r, projection, /*self_canonical=*/false, &line_buf, out,
                        ctx);
         }
       }
@@ -192,6 +198,7 @@ class BkRSMapBlockReducer : public mr::Reducer<Stage2Key, TokenSetRecord> {
 
  private:
   sim::SimilaritySpec spec_;
+  mr::RecordFormat format_;
 };
 
 /// BK + reduce-based blocks: R block 0 stays in memory; later R blocks and
@@ -199,7 +206,8 @@ class BkRSMapBlockReducer : public mr::Reducer<Stage2Key, TokenSetRecord> {
 /// each R block (Section 5, "Handling R-S Joins").
 class BkRSReduceBlockReducer : public mr::Reducer<Stage2Key, TokenSetRecord> {
  public:
-  explicit BkRSReduceBlockReducer(sim::SimilaritySpec spec) : spec_(spec) {}
+  BkRSReduceBlockReducer(sim::SimilaritySpec spec, mr::RecordFormat format)
+      : spec_(spec), format_(format) {}
 
   void Reduce(const Stage2Key& key, PairSpan group, OutputEmitter* out,
               TaskContext* ctx) override {
@@ -243,7 +251,7 @@ class BkRSReduceBlockReducer : public mr::Reducer<Stage2Key, TokenSetRecord> {
     s_spill.reserve(s_stream.size());
     for (const TokenSetRecord* s : s_stream) {
       for (const TokenSetRecord* r : memory) {
-        BkVerifyPair(spec_, *r, *s, /*self_canonical=*/false, &line_buf, out, ctx);
+        BkVerifyPair(spec_, format_, *r, *s, /*self_canonical=*/false, &line_buf, out, ctx);
       }
       s_spill.push_back(internal::SerializeProjection(*s));
     }
@@ -273,7 +281,7 @@ class BkRSReduceBlockReducer : public mr::Reducer<Stage2Key, TokenSetRecord> {
           continue;
         }
         for (const TokenSetRecord& r : resident) {
-          BkVerifyPair(spec_, r, s.value(), /*self_canonical=*/false, &line_buf, out,
+          BkVerifyPair(spec_, format_, r, s.value(), /*self_canonical=*/false, &line_buf, out,
                        ctx);
         }
       }
@@ -286,6 +294,7 @@ class BkRSReduceBlockReducer : public mr::Reducer<Stage2Key, TokenSetRecord> {
 
  private:
   sim::SimilaritySpec spec_;
+  mr::RecordFormat format_;
 };
 
 }  // namespace
@@ -301,12 +310,15 @@ Result<Stage2Result> RunStage2RSJoin(mr::Dfs* dfs, const std::string& r_file,
         "length-signature routing is implemented for the self-join case "
         "only (the paper's footnote-2 exploration)");
   }
-  FJ_ASSIGN_OR_RETURN(const std::vector<std::string>* ordering_lines,
-                      dfs->ReadFile(ordering_file));
+  const mr::RecordFormat format = config.record_format;
+  // Owned decode of the (possibly binary) stage-1 ordering; the job below
+  // runs synchronously, so holding it as a local outlives every mapper.
+  FJ_ASSIGN_OR_RETURN(const std::vector<std::string> ordering_lines,
+                      ReadOrderingLines(*dfs, ordering_file));
 
   Stage2Context ctx;
   ctx.tokenizer = config.tokenizer;
-  ctx.ordering_lines = ordering_lines;
+  ctx.ordering_lines = &ordering_lines;
   ctx.spec = config.MakeSpec();
   ctx.routing = config.routing;
   ctx.num_groups = config.num_groups;
@@ -329,6 +341,7 @@ Result<Stage2Result> RunStage2RSJoin(mr::Dfs* dfs, const std::string& r_file,
   spec.num_map_tasks = config.num_map_tasks;
   spec.num_reduce_tasks = config.num_reduce_tasks;
   ApplyEngineKnobs(config, &spec);
+  spec.binary_output = format == mr::RecordFormat::kBinary;
   spec.group_equal = [](const Stage2Key& a, const Stage2Key& b) {
     return a.group == b.group;
   };
@@ -339,23 +352,23 @@ Result<Stage2Result> RunStage2RSJoin(mr::Dfs* dfs, const std::string& r_file,
   };
   switch (layout) {
     case RSLayout::kPK:
-      spec.reducer_factory = [sim_spec] {
-        return std::make_unique<PkRSReducer>(sim_spec);
+      spec.reducer_factory = [sim_spec, format] {
+        return std::make_unique<PkRSReducer>(sim_spec, format);
       };
       break;
     case RSLayout::kBK:
-      spec.reducer_factory = [sim_spec] {
-        return std::make_unique<BkRSReducer>(sim_spec);
+      spec.reducer_factory = [sim_spec, format] {
+        return std::make_unique<BkRSReducer>(sim_spec, format);
       };
       break;
     case RSLayout::kMapBlocks:
-      spec.reducer_factory = [sim_spec] {
-        return std::make_unique<BkRSMapBlockReducer>(sim_spec);
+      spec.reducer_factory = [sim_spec, format] {
+        return std::make_unique<BkRSMapBlockReducer>(sim_spec, format);
       };
       break;
     case RSLayout::kReduceBlocks:
-      spec.reducer_factory = [sim_spec] {
-        return std::make_unique<BkRSReduceBlockReducer>(sim_spec);
+      spec.reducer_factory = [sim_spec, format] {
+        return std::make_unique<BkRSReduceBlockReducer>(sim_spec, format);
       };
       break;
   }

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "fuzzyjoin/engine_knobs.h"
+#include "fuzzyjoin/stage1.h"
 #include "fuzzyjoin/stage2.h"
 #include "fuzzyjoin/stage2_internal.h"
 #include "ppjoin/ppjoin.h"
@@ -123,7 +124,8 @@ class BkLengthRoutingMapper : public ProjectionMapperBase {
 /// BK: nested-loop verification of the whole group (Section 3.2.1).
 class BkSelfReducer : public mr::Reducer<Stage2Key, TokenSetRecord> {
  public:
-  explicit BkSelfReducer(sim::SimilaritySpec spec) : spec_(spec) {}
+  BkSelfReducer(sim::SimilaritySpec spec, mr::RecordFormat format)
+      : spec_(spec), format_(format) {}
 
   void Reduce(const Stage2Key&, PairSpan group, OutputEmitter* out,
               TaskContext* ctx) override {
@@ -132,7 +134,7 @@ class BkSelfReducer : public mr::Reducer<Stage2Key, TokenSetRecord> {
                         static_cast<int64_t>(group.size()));
     for (size_t i = 0; i < group.size(); ++i) {
       for (size_t j = i + 1; j < group.size(); ++j) {
-        BkVerifyPair(spec_, group[i].second, group[j].second,
+        BkVerifyPair(spec_, format_, group[i].second, group[j].second,
                      /*self_canonical=*/true, &line_buf, out, ctx);
       }
     }
@@ -140,6 +142,7 @@ class BkSelfReducer : public mr::Reducer<Stage2Key, TokenSetRecord> {
 
  private:
   sim::SimilaritySpec spec_;
+  mr::RecordFormat format_;
 };
 
 /// PK: the PPJoin+ streaming kernel; the group arrives length-sorted via
@@ -147,7 +150,8 @@ class BkSelfReducer : public mr::Reducer<Stage2Key, TokenSetRecord> {
 /// (Section 3.2.2).
 class PkSelfReducer : public mr::Reducer<Stage2Key, TokenSetRecord> {
  public:
-  explicit PkSelfReducer(sim::SimilaritySpec spec) : spec_(spec) {}
+  PkSelfReducer(sim::SimilaritySpec spec, mr::RecordFormat format)
+      : spec_(spec), format_(format) {}
 
   void Reduce(const Stage2Key&, PairSpan group, OutputEmitter* out,
               TaskContext* ctx) override {
@@ -158,7 +162,7 @@ class PkSelfReducer : public mr::Reducer<Stage2Key, TokenSetRecord> {
     }
     std::string line_buf;  // reused across emitted pairs
     for (const auto& p : pairs) {
-      FormatRidPairLine(p.rid1, p.rid2, p.similarity, &line_buf);
+      FormatRidPairOut(format_, p.rid1, p.rid2, p.similarity, &line_buf);
       out->Emit(line_buf);
     }
     internal::MergePPJoinStats(stream.stats(), ctx);
@@ -169,6 +173,7 @@ class PkSelfReducer : public mr::Reducer<Stage2Key, TokenSetRecord> {
 
  private:
   sim::SimilaritySpec spec_;
+  mr::RecordFormat format_;
 };
 
 /// Reducer for length-routed BK groups: a group holds the class's native
@@ -179,7 +184,8 @@ class PkSelfReducer : public mr::Reducer<Stage2Key, TokenSetRecord> {
 /// in a higher class).
 class BkLengthRoutingReducer : public mr::Reducer<Stage2Key, TokenSetRecord> {
  public:
-  explicit BkLengthRoutingReducer(sim::SimilaritySpec spec) : spec_(spec) {}
+  BkLengthRoutingReducer(sim::SimilaritySpec spec, mr::RecordFormat format)
+      : spec_(spec), format_(format) {}
 
   void Reduce(const Stage2Key& key, PairSpan group, OutputEmitter* out,
               TaskContext* ctx) override {
@@ -193,11 +199,11 @@ class BkLengthRoutingReducer : public mr::Reducer<Stage2Key, TokenSetRecord> {
                         static_cast<int64_t>(group.size()));
     for (size_t i = 0; i < natives.size(); ++i) {
       for (size_t j = i + 1; j < natives.size(); ++j) {
-        BkVerifyPair(spec_, *natives[i], *natives[j],
+        BkVerifyPair(spec_, format_, *natives[i], *natives[j],
                      /*self_canonical=*/true, &line_buf, out, ctx);
       }
       for (const TokenSetRecord* visitor : visitors) {
-        BkVerifyPair(spec_, *natives[i], *visitor, /*self_canonical=*/true,
+        BkVerifyPair(spec_, format_, *natives[i], *visitor, /*self_canonical=*/true,
                      &line_buf, out, ctx);
       }
     }
@@ -205,6 +211,7 @@ class BkLengthRoutingReducer : public mr::Reducer<Stage2Key, TokenSetRecord> {
 
  private:
   sim::SimilaritySpec spec_;
+  mr::RecordFormat format_;
 };
 
 /// BK + map-based blocks: walk the (round, block)-ordered stream; block r
@@ -212,7 +219,8 @@ class BkLengthRoutingReducer : public mr::Reducer<Stage2Key, TokenSetRecord> {
 /// stream against it.
 class BkSelfMapBlockReducer : public mr::Reducer<Stage2Key, TokenSetRecord> {
  public:
-  explicit BkSelfMapBlockReducer(sim::SimilaritySpec spec) : spec_(spec) {}
+  BkSelfMapBlockReducer(sim::SimilaritySpec spec, mr::RecordFormat format)
+      : spec_(spec), format_(format) {}
 
   void Reduce(const Stage2Key&, PairSpan group, OutputEmitter* out,
               TaskContext* ctx) override {
@@ -226,7 +234,7 @@ class BkSelfMapBlockReducer : public mr::Reducer<Stage2Key, TokenSetRecord> {
         current_round = key.s1;
       }
       for (const TokenSetRecord* resident : memory) {
-        BkVerifyPair(spec_, *resident, projection, /*self_canonical=*/true,
+        BkVerifyPair(spec_, format_, *resident, projection, /*self_canonical=*/true,
                      &line_buf, out, ctx);
       }
       if (key.s2 == current_round) {  // this value belongs to the loaded block
@@ -240,6 +248,7 @@ class BkSelfMapBlockReducer : public mr::Reducer<Stage2Key, TokenSetRecord> {
 
  private:
   sim::SimilaritySpec spec_;
+  mr::RecordFormat format_;
 };
 
 /// BK + reduce-based blocks: the first block stays in memory; later blocks
@@ -247,7 +256,8 @@ class BkSelfMapBlockReducer : public mr::Reducer<Stage2Key, TokenSetRecord> {
 /// pairwise (Figure 7b). Spill I/O is metered through the task scratch.
 class BkSelfReduceBlockReducer : public mr::Reducer<Stage2Key, TokenSetRecord> {
  public:
-  explicit BkSelfReduceBlockReducer(sim::SimilaritySpec spec) : spec_(spec) {}
+  BkSelfReduceBlockReducer(sim::SimilaritySpec spec, mr::RecordFormat format)
+      : spec_(spec), format_(format) {}
 
   void Reduce(const Stage2Key& key, PairSpan group, OutputEmitter* out,
               TaskContext* ctx) override {
@@ -277,7 +287,7 @@ class BkSelfReduceBlockReducer : public mr::Reducer<Stage2Key, TokenSetRecord> {
       memory.reserve(first.size());
       for (const TokenSetRecord* p : first) {
         for (const TokenSetRecord& resident : memory) {
-          BkVerifyPair(spec_, resident, *p, /*self_canonical=*/true, &line_buf, out, ctx);
+          BkVerifyPair(spec_, format_, resident, *p, /*self_canonical=*/true, &line_buf, out, ctx);
         }
         memory.push_back(*p);
       }
@@ -287,7 +297,7 @@ class BkSelfReduceBlockReducer : public mr::Reducer<Stage2Key, TokenSetRecord> {
         spill.reserve(blocks[order[t]].size());
         for (const TokenSetRecord* p : blocks[order[t]]) {
           for (const TokenSetRecord& resident : memory) {
-            BkVerifyPair(spec_, resident, *p, /*self_canonical=*/true, &line_buf, out,
+            BkVerifyPair(spec_, format_, resident, *p, /*self_canonical=*/true, &line_buf, out,
                          ctx);
           }
           spill.push_back(internal::SerializeProjection(*p));
@@ -309,7 +319,7 @@ class BkSelfReduceBlockReducer : public mr::Reducer<Stage2Key, TokenSetRecord> {
           continue;
         }
         for (const TokenSetRecord& resident : memory) {
-          BkVerifyPair(spec_, resident, projection.value(),
+          BkVerifyPair(spec_, format_, resident, projection.value(),
                        /*self_canonical=*/true, &line_buf, out, ctx);
         }
         memory.push_back(std::move(projection).value());
@@ -325,7 +335,7 @@ class BkSelfReduceBlockReducer : public mr::Reducer<Stage2Key, TokenSetRecord> {
             continue;
           }
           for (const TokenSetRecord& resident : memory) {
-            BkVerifyPair(spec_, resident, projection.value(),
+            BkVerifyPair(spec_, format_, resident, projection.value(),
                          /*self_canonical=*/true, &line_buf, out, ctx);
           }
         }
@@ -341,6 +351,7 @@ class BkSelfReduceBlockReducer : public mr::Reducer<Stage2Key, TokenSetRecord> {
 
  private:
   sim::SimilaritySpec spec_;
+  mr::RecordFormat format_;
 };
 
 }  // namespace
@@ -351,12 +362,15 @@ Result<Stage2Result> RunStage2SelfJoin(mr::Dfs* dfs,
                                        const std::string& output_file,
                                        const JoinConfig& config) {
   FJ_RETURN_IF_ERROR(config.Validate());
-  FJ_ASSIGN_OR_RETURN(const std::vector<std::string>* ordering_lines,
-                      dfs->ReadFile(ordering_file));
+  const mr::RecordFormat format = config.record_format;
+  // Owned decode of the (possibly binary) stage-1 ordering; the jobs below
+  // run synchronously, so holding it as a local outlives every mapper.
+  FJ_ASSIGN_OR_RETURN(const std::vector<std::string> ordering_lines,
+                      ReadOrderingLines(*dfs, ordering_file));
 
   Stage2Context ctx;
   ctx.tokenizer = config.tokenizer;
-  ctx.ordering_lines = ordering_lines;
+  ctx.ordering_lines = &ordering_lines;
   ctx.spec = config.MakeSpec();
   ctx.routing = config.routing;
   ctx.num_groups = config.num_groups;
@@ -370,6 +384,7 @@ Result<Stage2Result> RunStage2SelfJoin(mr::Dfs* dfs,
   spec.num_map_tasks = config.num_map_tasks;
   spec.num_reduce_tasks = config.num_reduce_tasks;
   ApplyEngineKnobs(config, &spec);
+  spec.binary_output = format == mr::RecordFormat::kBinary;
   spec.group_equal = [](const Stage2Key& a, const Stage2Key& b) {
     return a.group == b.group;
   };
@@ -394,8 +409,8 @@ Result<Stage2Result> RunStage2SelfJoin(mr::Dfs* dfs,
     spec.mapper_factory = [ctx, width] {
       return std::make_unique<BkLengthRoutingMapper>(ctx, width);
     };
-    spec.reducer_factory = [sim_spec] {
-      return std::make_unique<BkLengthRoutingReducer>(sim_spec);
+    spec.reducer_factory = [sim_spec, format] {
+      return std::make_unique<BkLengthRoutingReducer>(sim_spec, format);
     };
     mr::Job<Stage2Key, TokenSetRecord> job(dfs, std::move(spec));
     FJ_ASSIGN_OR_RETURN(mr::JobMetrics metrics, job.Run());
@@ -411,12 +426,12 @@ Result<Stage2Result> RunStage2SelfJoin(mr::Dfs* dfs,
         return std::make_unique<SelfKernelMapper>(ctx);
       };
       if (config.stage2 == Stage2Algorithm::kPK) {
-        spec.reducer_factory = [sim_spec] {
-          return std::make_unique<PkSelfReducer>(sim_spec);
+        spec.reducer_factory = [sim_spec, format] {
+          return std::make_unique<PkSelfReducer>(sim_spec, format);
         };
       } else {
-        spec.reducer_factory = [sim_spec] {
-          return std::make_unique<BkSelfReducer>(sim_spec);
+        spec.reducer_factory = [sim_spec, format] {
+          return std::make_unique<BkSelfReducer>(sim_spec, format);
         };
       }
       break;
@@ -424,16 +439,16 @@ Result<Stage2Result> RunStage2SelfJoin(mr::Dfs* dfs,
       spec.mapper_factory = [ctx] {
         return std::make_unique<SelfMapBlockMapper>(ctx);
       };
-      spec.reducer_factory = [sim_spec] {
-        return std::make_unique<BkSelfMapBlockReducer>(sim_spec);
+      spec.reducer_factory = [sim_spec, format] {
+        return std::make_unique<BkSelfMapBlockReducer>(sim_spec, format);
       };
       break;
     case BlockProcessing::kReduceBased:
       spec.mapper_factory = [ctx] {
         return std::make_unique<SelfReduceBlockMapper>(ctx);
       };
-      spec.reducer_factory = [sim_spec] {
-        return std::make_unique<BkSelfReduceBlockReducer>(sim_spec);
+      spec.reducer_factory = [sim_spec, format] {
+        return std::make_unique<BkSelfReduceBlockReducer>(sim_spec, format);
       };
       break;
   }

@@ -14,6 +14,7 @@
 #include "fuzzyjoin/engine_knobs.h"
 #include "fuzzyjoin/stage2.h"
 #include "mapreduce/job.h"
+#include "mapreduce/record_format.h"
 
 namespace fj::join {
 
@@ -59,6 +60,19 @@ inline uint64_t FjContentHash(const TaggedLine& v) {
 inline bool FjCorruptContent(TaggedLine& v, uint64_t salt) {
   return mr::CorruptInPlace(v.line, salt);
 }
+// Binary run encoding (mapreduce/record_format.h): kind byte + varint-
+// length-prefixed line.
+inline void FjEncodeContent(const TaggedLine& v, std::string* out) {
+  mr::EncodeContent(v.kind, out);
+  mr::EncodeContent(v.line, out);
+}
+inline bool FjDecodeContent(std::string_view buf, size_t* pos, TaggedLine* v) {
+  size_t at = *pos;
+  if (!mr::DecodeContent(buf, &at, &v->kind)) return false;
+  if (!mr::DecodeContent(buf, &at, &v->line)) return false;
+  *pos = at;
+  return true;
+}
 
 // ------------------------------------------------------------ phase-2 types
 
@@ -82,6 +96,21 @@ inline uint64_t FjContentHash(const HalfPair& v) {
 }
 inline bool FjCorruptContent(HalfPair& v, uint64_t salt) {
   return mr::CorruptInPlace(v.record_line, salt);
+}
+// Binary run encoding: side byte + similarity as raw fixed64 bits (exact
+// double roundtrip) + varint-length-prefixed record line.
+inline void FjEncodeContent(const HalfPair& v, std::string* out) {
+  mr::EncodeContent(v.side, out);
+  mr::EncodeContent(v.similarity, out);
+  mr::EncodeContent(v.record_line, out);
+}
+inline bool FjDecodeContent(std::string_view buf, size_t* pos, HalfPair* v) {
+  size_t at = *pos;
+  if (!mr::DecodeContent(buf, &at, &v->side)) return false;
+  if (!mr::DecodeContent(buf, &at, &v->similarity)) return false;
+  if (!mr::DecodeContent(buf, &at, &v->record_line)) return false;
+  *pos = at;
+  return true;
 }
 
 /// Formats the phase-1 output / phase-2 input line:

@@ -92,6 +92,17 @@ SimulatedJobTime SimulateJob(const JobMetrics& metrics,
         integrity_bandwidth;
   }
 
+  // Block-codec CPU: every logical byte was varint-encoded once at spill
+  // time and decoded once at the merge read — codec_logical_bytes already
+  // counts the two boundaries separately, so the work is priced exactly
+  // once here.
+  double codec_bandwidth = cluster.codec_bytes_per_second_per_node *
+                           static_cast<double>(cluster.nodes);
+  if (metrics.codec_logical_bytes > 0 && codec_bandwidth > 0) {
+    out.codec_seconds = static_cast<double>(metrics.codec_logical_bytes) *
+                        scale / codec_bandwidth;
+  }
+
   // Contract checking is priced like integrity verification: every counted
   // check was really evaluated (across failed attempts too), against the
   // cluster's aggregate predicate throughput.

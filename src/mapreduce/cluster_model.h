@@ -60,6 +60,14 @@ struct ClusterConfig {
   /// hashing streams at several hundred MB/s per core.
   double integrity_bytes_per_second_per_node = 400.0 * 1024 * 1024;
 
+  /// Aggregate block-codec throughput contributed by each node for the
+  /// binary record format (JobSpec::record_format): varint encode at spill
+  /// time plus decode at the reduce side's merge read, and the optional
+  /// block codec on top. Priced against JobMetrics::codec_logical_bytes —
+  /// the pre-codec payload size, which both sides of the codec touch.
+  /// LZ4-class codecs stream at a few hundred MB/s per core.
+  double codec_bytes_per_second_per_node = 200.0 * 1024 * 1024;
+
   /// Aggregate contract-check throughput contributed by each node
   /// (JobSpec::check_contracts): comparator/partitioner/combiner predicate
   /// evaluations and key hashes performed by the contract checker, priced
@@ -104,6 +112,11 @@ struct SimulatedJobTime {
   /// the price of proving the comparator/partitioner/combiner contract,
   /// reported separately so benchmarks can quote the overhead.
   double contract_seconds = 0;
+  /// Block-codec CPU time of the binary record format (zero under text) —
+  /// the encode/decode price paid to shrink shuffle_seconds and
+  /// spill_seconds, reported separately so benchmarks can quote the
+  /// trade-off.
+  double codec_seconds = 0;
 
   /// Slot time consumed by attempts that did not commit: crashed attempts
   /// (serialized into their task's chain) and speculation losers (parallel
@@ -113,7 +126,8 @@ struct SimulatedJobTime {
 
   double total() const {
     return startup_seconds + map_seconds + shuffle_seconds + spill_seconds +
-           reduce_seconds + integrity_seconds + contract_seconds;
+           reduce_seconds + integrity_seconds + contract_seconds +
+           codec_seconds;
   }
 };
 

@@ -5,6 +5,7 @@
 #include <mutex>
 
 #include "common/hash.h"
+#include "common/varint.h"
 #include "mapreduce/integrity.h"
 
 namespace fj::mr {
@@ -24,10 +25,11 @@ Result<const Dfs::FileEntry*> Dfs::FindLocked(const std::string& name) const {
   return static_cast<const FileEntry*>(it->second.get());
 }
 
-Status Dfs::WriteFile(const std::string& name,
-                      std::vector<std::string> lines) {
+Status Dfs::WriteInternal(const std::string& name,
+                          std::vector<std::string> lines, bool binary) {
   auto entry = std::make_unique<FileEntry>();
   entry->lines = std::move(lines);
+  entry->binary = binary;
   entry->line_hashes.reserve(entry->lines.size());
   for (const auto& line : entry->lines) {
     const uint64_t h = LineChecksum(line);
@@ -39,6 +41,22 @@ Status Dfs::WriteFile(const std::string& name,
   (void)it;
   if (!inserted) return Status::AlreadyExists("dfs file exists: " + name);
   return Status::OK();
+}
+
+Status Dfs::WriteFile(const std::string& name,
+                      std::vector<std::string> lines) {
+  return WriteInternal(name, std::move(lines), /*binary=*/false);
+}
+
+Status Dfs::WriteFileBlocks(const std::string& name,
+                            std::vector<std::string> blocks) {
+  return WriteInternal(name, std::move(blocks), /*binary=*/true);
+}
+
+bool Dfs::IsBinary(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = files_.find(name);
+  return it != files_.end() && it->second->binary;
 }
 
 Status Dfs::AppendToFile(const std::string& name,
@@ -95,7 +113,11 @@ Result<uint64_t> Dfs::VerifyFile(const std::string& name) const {
   uint64_t fold = kFnvOffsetBasis;
   for (size_t i = 0; i < entry->lines.size(); ++i) {
     const uint64_t h = LineChecksum(entry->lines[i]);
-    bytes += entry->lines[i].size() + 1;
+    // Binary blocks are framed by a varint length prefix, text lines by a
+    // newline terminator.
+    bytes += entry->binary
+                 ? VarintLen(entry->lines[i].size()) + entry->lines[i].size()
+                 : entry->lines[i].size() + 1;
     if (h != entry->line_hashes[i]) {
       return Status::DataLoss("dfs file " + name + ": line " +
                               std::to_string(i) +
@@ -145,9 +167,12 @@ std::vector<std::string> Dfs::ListFiles() const {
 }
 
 Result<uint64_t> Dfs::FileBytes(const std::string& name) const {
-  FJ_ASSIGN_OR_RETURN(const std::vector<std::string>* lines, ReadFile(name));
+  std::lock_guard<std::mutex> lock(mu_);
+  FJ_ASSIGN_OR_RETURN(const FileEntry* entry, FindLocked(name));
   uint64_t total = 0;
-  for (const auto& l : *lines) total += l.size() + 1;
+  for (const auto& l : entry->lines) {
+    total += entry->binary ? VarintLen(l.size()) + l.size() : l.size() + 1;
+  }
   return total;
 }
 

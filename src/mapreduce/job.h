@@ -234,19 +234,21 @@ class Job {
     return secs.empty() ? 0.0 : secs[secs.size() / 2];
   }
 
-  /// Injected CorruptRecord fault: really mutates one value of one run of
-  /// the attempt's shuffle output, AFTER the write-side checksums were
-  /// computed — exactly the window HDFS block checksums guard. Prefers a
-  /// run matching the fault's target (on-disk spill vs. in-memory map
-  /// output), falling back to any non-empty run so a kSpill fault still
-  /// bites when the job never spilled.
+  /// Injected CorruptRecord fault: really mutates the attempt's shuffle
+  /// output, AFTER the write-side checksums were computed — exactly the
+  /// window HDFS block checksums guard. Prefers a run matching the fault's
+  /// target (on-disk spill vs. in-memory map output), falling back to any
+  /// non-empty run so a kSpill fault still bites when the job never
+  /// spilled. Text runs get one value mutated; binary runs get one byte of
+  /// the ENCODED block flipped — bit rot hits the stored representation,
+  /// compressed or not, and must still be caught at the read boundaries.
   static void CorruptMapOutput(MapTaskOutput<K, V>* out,
                                const AttemptFault& fault) {
     std::vector<SortedRun<K, V>*> any, preferred;
     const bool want_disk = fault.corrupt_target == CorruptTarget::kSpill;
     for (auto& spill : out->spills) {
       for (SortedRun<K, V>& run : spill) {
-        if (run.pairs.empty()) continue;
+        if (!run.HasRecords()) continue;
         any.push_back(&run);
         if (run.on_disk == want_disk) preferred.push_back(&run);
       }
@@ -254,6 +256,12 @@ class Job {
     auto& pool = preferred.empty() ? any : preferred;
     if (pool.empty()) return;  // nothing to corrupt: the attempt stays clean
     SortedRun<K, V>* run = pool[fault.corrupt_salt % pool.size()];
+    if (!run->encoded.empty()) {
+      std::string& block = run->encoded;
+      block[HashInt64(fault.corrupt_salt) % block.size()] ^=
+          static_cast<char>(1u << (1 + fault.corrupt_salt % 7));
+      return;
+    }
     auto& pair = run->pairs[HashInt64(fault.corrupt_salt) % run->pairs.size()];
     // Corrupt the value side: record data, not routing metadata — flipping
     // a key could silently re-partition instead of modelling bit rot.
@@ -346,9 +354,14 @@ typename Job<K, V>::MapAttemptResult Job<K, V>::RunMapAttempt(
   if (!res.crashed && spec_.verify_integrity) {
     for (auto& spill : res.output.spills) {
       for (const SortedRun<K, V>& run : spill) {
-        if (run.pairs.empty()) continue;
+        if (!run.HasRecords()) continue;
         res.metrics.integrity_bytes_verified += run.bytes;
-        if (RunChecksum(run.pairs) != run.checksum) {
+        // Binary runs are checksummed over their encoded block bytes (the
+        // bytes the shuffle actually carries); text runs over their pairs.
+        const uint64_t actual = run.encoded.empty()
+                                    ? RunChecksum(run.pairs)
+                                    : HashString(run.encoded);
+        if (actual != run.checksum) {
           res.metrics.corruption_detected++;
           res.crashed = true;
         }
@@ -378,10 +391,13 @@ typename Job<K, V>::ReduceAttemptResult Job<K, V>::RunReduceAttempt(
   // attempt. The copies land in the worker's reusable scratch (every
   // element copy-assigned from the pristine run, so nothing of a previous
   // attempt survives, but pair-vector capacity is recycled). Fault-free
-  // jobs keep the zero-copy path.
+  // text jobs keep the zero-copy path; binary runs always copy, because
+  // decoding the encoded block IS the attempt-isolation copy — the
+  // pristine published block is never touched.
+  const bool binary = spec_.record_format == RecordFormat::kBinary;
   std::vector<SortedRun<K, V>>& copies = *copy_scratch;
   std::vector<SortedRun<K, V>*> runs;
-  if (preserve_runs) {
+  if (preserve_runs || binary) {
     copies.resize(partition_runs.size());
     runs.reserve(partition_runs.size());
     for (size_t i = 0; i < partition_runs.size(); ++i) {
@@ -391,20 +407,20 @@ typename Job<K, V>::ReduceAttemptResult Job<K, V>::RunReduceAttempt(
   } else {
     runs = partition_runs;
   }
-  for (const SortedRun<K, V>* run : runs) {
-    res.metrics.input_records += run->pairs.size();
-    res.metrics.input_bytes += run->bytes;
-  }
 
   // Run-merge read verification (the "checksum on read" half): each run is
   // re-verified before the merge consumes it. Map-commit verification means
   // a corrupted run normally never gets this far, but the read-side check
   // is what the cost model prices — HDFS clients verify every block read.
+  // Binary runs verify the encoded block bytes BEFORE any decode touches
+  // them, like an HDFS client checksumming a compressed block on read.
   if (spec_.verify_integrity) {
     for (const SortedRun<K, V>* run : runs) {
-      if (run->pairs.empty()) continue;
+      if (!run->HasRecords()) continue;
       res.metrics.integrity_bytes_verified += run->bytes;
-      if (RunChecksum(run->pairs) != run->checksum) {
+      const uint64_t actual = run->encoded.empty() ? RunChecksum(run->pairs)
+                                                   : HashString(run->encoded);
+      if (actual != run->checksum) {
         res.metrics.corruption_detected++;
         res.crashed = true;
       }
@@ -413,6 +429,31 @@ typename Job<K, V>::ReduceAttemptResult Job<K, V>::RunReduceAttempt(
       res.metrics.seconds = AttemptSeconds(timer, ctx, fault);
       return res;
     }
+  }
+
+  // Decode binary runs into the attempt's private copies. A block that
+  // fails to decode (truncated varint, bad codec frame) crashes the
+  // attempt with a counted detection — a transient failure under the
+  // retry budget, never UB and never silently-wrong pairs.
+  if (binary) {
+    for (SortedRun<K, V>* run : runs) {
+      if (run->encoded.empty()) continue;
+      Status decoded = DecodeRunBlock(run->encoded, &run->pairs);
+      if (!decoded.ok()) {
+        res.metrics.corruption_detected++;
+        res.crashed = true;
+        res.metrics.seconds = AttemptSeconds(timer, ctx, fault);
+        return res;
+      }
+      res.metrics.codec_encoded_bytes += run->encoded.size();
+      res.metrics.codec_logical_bytes += run->logical_bytes;
+      run->encoded.clear();
+      run->encoded.shrink_to_fit();
+    }
+  }
+  for (const SortedRun<K, V>* run : runs) {
+    res.metrics.input_records += run->pairs.size();
+    res.metrics.input_bytes += run->bytes;
   }
 
   // Reduce-side contract checker: verifies group contiguity, merge order,
@@ -790,7 +831,7 @@ Result<JobMetrics> Job<K, V>::Run() {
       std::vector<SortedRun<K, V>*>& runs = partition_runs[r];
       for (size_t m = 0; m < num_map_tasks; ++m) {
         for (auto& spill : map_outputs[m].spills) {
-          if (!spill[r].pairs.empty()) runs.push_back(&spill[r]);
+          if (spill[r].HasRecords()) runs.push_back(&spill[r]);
         }
       }
       uint32_t failed = 0;
@@ -976,7 +1017,15 @@ Result<JobMetrics> Job<K, V>::Run() {
       metrics.integrity_bytes_verified += t.integrity_bytes_verified;
       metrics.corruption_detected += t.corruption_detected;
       metrics.contract_checks += t.contract_checks;
+      metrics.codec_logical_bytes += t.codec_logical_bytes;
+      metrics.codec_encoded_bytes += t.codec_encoded_bytes;
     }
+  }
+  if (metrics.codec_encoded_bytes > 0) {
+    metrics.counters.Add("format.logical_bytes",
+                         static_cast<int64_t>(metrics.codec_logical_bytes));
+    metrics.counters.Add("format.encoded_bytes",
+                         static_cast<int64_t>(metrics.codec_encoded_bytes));
   }
   if (spec_.check_contracts && metrics.contract_checks > 0) {
     metrics.counters.Add("contract.checks",
@@ -1010,7 +1059,12 @@ Result<JobMetrics> Job<K, V>::Run() {
     }
     const std::string tmp = spec_.output_file + ".__commit";
     if (dfs_->Exists(tmp)) FJ_RETURN_IF_ERROR(dfs_->DeleteFile(tmp));
-    FJ_RETURN_IF_ERROR(dfs_->WriteFile(tmp, std::move(all_lines)));
+    // Binary-record outputs commit through the Dfs block API so the file's
+    // checksums and byte counts are defined over the varint-framed
+    // encoding; the quarantine file below always holds text input lines.
+    FJ_RETURN_IF_ERROR(spec_.binary_output
+                           ? dfs_->WriteFileBlocks(tmp, std::move(all_lines))
+                           : dfs_->WriteFile(tmp, std::move(all_lines)));
     Status renamed = dfs_->RenameFile(tmp, spec_.output_file);
     if (!renamed.ok()) {
       (void)dfs_->DeleteFile(tmp);  // best effort; the rename error wins

@@ -21,6 +21,7 @@
 #include "mapreduce/fault.h"
 #include "mapreduce/input.h"
 #include "mapreduce/key_traits.h"
+#include "mapreduce/record_format.h"
 #include "mapreduce/task_context.h"
 
 namespace fj::mr {
@@ -234,6 +235,27 @@ struct JobSpec {
   /// of a pipeline. With any recoverable plan the job output is
   /// byte-identical to the fault-free run (see mapreduce/fault.h).
   std::shared_ptr<const FaultPlan> fault_plan;
+
+  /// Representation of spill runs and shuffle segments (record_format.h).
+  /// Text (the default) keeps pairs in memory and meters ByteSizeOf
+  /// estimates; binary really serializes every run at spill time (varint
+  /// record format, optional block codec), meters actual encoded bytes,
+  /// and defines run checksums over the encoded blocks. Job output is
+  /// byte-identical across formats and codecs.
+  RecordFormat record_format = RecordFormat::kText;
+
+  /// Block codec applied per spill-run/shuffle block in binary format
+  /// (ignored under text). Codec CPU bytes are metered per task and
+  /// priced by the cluster model.
+  BlockCodec block_codec = BlockCodec::kNone;
+
+  /// Commit the job's output file through the Dfs binary block API
+  /// (Dfs::WriteFileBlocks) instead of the line API: emitted records are
+  /// stored as length-prefixed blocks, and the file's checksums/byte
+  /// counts are defined over the varint-framed encoding. Set by stages
+  /// whose emitted records are binary wire records (record_format.h
+  /// layer 3) rather than text lines.
+  bool binary_output = false;
 };
 
 /// The job's resolved key ordering: comparators and partitioner with the

@@ -90,6 +90,16 @@ struct TaskMetrics {
   /// ClusterConfig::contract_checks_per_second_per_node.
   uint64_t contract_checks = 0;
 
+  /// --- Binary record format (JobSpec::record_format) ---
+  /// Pre-codec payload bytes of every run this task encoded (map spills)
+  /// or decoded (reduce merge reads); the codec's CPU work is proportional
+  /// to these and priced by ClusterConfig::codec_bytes_per_second_per_node.
+  uint64_t codec_logical_bytes = 0;
+  /// Encoded (post-codec) bytes of the same runs. The ratio against
+  /// codec_logical_bytes is the measured compression ratio; 1:1 under
+  /// BlockCodec::kNone. Zero in text format.
+  uint64_t codec_encoded_bytes = 0;
+
   /// Work thrown away by failures and lost speculation races.
   double wasted_seconds() const {
     return failed_attempt_seconds + speculative_loser_seconds;
@@ -130,6 +140,10 @@ struct JobMetrics {
   uint64_t corruption_detected = 0;
   /// Contract-checker work over all tasks (see TaskMetrics).
   uint64_t contract_checks = 0;
+  /// Binary-format codec totals over all tasks (see TaskMetrics); both 0
+  /// in text format.
+  uint64_t codec_logical_bytes = 0;
+  uint64_t codec_encoded_bytes = 0;
   /// Malformed input records quarantined to `<output_file>.bad` instead of
   /// aborting (see JobSpec::max_skipped_records).
   uint64_t records_skipped = 0;

@@ -1,0 +1,297 @@
+#include "mapreduce/record_format.h"
+
+#include <cstring>
+#include <vector>
+
+namespace fj::mr {
+
+namespace {
+
+// fjlz stream constants. The format is the LZ4 block idiom: a token byte
+// whose high nibble is the literal length and low nibble the match length
+// minus the 4-byte minimum; nibble value 15 means "read 255-continuation
+// extension bytes". Literals follow the token; a 2-byte little-endian
+// offset and the match extensions follow the literals. The final sequence
+// of a stream is literals-only — the decoder stops once the declared raw
+// size is produced, so no sentinel match is needed.
+constexpr size_t kFjlzMinMatch = 4;
+constexpr size_t kFjlzMaxOffset = 65535;
+constexpr unsigned kFjlzHashBits = 13;
+constexpr uint32_t kFjlzNoPos = 0xffffffffu;
+
+uint32_t FjlzHash4(const char* p) {
+  uint32_t v = 0;
+  std::memcpy(&v, p, sizeof(v));
+  return (v * 2654435761u) >> (32 - kFjlzHashBits);
+}
+
+void FjlzAppendLength(std::string* out, size_t len) {
+  // Extension bytes for a nibble that saturated at 15.
+  len -= 15;
+  while (len >= 255) {
+    out->push_back(static_cast<char>(0xff));
+    len -= 255;
+  }
+  out->push_back(static_cast<char>(len));
+}
+
+// Emits one sequence: `lit_len` literals starting at `lit`, then (when
+// `match_len` > 0) a back-reference of `match_len >= kFjlzMinMatch` bytes
+// at distance `offset`.
+void FjlzEmit(std::string* out, const char* lit, size_t lit_len,
+              size_t match_len, size_t offset) {
+  size_t match_code = match_len == 0 ? 0 : match_len - kFjlzMinMatch;
+  uint8_t token =
+      static_cast<uint8_t>((lit_len < 15 ? lit_len : 15) << 4 |
+                           (match_code < 15 ? match_code : 15));
+  out->push_back(static_cast<char>(token));
+  if (lit_len >= 15) FjlzAppendLength(out, lit_len);
+  out->append(lit, lit_len);
+  if (match_len == 0) return;
+  out->push_back(static_cast<char>(offset & 0xff));
+  out->push_back(static_cast<char>((offset >> 8) & 0xff));
+  if (match_code >= 15) FjlzAppendLength(out, match_code);
+}
+
+// Reads the 255-continuation extension of a saturated nibble.
+bool FjlzReadLength(std::string_view src, size_t* pos, size_t* len) {
+  while (true) {
+    if (*pos >= src.size()) return false;
+    auto byte = static_cast<uint8_t>(src[(*pos)++]);
+    *len += byte;
+    if (byte != 0xff) return true;
+  }
+}
+
+}  // namespace
+
+void FjlzCompress(std::string_view src, std::string* out) {
+  out->clear();
+  const size_t n = src.size();
+  if (n == 0) return;
+  out->reserve(n / 2 + 16);
+  std::vector<uint32_t> table(size_t{1} << kFjlzHashBits, kFjlzNoPos);
+  size_t anchor = 0;
+  size_t i = 0;
+  while (i + kFjlzMinMatch <= n) {
+    uint32_t h = FjlzHash4(src.data() + i);
+    uint32_t cand = table[h];
+    table[h] = static_cast<uint32_t>(i);
+    if (cand != kFjlzNoPos && i - cand <= kFjlzMaxOffset &&
+        std::memcmp(src.data() + cand, src.data() + i, kFjlzMinMatch) == 0) {
+      size_t match = kFjlzMinMatch;
+      while (i + match < n && src[cand + match] == src[i + match]) ++match;
+      FjlzEmit(out, src.data() + anchor, i - anchor, match, i - cand);
+      i += match;
+      anchor = i;
+    } else {
+      ++i;
+    }
+  }
+  if (anchor < n) FjlzEmit(out, src.data() + anchor, n - anchor, 0, 0);
+}
+
+Status FjlzDecompress(std::string_view src, size_t raw_size,
+                      std::string* out) {
+  out->clear();
+  out->reserve(raw_size);
+  size_t pos = 0;
+  while (out->size() < raw_size) {
+    if (pos >= src.size()) {
+      return Status::DataLoss("fjlz stream truncated before token");
+    }
+    auto token = static_cast<uint8_t>(src[pos++]);
+    size_t lit_len = token >> 4;
+    if (lit_len == 15 && !FjlzReadLength(src, &pos, &lit_len)) {
+      return Status::DataLoss("fjlz stream truncated in literal length");
+    }
+    if (lit_len > src.size() - pos) {
+      return Status::DataLoss("fjlz literal run exceeds stream");
+    }
+    if (lit_len > raw_size - out->size()) {
+      return Status::DataLoss("fjlz literal run exceeds declared raw size");
+    }
+    out->append(src.data() + pos, lit_len);
+    pos += lit_len;
+    if (out->size() == raw_size) break;  // final literals-only sequence
+    if (src.size() - pos < 2) {
+      return Status::DataLoss("fjlz stream truncated before match offset");
+    }
+    size_t offset = static_cast<uint8_t>(src[pos]) |
+                    static_cast<size_t>(static_cast<uint8_t>(src[pos + 1]))
+                        << 8;
+    pos += 2;
+    if (offset == 0 || offset > out->size()) {
+      return Status::DataLoss("fjlz match offset outside produced output");
+    }
+    size_t match_code = token & 0x0f;
+    if (match_code == 15 && !FjlzReadLength(src, &pos, &match_code)) {
+      return Status::DataLoss("fjlz stream truncated in match length");
+    }
+    size_t match_len = match_code + kFjlzMinMatch;
+    if (match_len > raw_size - out->size()) {
+      return Status::DataLoss("fjlz match exceeds declared raw size");
+    }
+    size_t from = out->size() - offset;
+    // Byte-by-byte: matches may overlap their own output (RLE-style).
+    for (size_t k = 0; k < match_len; ++k) out->push_back((*out)[from + k]);
+  }
+  if (pos != src.size()) {
+    return Status::DataLoss("trailing bytes after fjlz stream");
+  }
+  return Status::OK();
+}
+
+void EncodeBlock(BlockCodec codec, uint64_t record_count,
+                 std::string_view raw_payload, std::string* out) {
+  out->clear();
+  std::string compressed;
+  std::string_view payload = raw_payload;
+  if (codec == BlockCodec::kFjlz) {
+    FjlzCompress(raw_payload, &compressed);
+    if (compressed.size() < raw_payload.size()) {
+      payload = compressed;
+    } else {
+      codec = BlockCodec::kNone;  // incompressible: store raw
+    }
+  }
+  out->reserve(payload.size() + 2 * kMaxVarintBytes + 1);
+  out->push_back(static_cast<char>(codec));
+  AppendVarint(out, record_count);
+  AppendVarint(out, raw_payload.size());
+  out->append(payload);
+}
+
+Status DecodeBlock(std::string_view block, uint64_t* record_count,
+                   std::string* raw_payload) {
+  if (block.empty()) return Status::DataLoss("empty run block");
+  auto codec_byte = static_cast<uint8_t>(block[0]);
+  if (codec_byte > static_cast<uint8_t>(BlockCodec::kFjlz)) {
+    return Status::DataLoss("run block names an unknown codec");
+  }
+  size_t pos = 1;
+  uint64_t count = 0;
+  uint64_t raw_size = 0;
+  if (!DecodeVarint(block, &pos, &count) ||
+      !DecodeVarint(block, &pos, &raw_size)) {
+    return Status::DataLoss("truncated run block header");
+  }
+  std::string_view payload = block.substr(pos);
+  if (static_cast<BlockCodec>(codec_byte) == BlockCodec::kNone) {
+    if (raw_size != payload.size()) {
+      return Status::DataLoss("run block payload size mismatch");
+    }
+    raw_payload->assign(payload.data(), payload.size());
+  } else {
+    // fjlz expands at most ~255x per stream byte; a declared raw size
+    // beyond that is a corrupt header — reject before reserving.
+    if (raw_size > 16 + payload.size() * 256) {
+      return Status::DataLoss("run block declares implausible raw size");
+    }
+    FJ_RETURN_IF_ERROR(
+        FjlzDecompress(payload, static_cast<size_t>(raw_size), raw_payload));
+  }
+  *record_count = count;
+  return Status::OK();
+}
+
+const char* RecordFormatName(RecordFormat format) {
+  switch (format) {
+    case RecordFormat::kText:
+      return "text";
+    case RecordFormat::kBinary:
+      return "binary";
+  }
+  return "unknown";
+}
+
+const char* BlockCodecName(BlockCodec codec) {
+  switch (codec) {
+    case BlockCodec::kNone:
+      return "none";
+    case BlockCodec::kFjlz:
+      return "fjlz";
+  }
+  return "unknown";
+}
+
+bool ParseRecordFormat(std::string_view name, RecordFormat* format) {
+  if (name == "text") {
+    *format = RecordFormat::kText;
+    return true;
+  }
+  if (name == "binary") {
+    *format = RecordFormat::kBinary;
+    return true;
+  }
+  return false;
+}
+
+bool ParseBlockCodec(std::string_view name, BlockCodec* codec) {
+  if (name == "none") {
+    *codec = BlockCodec::kNone;
+    return true;
+  }
+  if (name == "fjlz") {
+    *codec = BlockCodec::kFjlz;
+    return true;
+  }
+  return false;
+}
+
+void FormatTokenCountRecord(std::string_view token, uint64_t count,
+                            std::string* out) {
+  out->clear();
+  out->push_back(static_cast<char>(kBinaryRecordMagic));
+  out->push_back(static_cast<char>(kTokenCountRecordKind));
+  AppendVarint(out, token.size());
+  out->append(token);
+  AppendVarint(out, count);
+}
+
+bool ParseTokenCountRecord(std::string_view record, std::string* token,
+                           uint64_t* count) {
+  if (record.size() < 2 ||
+      static_cast<uint8_t>(record[0]) != kBinaryRecordMagic ||
+      static_cast<uint8_t>(record[1]) != kTokenCountRecordKind) {
+    return false;
+  }
+  size_t pos = 2;
+  uint64_t len = 0;
+  if (!DecodeVarint(record, &pos, &len)) return false;
+  if (len > record.size() - pos) return false;
+  token->assign(record.data() + pos, static_cast<size_t>(len));
+  pos += static_cast<size_t>(len);
+  if (!DecodeVarint(record, &pos, count)) return false;
+  return pos == record.size();
+}
+
+void FormatRidPairRecord(uint64_t rid1, uint64_t rid2, double similarity,
+                         std::string* out) {
+  out->clear();
+  out->push_back(static_cast<char>(kBinaryRecordMagic));
+  out->push_back(static_cast<char>(kRidPairRecordKind));
+  AppendVarint(out, rid1);
+  AppendVarint(out, rid2);
+  uint64_t bits = 0;
+  std::memcpy(&bits, &similarity, sizeof(bits));
+  internal::AppendFixed64(out, bits);
+}
+
+bool ParseRidPairRecord(std::string_view record, uint64_t* rid1,
+                        uint64_t* rid2, double* similarity) {
+  if (record.size() < 2 ||
+      static_cast<uint8_t>(record[0]) != kBinaryRecordMagic ||
+      static_cast<uint8_t>(record[1]) != kRidPairRecordKind) {
+    return false;
+  }
+  size_t pos = 2;
+  if (!DecodeVarint(record, &pos, rid1)) return false;
+  if (!DecodeVarint(record, &pos, rid2)) return false;
+  uint64_t bits = 0;
+  if (!internal::DecodeFixed64(record, &pos, &bits)) return false;
+  std::memcpy(similarity, &bits, sizeof(bits));
+  return pos == record.size();
+}
+
+}  // namespace fj::mr

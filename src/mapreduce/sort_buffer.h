@@ -23,11 +23,13 @@
 #include <utility>
 #include <vector>
 
+#include "common/hash.h"
 #include "mapreduce/byte_size.h"
 #include "mapreduce/contract.h"
 #include "mapreduce/integrity.h"
 #include "mapreduce/job_spec.h"
 #include "mapreduce/metrics.h"
+#include "mapreduce/record_format.h"
 #include "mapreduce/task_context.h"
 
 namespace fj::mr {
@@ -42,11 +44,26 @@ struct SortedRun {
   /// True when the run was spilled: its write was charged to the producing
   /// task's scratch and its read will be charged to the consuming task.
   bool on_disk = false;
-  /// Write-side content checksum (integrity.h RunChecksum over `pairs`),
-  /// computed when the run is finalized and JobSpec::verify_integrity is
-  /// on; re-verified at map-attempt commit and at the reduce side's
-  /// run-merge read. 0 when verification is off.
+  /// Write-side content checksum, computed when the run is finalized and
+  /// JobSpec::verify_integrity is on; re-verified at map-attempt commit
+  /// and at the reduce side's run-merge read. Text format: integrity.h
+  /// RunChecksum over `pairs`. Binary format: HashString over `encoded` —
+  /// the checksum covers the block bytes that actually sit in the
+  /// shuffle, compressed or not. 0 when verification is off.
   uint64_t checksum = 0;
+  /// Binary format only: the framed (possibly compressed) run block
+  /// produced by EncodeRunBlock. When non-empty, `pairs` is empty (the
+  /// encoded block is authoritative; the reduce side decodes a private
+  /// copy), `bytes` is the encoded size, and `record_count` remembers how
+  /// many pairs the block holds.
+  std::string encoded;
+  uint64_t record_count = 0;
+  /// Binary format only: pre-codec payload size, for compression-ratio
+  /// metering.
+  uint64_t logical_bytes = 0;
+
+  /// True when the run carries any records, decoded or still encoded.
+  bool HasRecords() const { return !pairs.empty() || record_count > 0; }
 };
 
 /// Everything one map task ships to the shuffle: spills in temporal order,
@@ -163,14 +180,32 @@ class SortBuffer : public Emitter<K, V> {
     }
 
     uint64_t run_bytes = 0;
+    const bool binary = spec_->record_format == RecordFormat::kBinary;
     for (SortedRun<K, V>& run : runs) {
       metrics_->shuffle_records += run.pairs.size();
+      if (binary && !run.pairs.empty()) {
+        // Serialization is real in binary mode: the run's pairs become one
+        // encoded (optionally compressed) block, the shuffle meters count
+        // encoded bytes actually produced, and the write-side checksum
+        // covers the encoded bytes — the bytes in the shuffle are the
+        // bytes verified at the read boundaries.
+        run.record_count = run.pairs.size();
+        EncodeRunBlock(spec_->block_codec, run.pairs, &run.encoded,
+                       &run.logical_bytes);
+        run.pairs.clear();
+        run.pairs.shrink_to_fit();
+        run.bytes = run.encoded.size();
+        metrics_->codec_logical_bytes += run.logical_bytes;
+        metrics_->codec_encoded_bytes += run.encoded.size();
+        if (spec_->verify_integrity) run.checksum = HashString(run.encoded);
+      } else if (spec_->verify_integrity) {
+        // Write-side checksum, the HDFS "checksum on write" half; the read
+        // boundaries re-verify it.
+        run.checksum = RunChecksum(run.pairs);
+      }
       metrics_->shuffle_bytes += run.bytes;
       run_bytes += run.bytes;
       run.on_disk = to_disk;
-      // Write-side checksum, the HDFS "checksum on write" half; the read
-      // boundaries re-verify it.
-      if (spec_->verify_integrity) run.checksum = RunChecksum(run.pairs);
     }
     if (to_disk) {
       metrics_->spill_count++;

@@ -40,12 +40,16 @@ struct Variant {
   bool faults = false;
   bool spill = false;
   bool contracts = false;
+  mr::RecordFormat format = mr::RecordFormat::kText;
+  mr::BlockCodec codec = mr::BlockCodec::kNone;
 
   std::string Name() const {
     std::string name;
     name += faults ? "faults" : "clean";
     name += spill ? "+spill" : "";
     name += contracts ? "+contracts" : "";
+    if (format == mr::RecordFormat::kBinary) name += "+binary";
+    if (codec == mr::BlockCodec::kFjlz) name += "+fjlz";
     return name;
   }
 };
@@ -60,6 +64,8 @@ JoinConfig MakeConfig(size_t threads, const Variant& variant) {
   config.local_threads = threads;
   config.sort_buffer_bytes = variant.spill ? 512 : 0;
   config.check_contracts = variant.contracts;
+  config.record_format = variant.format;
+  config.block_codec = variant.codec;
   if (variant.faults) {
     auto plan = std::make_shared<mr::FaultPlan>();
     plan->seed = 5;
@@ -101,7 +107,9 @@ std::string CommittedSignature(const JoinRunResult& result) {
           << " failed_attempts=" << job.failed_attempts
           << " corruption_detected=" << job.corruption_detected
           << " contract_checks=" << job.contract_checks
-          << " records_skipped=" << job.records_skipped << "\n";
+          << " records_skipped=" << job.records_skipped
+          << " codec_logical_bytes=" << job.codec_logical_bytes
+          << " codec_encoded_bytes=" << job.codec_encoded_bytes << "\n";
       for (const auto* tasks : {&job.map_tasks, &job.reduce_tasks}) {
         for (const auto& task : *tasks) {
           out << "  task input_records=" << task.input_records
@@ -134,6 +142,9 @@ TEST(ConcurrencyDeterminismTest, SelfJoinThreadCountInvariant) {
       {false, true, false},
       {false, false, true},
       {true, true, true},
+      {false, false, false, mr::RecordFormat::kBinary},
+      {false, true, false, mr::RecordFormat::kBinary, mr::BlockCodec::kFjlz},
+      {true, true, true, mr::RecordFormat::kBinary, mr::BlockCodec::kFjlz},
   };
   for (const Variant& variant : variants) {
     mr::Dfs dfs;
@@ -170,6 +181,7 @@ TEST(ConcurrencyDeterminismTest, RSJoinThreadCountInvariant) {
   const Variant variants[] = {
       {false, false, false},
       {true, true, false},
+      {true, true, false, mr::RecordFormat::kBinary, mr::BlockCodec::kFjlz},
   };
   for (const Variant& variant : variants) {
     mr::Dfs dfs;
@@ -194,6 +206,39 @@ TEST(ConcurrencyDeterminismTest, RSJoinThreadCountInvariant) {
                 Lines(dfs, threaded->rid_pairs_file))
           << variant.Name() << " threads=" << threads;
       EXPECT_EQ(serial_signature, CommittedSignature(*threaded))
+          << variant.Name() << " threads=" << threads;
+    }
+  }
+}
+
+// The record format changes HOW intermediates are represented, never WHAT
+// the join produces: the final .joined output must be byte-identical
+// across every format x codec combination, threaded or not, faulted or
+// not. (Intermediate files legitimately differ — binary wire records vs.
+// text lines — so only the output file is compared across formats.)
+TEST(ConcurrencyDeterminismTest, OutputInvariantAcrossFormatsAndCodecs) {
+  mr::Dfs dfs;
+  ASSERT_TRUE(dfs.WriteFile("records", SelfInputLines()).ok());
+  const Variant baseline{false, false, false};
+  auto text = RunSelfJoin(&dfs, "records", "text", MakeConfig(1, baseline));
+  ASSERT_TRUE(text.ok()) << text.status().ToString();
+  const std::vector<std::string> expected = Lines(dfs, text->output_file);
+  ASSERT_FALSE(expected.empty());
+
+  const Variant variants[] = {
+      {false, false, false, mr::RecordFormat::kBinary},
+      {false, false, false, mr::RecordFormat::kBinary, mr::BlockCodec::kFjlz},
+      {true, true, false, mr::RecordFormat::kBinary, mr::BlockCodec::kFjlz},
+  };
+  size_t run = 0;
+  for (const Variant& variant : variants) {
+    for (size_t threads : {1, 4}) {
+      const std::string prefix = "fmt" + std::to_string(run++);
+      auto result = RunSelfJoin(&dfs, "records", prefix,
+                                MakeConfig(threads, variant));
+      ASSERT_TRUE(result.ok())
+          << variant.Name() << ": " << result.status().ToString();
+      EXPECT_EQ(expected, Lines(dfs, result->output_file))
           << variant.Name() << " threads=" << threads;
     }
   }

@@ -29,7 +29,9 @@ std::vector<std::string> OuterInputLines() {
 }
 
 JoinConfig BaseConfig(Stage1Algorithm s1, Stage2Algorithm s2,
-                      Stage3Algorithm s3, uint64_t sort_buffer) {
+                      Stage3Algorithm s3, uint64_t sort_buffer,
+                      mr::RecordFormat format = mr::RecordFormat::kText,
+                      mr::BlockCodec codec = mr::BlockCodec::kNone) {
   JoinConfig config;
   config.stage1 = s1;
   config.stage2 = s2;
@@ -37,6 +39,8 @@ JoinConfig BaseConfig(Stage1Algorithm s1, Stage2Algorithm s2,
   config.num_map_tasks = 4;
   config.num_reduce_tasks = 3;
   config.sort_buffer_bytes = sort_buffer;
+  config.record_format = format;
+  config.block_codec = codec;
   return config;
 }
 
@@ -95,15 +99,17 @@ std::shared_ptr<const mr::FaultPlan> CorruptionPlan(mr::CorruptTarget target) {
 }
 
 void RunSelfGoldenCase(Stage1Algorithm s1, Stage2Algorithm s2,
-                       Stage3Algorithm s3, uint64_t sort_buffer) {
+                       Stage3Algorithm s3, uint64_t sort_buffer,
+                       mr::RecordFormat format = mr::RecordFormat::kText,
+                       mr::BlockCodec codec = mr::BlockCodec::kNone) {
   mr::Dfs dfs;
   ASSERT_TRUE(dfs.WriteFile("records", SelfInputLines()).ok());
 
-  auto clean_config = BaseConfig(s1, s2, s3, sort_buffer);
+  auto clean_config = BaseConfig(s1, s2, s3, sort_buffer, format, codec);
   auto clean = RunSelfJoin(&dfs, "records", "clean", clean_config);
   ASSERT_TRUE(clean.ok()) << clean.status().ToString();
 
-  auto faulted_config = BaseConfig(s1, s2, s3, sort_buffer);
+  auto faulted_config = BaseConfig(s1, s2, s3, sort_buffer, format, codec);
   faulted_config.fault_plan = ChaosPlan();
   faulted_config.speculative_execution = true;
   ASSERT_TRUE(
@@ -122,16 +128,18 @@ void RunSelfGoldenCase(Stage1Algorithm s1, Stage2Algorithm s2,
 }
 
 void RunRSGoldenCase(Stage1Algorithm s1, Stage2Algorithm s2,
-                     Stage3Algorithm s3, uint64_t sort_buffer) {
+                     Stage3Algorithm s3, uint64_t sort_buffer,
+                     mr::RecordFormat format = mr::RecordFormat::kText,
+                     mr::BlockCodec codec = mr::BlockCodec::kNone) {
   mr::Dfs dfs;
   ASSERT_TRUE(dfs.WriteFile("r", SelfInputLines()).ok());
   ASSERT_TRUE(dfs.WriteFile("s", OuterInputLines()).ok());
 
-  auto clean_config = BaseConfig(s1, s2, s3, sort_buffer);
+  auto clean_config = BaseConfig(s1, s2, s3, sort_buffer, format, codec);
   auto clean = RunRSJoin(&dfs, "r", "s", "clean", clean_config);
   ASSERT_TRUE(clean.ok()) << clean.status().ToString();
 
-  auto faulted_config = BaseConfig(s1, s2, s3, sort_buffer);
+  auto faulted_config = BaseConfig(s1, s2, s3, sort_buffer, format, codec);
   faulted_config.fault_plan = ChaosPlan();
   faulted_config.speculative_execution = true;
   auto faulted = RunRSJoin(&dfs, "r", "s", "faulted", faulted_config);
@@ -175,21 +183,37 @@ TEST(FaultPipelineTest, RSOptoBkOprjSpilling) {
                   Stage3Algorithm::kOPRJ, 256);
 }
 
+// Binary format axis: the same chaos plan against compressed binary spill
+// runs and binary wire-record intermediates.
+TEST(FaultPipelineTest, SelfBinaryFjlzChaosSpilling) {
+  RunSelfGoldenCase(Stage1Algorithm::kBTO, Stage2Algorithm::kPK,
+                    Stage3Algorithm::kBRJ, 256, mr::RecordFormat::kBinary,
+                    mr::BlockCodec::kFjlz);
+}
+
+TEST(FaultPipelineTest, RSBinaryChaosUnbounded) {
+  RunRSGoldenCase(Stage1Algorithm::kBTO, Stage2Algorithm::kPK,
+                  Stage3Algorithm::kBRJ, 0, mr::RecordFormat::kBinary);
+}
+
 // --- CorruptRecord matrix: self/R-S x spill on/off x corruption target.
 // With verify_integrity on, every detected corruption becomes a transient
 // retry and the join stays byte-identical to the clean run.
 
-void RunSelfCorruptionCase(mr::CorruptTarget target, uint64_t sort_buffer) {
+void RunSelfCorruptionCase(mr::CorruptTarget target, uint64_t sort_buffer,
+                           mr::RecordFormat format = mr::RecordFormat::kText,
+                           mr::BlockCodec codec = mr::BlockCodec::kNone) {
   mr::Dfs dfs;
   ASSERT_TRUE(dfs.WriteFile("records", SelfInputLines()).ok());
 
   auto clean_config = BaseConfig(Stage1Algorithm::kBTO, Stage2Algorithm::kPK,
-                                 Stage3Algorithm::kBRJ, sort_buffer);
+                                 Stage3Algorithm::kBRJ, sort_buffer, format,
+                                 codec);
   auto clean = RunSelfJoin(&dfs, "records", "clean", clean_config);
   ASSERT_TRUE(clean.ok()) << clean.status().ToString();
 
   auto config = BaseConfig(Stage1Algorithm::kBTO, Stage2Algorithm::kPK,
-                           Stage3Algorithm::kBRJ, sort_buffer);
+                           Stage3Algorithm::kBRJ, sort_buffer, format, codec);
   config.verify_integrity = true;
   auto plan = CorruptionPlan(target);
   // Corruption is only recoverable when something detects it.
@@ -207,18 +231,21 @@ void RunSelfCorruptionCase(mr::CorruptTarget target, uint64_t sort_buffer) {
             Lines(dfs, corrupted->rid_pairs_file));
 }
 
-void RunRSCorruptionCase(mr::CorruptTarget target, uint64_t sort_buffer) {
+void RunRSCorruptionCase(mr::CorruptTarget target, uint64_t sort_buffer,
+                         mr::RecordFormat format = mr::RecordFormat::kText,
+                         mr::BlockCodec codec = mr::BlockCodec::kNone) {
   mr::Dfs dfs;
   ASSERT_TRUE(dfs.WriteFile("r", SelfInputLines()).ok());
   ASSERT_TRUE(dfs.WriteFile("s", OuterInputLines()).ok());
 
   auto clean_config = BaseConfig(Stage1Algorithm::kBTO, Stage2Algorithm::kPK,
-                                 Stage3Algorithm::kBRJ, sort_buffer);
+                                 Stage3Algorithm::kBRJ, sort_buffer, format,
+                                 codec);
   auto clean = RunRSJoin(&dfs, "r", "s", "clean", clean_config);
   ASSERT_TRUE(clean.ok()) << clean.status().ToString();
 
   auto config = BaseConfig(Stage1Algorithm::kBTO, Stage2Algorithm::kPK,
-                           Stage3Algorithm::kBRJ, sort_buffer);
+                           Stage3Algorithm::kBRJ, sort_buffer, format, codec);
   config.verify_integrity = true;
   config.fault_plan = CorruptionPlan(target);
 
@@ -247,6 +274,24 @@ TEST(FaultPipelineTest, SelfCorruptReduceOutputUnbounded) {
 
 TEST(FaultPipelineTest, RSCorruptSpillSpilling) {
   RunRSCorruptionCase(mr::CorruptTarget::kSpill, 256);
+}
+
+// Binary axis: the injector flips a byte inside the *encoded* (and with
+// fjlz, compressed) spill block — the checksum is defined over exactly
+// those bytes, so detection must still fire and the join still match.
+TEST(FaultPipelineTest, SelfBinaryCorruptEncodedSpillSpilling) {
+  RunSelfCorruptionCase(mr::CorruptTarget::kSpill, 256,
+                        mr::RecordFormat::kBinary, mr::BlockCodec::kFjlz);
+}
+
+TEST(FaultPipelineTest, SelfBinaryCorruptMapOutputUnbounded) {
+  RunSelfCorruptionCase(mr::CorruptTarget::kMapOutput, 0,
+                        mr::RecordFormat::kBinary);
+}
+
+TEST(FaultPipelineTest, RSBinaryCorruptReduceOutputSpilling) {
+  RunRSCorruptionCase(mr::CorruptTarget::kReduceOutput, 256,
+                      mr::RecordFormat::kBinary, mr::BlockCodec::kFjlz);
 }
 
 TEST(FaultPipelineTest, RSCorruptReduceOutputUnbounded) {

@@ -268,6 +268,17 @@ TEST(ResumeTest, FingerprintTracksResultAffectingKnobsOnly) {
   tasks.num_reduce_tasks = 5;  // changes output line order
   EXPECT_NE(PipelineFingerprint(tasks, dfs, {"in"}).value(), fp);
 
+  // The record format changes checkpointed intermediate bytes, so a run
+  // started as text must not resume as binary (and vice versa) — and the
+  // codec changes the encoded run blocks a resumed attempt would re-read.
+  JoinConfig binary = base;
+  binary.record_format = mr::RecordFormat::kBinary;
+  uint64_t binary_fp = PipelineFingerprint(binary, dfs, {"in"}).value();
+  EXPECT_NE(binary_fp, fp);
+  JoinConfig packed = binary;
+  packed.block_codec = mr::BlockCodec::kFjlz;
+  EXPECT_NE(PipelineFingerprint(packed, dfs, {"in"}).value(), binary_fp);
+
   // Byte-transparent knobs leave the fingerprint alone.
   JoinConfig transparent = base;
   transparent.verify_integrity = true;

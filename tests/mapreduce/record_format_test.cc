@@ -1,0 +1,569 @@
+// The binary record format, bottom up: varint primitives, the typed
+// content codec, the fjlz block codec, run-block framing, and the wire
+// records stored in DFS stage files — plus an end-to-end job proving the
+// binary path produces byte-identical output to text. The decode-side
+// tests are deliberately hostile: every truncation prefix and random
+// byte-flip must come back as `false`/Status, never UB (the job layer
+// relies on that to turn corrupted shuffle blocks into failed attempts).
+#include "mapreduce/record_format.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <random>
+#include <string>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "common/string_util.h"
+#include "common/varint.h"
+#include "fuzzyjoin/projection.h"
+#include "mapreduce/dfs.h"
+#include "mapreduce/job.h"
+
+namespace fj::mr {
+namespace {
+
+// --- layer 0: varints ---------------------------------------------------
+
+TEST(VarintTest, RoundTripsEdgeValues) {
+  const uint64_t values[] = {0,
+                             1,
+                             127,
+                             128,
+                             300,
+                             16383,
+                             16384,
+                             (1ull << 32) - 1,
+                             1ull << 32,
+                             1ull << 63,
+                             std::numeric_limits<uint64_t>::max()};
+  for (uint64_t v : values) {
+    std::string buf;
+    AppendVarint(&buf, v);
+    EXPECT_LE(buf.size(), kMaxVarintBytes);
+    EXPECT_EQ(buf.size(), VarintLen(v));
+    size_t pos = 0;
+    uint64_t decoded = 0;
+    ASSERT_TRUE(DecodeVarint(buf, &pos, &decoded)) << v;
+    EXPECT_EQ(decoded, v);
+    EXPECT_EQ(pos, buf.size());
+  }
+}
+
+TEST(VarintTest, FuzzRoundTrip) {
+  std::mt19937_64 rng(20260808);
+  std::string buf;
+  std::vector<uint64_t> values;
+  for (int i = 0; i < 2000; ++i) {
+    // Bias toward small values (shift by a random bit width) so every
+    // encoded length 1..10 is exercised.
+    uint64_t v = rng() >> (rng() % 64);
+    values.push_back(v);
+    AppendVarint(&buf, v);
+  }
+  size_t pos = 0;
+  for (uint64_t expected : values) {
+    uint64_t decoded = 0;
+    ASSERT_TRUE(DecodeVarint(buf, &pos, &decoded));
+    EXPECT_EQ(decoded, expected);
+  }
+  EXPECT_EQ(pos, buf.size());
+}
+
+TEST(VarintTest, EveryTruncationPrefixFailsWithPosUntouched) {
+  std::string buf;
+  AppendVarint(&buf, std::numeric_limits<uint64_t>::max());  // 10 bytes
+  for (size_t cut = 0; cut < buf.size(); ++cut) {
+    std::string_view prefix(buf.data(), cut);
+    size_t pos = 0;
+    uint64_t v = 0;
+    EXPECT_FALSE(DecodeVarint(prefix, &pos, &v)) << cut;
+    EXPECT_EQ(pos, 0u) << "pos must be untouched on failure";
+  }
+}
+
+TEST(VarintTest, OverlongEncodingRejected) {
+  // 11 continuation bytes can never be a valid varint.
+  std::string buf(11, '\x80');
+  size_t pos = 0;
+  uint64_t v = 0;
+  EXPECT_FALSE(DecodeVarint(buf, &pos, &v));
+}
+
+TEST(VarintTest, ZigZagRoundTripsSignedEdges) {
+  const int64_t values[] = {0,
+                            -1,
+                            1,
+                            -64,
+                            63,
+                            -65,
+                            std::numeric_limits<int64_t>::min(),
+                            std::numeric_limits<int64_t>::max()};
+  for (int64_t v : values) {
+    EXPECT_EQ(ZigZagDecode(ZigZagEncode(v)), v);
+  }
+  // Small magnitudes map to small codes (the point of zigzag).
+  EXPECT_EQ(ZigZagEncode(0), 0u);
+  EXPECT_EQ(ZigZagEncode(-1), 1u);
+  EXPECT_EQ(ZigZagEncode(1), 2u);
+}
+
+// --- layer 1: typed content codec ---------------------------------------
+
+template <typename T>
+void ExpectContentRoundTrip(const T& value) {
+  std::string buf = "prefix";  // encoding appends, decoding starts mid-buffer
+  EncodeContent(value, &buf);
+  size_t pos = 6;
+  T decoded{};
+  ASSERT_TRUE(DecodeContent(buf, &pos, &decoded));
+  EXPECT_EQ(decoded, value);
+  EXPECT_EQ(pos, buf.size());
+}
+
+TEST(ContentCodecTest, RoundTripsScalarsStringsAndComposites) {
+  ExpectContentRoundTrip(std::string());
+  ExpectContentRoundTrip(std::string("hello\tworld"));
+  ExpectContentRoundTrip(std::string("embedded\0nul", 12));
+  ExpectContentRoundTrip(std::string(100000, 'x'));  // max-length record
+  ExpectContentRoundTrip(uint64_t{0});
+  ExpectContentRoundTrip(std::numeric_limits<uint64_t>::max());
+  ExpectContentRoundTrip(int64_t{-123456789});
+  ExpectContentRoundTrip(uint8_t{7});
+  ExpectContentRoundTrip(true);
+  ExpectContentRoundTrip(false);
+  ExpectContentRoundTrip(3.14159265358979);
+  ExpectContentRoundTrip(-0.0);
+  ExpectContentRoundTrip(std::make_pair(std::string("k"), uint64_t{9}));
+  ExpectContentRoundTrip(
+      std::make_tuple(uint64_t{1}, std::string("two"), 3.0));
+  ExpectContentRoundTrip(std::vector<uint64_t>{});
+  ExpectContentRoundTrip(std::vector<uint64_t>{1, 127, 128, 1ull << 40});
+  ExpectContentRoundTrip(std::vector<std::string>{"", "a", "bb"});
+}
+
+TEST(ContentCodecTest, DoubleRoundTripIsExactBits) {
+  // 1/3 has no short decimal rendering; the fixed64 path must preserve
+  // the exact bit pattern, not a formatted approximation.
+  double v = 1.0 / 3.0;
+  std::string buf;
+  EncodeContent(v, &buf);
+  ASSERT_EQ(buf.size(), 8u);
+  size_t pos = 0;
+  double decoded = 0;
+  ASSERT_TRUE(DecodeContent(buf, &pos, &decoded));
+  EXPECT_EQ(decoded, v);  // bitwise, not approximate
+}
+
+TEST(ContentCodecTest, NarrowIntegerRangeChecked) {
+  std::string buf;
+  EncodeContent(uint64_t{300}, &buf);
+  size_t pos = 0;
+  uint8_t narrow = 0;
+  EXPECT_FALSE(DecodeContent(buf, &pos, &narrow));
+  EXPECT_EQ(pos, 0u);
+}
+
+TEST(ContentCodecTest, EveryTruncationPrefixFails) {
+  std::string buf;
+  EncodeContent(std::make_tuple(uint64_t{12345}, std::string("payload"),
+                                0.25),
+                &buf);
+  for (size_t cut = 0; cut < buf.size(); ++cut) {
+    std::string_view prefix(buf.data(), cut);
+    size_t pos = 0;
+    std::tuple<uint64_t, std::string, double> out;
+    EXPECT_FALSE(DecodeContent(prefix, &pos, &out)) << cut;
+  }
+}
+
+TEST(ContentCodecTest, VectorCountBeyondBufferRejectedBeforeReserve) {
+  // A corrupted element count must be rejected by the sanity bound, not
+  // fed to reserve() (which could attempt a huge allocation).
+  std::string buf;
+  AppendVarint(&buf, std::numeric_limits<uint64_t>::max());
+  size_t pos = 0;
+  std::vector<uint64_t> out;
+  EXPECT_FALSE(DecodeContent(buf, &pos, &out));
+}
+
+TEST(ContentCodecTest, TokenSetRecordDeltaVarintRoundTrip) {
+  using fj::join::TokenSetRecord;
+  std::mt19937_64 rng(42);
+  for (int iter = 0; iter < 200; ++iter) {
+    TokenSetRecord record;
+    record.rid = rng();
+    size_t n = rng() % 50;  // includes empty token sets
+    uint64_t token = 0;
+    for (size_t i = 0; i < n; ++i) {
+      token += rng() % 1000;  // ascending, as stage 2 produces them
+      record.tokens.push_back(token);
+    }
+    std::string buf;
+    EncodeContent(record, &buf);
+    // Ascending token ids delta-encode far below the text estimate.
+    if (n > 0) {
+      EXPECT_LT(buf.size(), 10 + 10 * n);
+    }
+    size_t pos = 0;
+    TokenSetRecord decoded;
+    ASSERT_TRUE(DecodeContent(buf, &pos, &decoded));
+    EXPECT_EQ(decoded.rid, record.rid);
+    EXPECT_EQ(decoded.tokens, record.tokens);
+    EXPECT_EQ(pos, buf.size());
+    for (size_t cut = 0; cut + 1 < buf.size(); ++cut) {
+      size_t p = 0;
+      TokenSetRecord t;
+      EXPECT_FALSE(DecodeContent(std::string_view(buf.data(), cut), &p, &t));
+    }
+  }
+}
+
+// --- layer 2: fjlz and run blocks ----------------------------------------
+
+std::string CompressibleBytes(size_t n) {
+  std::string s;
+  s.reserve(n);
+  while (s.size() < n) s += "the quick brown fox jumps over the lazy dog ";
+  s.resize(n);
+  return s;
+}
+
+std::string RandomBytes(size_t n, uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::string s(n, '\0');
+  for (char& c : s) c = static_cast<char>(rng() & 0xff);
+  return s;
+}
+
+TEST(FjlzTest, RoundTripsEmptyCompressibleAndRandom) {
+  for (const std::string& raw :
+       {std::string(), CompressibleBytes(10000), RandomBytes(5000, 1),
+        std::string(4096, 'A'),  // pure RLE
+        RandomBytes(3, 2)}) {    // below min-match length
+    std::string compressed;
+    FjlzCompress(raw, &compressed);
+    std::string decompressed;
+    auto status = FjlzDecompress(compressed, raw.size(), &decompressed);
+    ASSERT_TRUE(status.ok()) << status.ToString();
+    EXPECT_EQ(decompressed, raw);
+  }
+}
+
+TEST(FjlzTest, CompressesRepetitiveData) {
+  std::string raw = CompressibleBytes(16384);
+  std::string compressed;
+  FjlzCompress(raw, &compressed);
+  EXPECT_LT(compressed.size() * 2, raw.size());
+}
+
+TEST(FjlzTest, TruncationAndBitFlipsNeverUB) {
+  std::string raw = CompressibleBytes(2000);
+  std::string compressed;
+  FjlzCompress(raw, &compressed);
+  std::string out;
+  for (size_t cut = 0; cut < compressed.size(); ++cut) {
+    // Either a clean error or (for a cut that lands on a token boundary)
+    // a short output — both fine; UB/overread is what the sanitizer
+    // builds are watching for.
+    (void)FjlzDecompress(std::string_view(compressed.data(), cut), raw.size(),
+                         &out);
+  }
+  std::mt19937_64 rng(7);
+  for (int i = 0; i < 200; ++i) {
+    std::string mutated = compressed;
+    mutated[rng() % mutated.size()] ^= static_cast<char>(1 + rng() % 255);
+    if (FjlzDecompress(mutated, raw.size(), &out).ok()) {
+      EXPECT_EQ(out.size(), raw.size());
+    }
+  }
+}
+
+TEST(RunBlockTest, RoundTripsThroughBothCodecs) {
+  using Pair = std::pair<std::string, uint64_t>;
+  std::vector<Pair> pairs;
+  for (int i = 0; i < 500; ++i) {
+    pairs.emplace_back("token" + std::to_string(i % 37), i);
+  }
+  for (BlockCodec codec : {BlockCodec::kNone, BlockCodec::kFjlz}) {
+    std::string encoded;
+    uint64_t logical = 0;
+    EncodeRunBlock(codec, pairs, &encoded, &logical);
+    EXPECT_GT(logical, 0u);
+    if (codec == BlockCodec::kFjlz) {
+      EXPECT_LT(encoded.size(), logical);
+    }
+    std::vector<Pair> decoded;
+    auto status = DecodeRunBlock(encoded, &decoded);
+    ASSERT_TRUE(status.ok()) << status.ToString();
+    EXPECT_EQ(decoded, pairs);
+  }
+}
+
+TEST(RunBlockTest, EmptyRunRoundTrips) {
+  std::vector<std::pair<uint64_t, uint64_t>> pairs;
+  std::string encoded;
+  uint64_t logical = 0;
+  EncodeRunBlock(BlockCodec::kFjlz, pairs, &encoded, &logical);
+  EXPECT_EQ(logical, 0u);
+  std::vector<std::pair<uint64_t, uint64_t>> decoded{{1, 2}};
+  ASSERT_TRUE(DecodeRunBlock(encoded, &decoded).ok());
+  EXPECT_TRUE(decoded.empty());
+}
+
+TEST(RunBlockTest, EveryTruncationPrefixIsStatusNotUB) {
+  std::vector<std::pair<std::string, uint64_t>> pairs{
+      {"alpha", 1}, {"beta", 2}, {"gamma", 3}};
+  for (BlockCodec codec : {BlockCodec::kNone, BlockCodec::kFjlz}) {
+    std::string encoded;
+    uint64_t logical = 0;
+    EncodeRunBlock(codec, pairs, &encoded, &logical);
+    for (size_t cut = 0; cut < encoded.size(); ++cut) {
+      std::vector<std::pair<std::string, uint64_t>> decoded;
+      EXPECT_FALSE(
+          DecodeRunBlock(std::string_view(encoded.data(), cut), &decoded)
+              .ok())
+          << "codec=" << BlockCodecName(codec) << " cut=" << cut;
+    }
+  }
+}
+
+TEST(RunBlockTest, UnknownCodecByteRejected) {
+  std::vector<std::pair<uint64_t, uint64_t>> pairs{{1, 2}};
+  std::string encoded;
+  uint64_t logical = 0;
+  EncodeRunBlock(BlockCodec::kNone, pairs, &encoded, &logical);
+  encoded[0] = '\x7e';
+  std::vector<std::pair<uint64_t, uint64_t>> decoded;
+  EXPECT_FALSE(DecodeRunBlock(encoded, &decoded).ok());
+}
+
+TEST(RunBlockTest, IncompressiblePayloadFallsBackToStored) {
+  std::vector<std::pair<std::string, uint64_t>> pairs;
+  std::mt19937_64 rng(99);
+  for (int i = 0; i < 50; ++i) pairs.emplace_back(RandomBytes(64, rng()), i);
+  std::string encoded;
+  uint64_t logical = 0;
+  EncodeRunBlock(BlockCodec::kFjlz, pairs, &encoded, &logical);
+  // Framing overhead only — incompressible data must not blow up.
+  EXPECT_LE(encoded.size(), logical + 2 * kMaxVarintBytes + 1);
+  std::vector<std::pair<std::string, uint64_t>> decoded;
+  ASSERT_TRUE(DecodeRunBlock(encoded, &decoded).ok());
+  EXPECT_EQ(decoded, pairs);
+}
+
+// --- layer 3: wire records -----------------------------------------------
+
+TEST(WireRecordTest, TokenCountRoundTripAndSniffing) {
+  for (const auto& [token, count] :
+       std::vector<std::pair<std::string, uint64_t>>{
+           {"", 0},
+           {"hello", 42},
+           {"tab\tand\nnewline", 7},
+           {std::string(5000, 'q'), std::numeric_limits<uint64_t>::max()}}) {
+    std::string record;
+    FormatTokenCountRecord(token, count, &record);
+    EXPECT_TRUE(IsBinaryRecord(record));
+    std::string token_out;
+    uint64_t count_out = 0;
+    ASSERT_TRUE(ParseTokenCountRecord(record, &token_out, &count_out));
+    EXPECT_EQ(token_out, token);
+    EXPECT_EQ(count_out, count);
+    for (size_t cut = 0; cut < record.size(); ++cut) {
+      EXPECT_FALSE(ParseTokenCountRecord(
+          std::string_view(record.data(), cut), &token_out, &count_out));
+    }
+  }
+  EXPECT_FALSE(IsBinaryRecord(""));
+  EXPECT_FALSE(IsBinaryRecord("plain\ttext\tline"));
+}
+
+TEST(WireRecordTest, RidPairCarriesExactDoubleBits) {
+  double similarity = 2.0 / 3.0;
+  std::string record;
+  FormatRidPairRecord(81, 1024, similarity, &record);
+  EXPECT_TRUE(IsBinaryRecord(record));
+  uint64_t rid1 = 0, rid2 = 0;
+  double sim_out = 0;
+  ASSERT_TRUE(ParseRidPairRecord(record, &rid1, &rid2, &sim_out));
+  EXPECT_EQ(rid1, 81u);
+  EXPECT_EQ(rid2, 1024u);
+  EXPECT_EQ(sim_out, similarity);  // exact bits, not %.6f precision
+  // A token-count record must not parse as a rid pair (kind byte).
+  std::string other;
+  FormatTokenCountRecord("x", 1, &other);
+  EXPECT_FALSE(ParseRidPairRecord(other, &rid1, &rid2, &sim_out));
+  EXPECT_FALSE(ParseTokenCountRecord(record, &other, &rid1));
+}
+
+TEST(RecordFormatTest, NamesAndParsersAgree) {
+  RecordFormat format = RecordFormat::kText;
+  EXPECT_TRUE(ParseRecordFormat("binary", &format));
+  EXPECT_EQ(format, RecordFormat::kBinary);
+  EXPECT_TRUE(ParseRecordFormat("text", &format));
+  EXPECT_EQ(format, RecordFormat::kText);
+  EXPECT_FALSE(ParseRecordFormat("avro", &format));
+  BlockCodec codec = BlockCodec::kNone;
+  EXPECT_TRUE(ParseBlockCodec("fjlz", &codec));
+  EXPECT_EQ(codec, BlockCodec::kFjlz);
+  EXPECT_TRUE(ParseBlockCodec("none", &codec));
+  EXPECT_FALSE(ParseBlockCodec("zstd", &codec));
+  EXPECT_STREQ(RecordFormatName(RecordFormat::kBinary), "binary");
+  EXPECT_STREQ(BlockCodecName(BlockCodec::kFjlz), "fjlz");
+}
+
+// --- end to end: a binary job matches the text job byte for byte ---------
+
+using K = std::string;
+using V = uint64_t;
+
+JobSpec<K, V> WordCountSpec(const std::string& in, const std::string& out) {
+  JobSpec<K, V> spec;
+  spec.name = "format-wordcount";
+  spec.input_files = {in};
+  spec.output_file = out;
+  spec.num_map_tasks = 4;
+  spec.num_reduce_tasks = 3;
+  spec.sort_buffer_bytes = 256;  // force real spills through the codec
+  spec.mapper_factory = [] {
+    return std::make_unique<LambdaMapper<K, V>>(
+        [](const InputRecord& record, Emitter<K, V>* out, TaskContext*) {
+          for (const auto& w : Split(*record.line, ' ')) {
+            if (!w.empty()) out->Emit(w, 1);
+          }
+        });
+  };
+  spec.reducer_factory = [] {
+    return std::make_unique<LambdaReducer<K, V>>(
+        [](const K& key, std::span<const std::pair<K, V>> group,
+           OutputEmitter* out, TaskContext*) {
+          uint64_t total = 0;
+          for (const auto& [k, v] : group) total += v;
+          out->Emit(key + "\t" + std::to_string(total));
+        });
+  };
+  return spec;
+}
+
+TEST(RecordFormatTest, BinaryJobOutputIsByteIdenticalToText) {
+  Dfs dfs;
+  std::vector<std::string> lines;
+  for (int i = 0; i < 300; ++i) {
+    lines.push_back("w" + std::to_string(i % 31) + " w" +
+                    std::to_string(i % 11) + " w" + std::to_string(i % 5));
+  }
+  ASSERT_TRUE(dfs.WriteFile("in", std::move(lines)).ok());
+
+  auto RunWith = [&](const std::string& out, RecordFormat format,
+                     BlockCodec codec) {
+    auto spec = WordCountSpec("in", out);
+    spec.record_format = format;
+    spec.block_codec = codec;
+    Job<K, V> job(&dfs, std::move(spec));
+    auto metrics = job.Run();
+    EXPECT_TRUE(metrics.ok()) << metrics.status().ToString();
+    return *metrics;
+  };
+
+  auto text = RunWith("out_text", RecordFormat::kText, BlockCodec::kNone);
+  auto binary = RunWith("out_bin", RecordFormat::kBinary, BlockCodec::kNone);
+  auto packed = RunWith("out_fjlz", RecordFormat::kBinary, BlockCodec::kFjlz);
+
+  auto text_out = dfs.ReadFile("out_text");
+  auto bin_out = dfs.ReadFile("out_bin");
+  auto packed_out = dfs.ReadFile("out_fjlz");
+  ASSERT_TRUE(text_out.ok() && bin_out.ok() && packed_out.ok());
+  EXPECT_EQ(*text_out.value(), *bin_out.value());
+  EXPECT_EQ(*text_out.value(), *packed_out.value());
+
+  // Text meters estimates and never exercises the codec.
+  EXPECT_EQ(text.codec_logical_bytes, 0u);
+  EXPECT_EQ(text.codec_encoded_bytes, 0u);
+  // Binary meters real encoded bytes across spill + reduce boundaries.
+  EXPECT_GT(binary.codec_logical_bytes, 0u);
+  EXPECT_GT(binary.codec_encoded_bytes, 0u);
+  EXPECT_GT(binary.spill_count, 0u);
+  // fjlz must shrink this highly repetitive shuffle.
+  EXPECT_LT(packed.codec_encoded_bytes, packed.codec_logical_bytes);
+  EXPECT_LT(packed.spilled_bytes, binary.spilled_bytes);
+}
+
+TEST(RecordFormatTest, CorruptedEncodedBlockIsDetectedAndRetried) {
+  Dfs dfs;
+  std::vector<std::string> lines;
+  for (int i = 0; i < 100; ++i) {
+    lines.push_back("a" + std::to_string(i % 13) + " b" +
+                    std::to_string(i % 7));
+  }
+  ASSERT_TRUE(dfs.WriteFile("in", std::move(lines)).ok());
+
+  auto spec = WordCountSpec("in", "out");
+  spec.record_format = RecordFormat::kBinary;
+  spec.block_codec = BlockCodec::kFjlz;
+  spec.verify_integrity = true;
+  spec.max_task_attempts = 4;
+  auto plan = std::make_shared<FaultPlan>();
+  plan->seed = 5;
+  plan->corrupt_probability = 1.0;  // flip a byte in every eligible attempt
+  plan->corrupt_failing_attempts = 2;
+  spec.fault_plan = plan;
+  Job<K, V> job(&dfs, std::move(spec));
+  auto metrics = job.Run();
+  ASSERT_TRUE(metrics.ok()) << metrics.status().ToString();
+  // The flips hit *encoded* (compressed) block bytes; the checksum over
+  // those bytes must still catch every one.
+  EXPECT_GT(metrics->corruption_detected, 0u);
+
+  Dfs clean_dfs;
+  std::vector<std::string> clean_lines;
+  for (int i = 0; i < 100; ++i) {
+    clean_lines.push_back("a" + std::to_string(i % 13) + " b" +
+                          std::to_string(i % 7));
+  }
+  ASSERT_TRUE(clean_dfs.WriteFile("in", std::move(clean_lines)).ok());
+  auto clean_spec = WordCountSpec("in", "out");
+  clean_spec.record_format = RecordFormat::kBinary;
+  clean_spec.block_codec = BlockCodec::kFjlz;
+  Job<K, V> clean_job(&clean_dfs, std::move(clean_spec));
+  ASSERT_TRUE(clean_job.Run().ok());
+  auto faulted = dfs.ReadFile("out");
+  auto clean = clean_dfs.ReadFile("out");
+  ASSERT_TRUE(faulted.ok() && clean.ok());
+  EXPECT_EQ(*faulted.value(), *clean.value());
+}
+
+// --- DFS binary block files ----------------------------------------------
+
+TEST(RecordFormatTest, DfsBinaryBlocksVerifyAndCharge) {
+  Dfs dfs;
+  std::vector<std::string> blocks{std::string("\xfb\x01raw", 5),
+                                  std::string(), RandomBytes(256, 3)};
+  ASSERT_TRUE(dfs.WriteFileBlocks("bin", blocks).ok());
+  EXPECT_TRUE(dfs.IsBinary("bin"));
+  ASSERT_TRUE(dfs.WriteFile("txt", {"a line"}).ok());
+  EXPECT_FALSE(dfs.IsBinary("txt"));
+
+  auto stored = dfs.ReadFile("bin");
+  ASSERT_TRUE(stored.ok());
+  EXPECT_EQ(*stored.value(), blocks);
+
+  // Binary files charge varint length prefixes, not newline terminators.
+  uint64_t expected = 0;
+  for (const auto& b : blocks) expected += VarintLen(b.size()) + b.size();
+  auto bytes = dfs.FileBytes("bin");
+  ASSERT_TRUE(bytes.ok());
+  EXPECT_EQ(*bytes, expected);
+
+  auto verified = dfs.VerifyFile("bin");
+  ASSERT_TRUE(verified.ok()) << verified.status().ToString();
+  EXPECT_EQ(*verified, expected);
+  ASSERT_TRUE(dfs.CorruptByteForTest("bin", 11).ok());
+  EXPECT_FALSE(dfs.VerifyFile("bin").ok());
+}
+
+}  // namespace
+}  // namespace fj::mr

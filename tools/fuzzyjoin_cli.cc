@@ -14,6 +14,7 @@
 //             [--fault_corrupt_attempts=N]
 //             [--verify_integrity] [--max_skipped=N]
 //             [--check_contracts[=0|1]] [--contract_sample_every=N]
+//             [--record_format=text|binary] [--codec=none|fjlz]
 //             [--resume] [--dfs_dir=PATH]
 //             [--stats]                      set-similarity self-join
 //   rsjoin    --r=FILE --s=FILE --out=FILE [same tuning flags]
@@ -28,9 +29,11 @@
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <iterator>
 #include <sstream>
 
 #include "common/flags.h"
+#include "common/varint.h"
 #include "data/generator.h"
 #include "data/increase.h"
 #include "fuzzyjoin/fuzzyjoin.h"
@@ -119,6 +122,15 @@ Result<fj::join::JoinConfig> ConfigFromFlags(const Flags& flags) {
   }
   config.contract_sample_every =
       static_cast<uint32_t>(flags.GetInt("contract_sample_every", 16));
+  std::string record_format = flags.GetString("record_format", "text");
+  if (!fj::mr::ParseRecordFormat(record_format, &config.record_format)) {
+    return Status::InvalidArgument("unknown --record_format: " +
+                                   record_format);
+  }
+  std::string codec = flags.GetString("codec", "none");
+  if (!fj::mr::ParseBlockCodec(codec, &config.block_codec)) {
+    return Status::InvalidArgument("unknown --codec: " + codec);
+  }
   config.resume = flags.Has("resume");
   if (flags.Has("max_skipped")) {
     config.max_skipped_records =
@@ -258,6 +270,24 @@ void PrintStats(const fj::join::JoinRunResult& result) {
                    static_cast<unsigned long long>(contract_checks),
                    sim_contract);
     }
+    uint64_t codec_logical = 0, codec_encoded = 0;
+    double sim_codec = 0, sim_spill = 0;
+    for (const auto& job : stage.jobs) {
+      codec_logical += job.codec_logical_bytes;
+      codec_encoded += job.codec_encoded_bytes;
+      const auto sim = fj::mr::SimulateJob(job, cluster);
+      sim_codec += sim.codec_seconds;
+      sim_spill += sim.spill_seconds;
+    }
+    if (codec_encoded > 0) {
+      std::fprintf(stderr,
+                   "    format: %.1f KB logical -> %.1f KB encoded (%.2fx), "
+                   "%.3fs codec / %.3fs spill simulated on the cluster\n",
+                   codec_logical / 1024.0, codec_encoded / 1024.0,
+                   static_cast<double>(codec_logical) /
+                       static_cast<double>(codec_encoded),
+                   sim_codec, sim_spill);
+    }
     for (const auto& job : stage.jobs) {
       for (const auto& [name, value] : job.counters.Snapshot()) {
         std::fprintf(stderr, "    %-40s %lld\n", name.c_str(),
@@ -275,16 +305,72 @@ void PrintStats(const fj::join::JoinRunResult& result) {
 // file inside the directory. The directory is owned by the tool — saving
 // replaces its contents with the Dfs's current files.
 
+// Binary Dfs files (those written through Dfs::WriteFileBlocks — encoded
+// stage intermediates under --record_format=binary) persist as real binary
+// files: a 4-byte magic header followed by varint-length-prefixed blocks,
+// the same framing the Dfs charges them for. Text files stay plain
+// newline-terminated lines, so state directories from text runs remain
+// directly inspectable.
+constexpr char kBinaryDfsMagic[4] = {'F', 'J', 'B', '1'};
+
+Result<std::vector<std::string>> ReadBlocks(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open " + path);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  std::vector<std::string> blocks;
+  size_t pos = sizeof(kBinaryDfsMagic);
+  while (pos < bytes.size()) {
+    uint64_t len = 0;
+    if (!fj::DecodeVarint(bytes, &pos, &len) || len > bytes.size() - pos) {
+      return Status::DataLoss("corrupt binary dfs file: " + path);
+    }
+    blocks.push_back(bytes.substr(pos, static_cast<size_t>(len)));
+    pos += static_cast<size_t>(len);
+  }
+  return blocks;
+}
+
+Status WriteBlocks(const std::string& path,
+                   const std::vector<std::string>& blocks) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  out.write(kBinaryDfsMagic, sizeof(kBinaryDfsMagic));
+  std::string frame;
+  for (const auto& block : blocks) {
+    frame.clear();
+    fj::AppendVarint(&frame, block.size());
+    out.write(frame.data(), static_cast<std::streamsize>(frame.size()));
+    out.write(block.data(), static_cast<std::streamsize>(block.size()));
+  }
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+bool HasBinaryDfsMagic(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  char header[sizeof(kBinaryDfsMagic)] = {};
+  in.read(header, sizeof(header));
+  return in.gcount() == sizeof(header) &&
+         std::equal(header, header + sizeof(header), kBinaryDfsMagic);
+}
+
 Status LoadDfsDir(const std::string& dir, fj::mr::Dfs* dfs) {
   namespace fsys = std::filesystem;
   std::error_code ec;
   if (!fsys::exists(dir, ec)) return Status::OK();  // first invocation
   for (const auto& entry : fsys::directory_iterator(dir, ec)) {
     if (!entry.is_regular_file()) continue;
+    const std::string name = entry.path().filename().string();
+    if (HasBinaryDfsMagic(entry.path().string())) {
+      FJ_ASSIGN_OR_RETURN(std::vector<std::string> blocks,
+                          ReadBlocks(entry.path().string()));
+      FJ_RETURN_IF_ERROR(dfs->WriteFileBlocks(name, std::move(blocks)));
+      continue;
+    }
     FJ_ASSIGN_OR_RETURN(std::vector<std::string> lines,
                         ReadLines(entry.path().string()));
-    FJ_RETURN_IF_ERROR(
-        dfs->WriteFile(entry.path().filename().string(), std::move(lines)));
+    FJ_RETURN_IF_ERROR(dfs->WriteFile(name, std::move(lines)));
   }
   if (ec) return Status::IOError("cannot list " + dir + ": " + ec.message());
   return Status::OK();
@@ -306,7 +392,11 @@ Status SaveDfsDir(const std::string& dir, const fj::mr::Dfs& dfs) {
   for (const std::string& name : dfs.ListFiles()) {
     auto lines = dfs.ReadFile(name);
     if (!lines.ok()) return lines.status();
-    FJ_RETURN_IF_ERROR(WriteLines(dir + "/" + name, *lines.value()));
+    if (dfs.IsBinary(name)) {
+      FJ_RETURN_IF_ERROR(WriteBlocks(dir + "/" + name, *lines.value()));
+    } else {
+      FJ_RETURN_IF_ERROR(WriteLines(dir + "/" + name, *lines.value()));
+    }
   }
   return Status::OK();
 }

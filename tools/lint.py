@@ -28,6 +28,14 @@ Rules:
                    are fine. Waive deliberate uses (e.g. a test that needs
                    a bare thread) with a trailing or preceding
                    `lint: allow-thread (<reason>)` comment.
+  no-raw-file-io   std::ifstream/std::ofstream/std::fstream/fopen are
+                   banned in src/ and tests/ outside src/mapreduce/dfs.cc:
+                   every byte the engine reads or writes must flow through
+                   the Dfs so checksums, byte meters, and the binary block
+                   framing see it (a raw stream bypasses all three).
+                   bench/ and tools/ are exempt (host-side artifact I/O).
+                   Waive deliberate uses with a trailing or preceding
+                   `lint: allow-file-io (<reason>)` comment.
   nodiscard-status Status and Result must stay class-level [[nodiscard]]
                    so dropped errors are compile errors under -Werror.
   iwyu-lite        a file that names selected std:: symbols must include
@@ -70,6 +78,16 @@ THREAD_WAIVER = "lint: allow-thread"
 EXECUTOR_FILES = (
     os.path.join("src", "common", "executor.h"),
     os.path.join("src", "common", "executor.cc"),
+)
+
+# no-raw-file-io: direct file streams / FILE* opens. Only the Dfs (and the
+# host-side bench/ and tools/ trees) may touch real files.
+RAW_FILE_IO_RE = re.compile(r"\bstd::[io]?fstream\b|(?<![\w.])fopen\s*\(")
+FILE_IO_WAIVER = "lint: allow-file-io"
+FILE_IO_EXEMPT_FILES = (os.path.join("src", "mapreduce", "dfs.cc"),)
+FILE_IO_EXEMPT_DIRS = (
+    os.sep + "bench" + os.sep,
+    os.sep + "tools" + os.sep,
 )
 
 
@@ -126,6 +144,17 @@ def main():
                            "spawn tasks on the common/executor.h Executor "
                            "instead of a raw std::thread; waive deliberate "
                            "uses with '// %s (<reason>)'" % THREAD_WAIVER)
+
+            file_io_exempt = (path.endswith(FILE_IO_EXEMPT_FILES) or
+                              any(d in path for d in FILE_IO_EXEMPT_DIRS))
+            if not file_io_exempt and RAW_FILE_IO_RE.search(code):
+                prev = lines[lineno - 2] if lineno >= 2 else ""
+                if FILE_IO_WAIVER not in raw and FILE_IO_WAIVER not in prev:
+                    report(path, lineno, "no-raw-file-io",
+                           "raw file I/O bypasses the Dfs (checksums, byte "
+                           "meters, block framing); route through "
+                           "mapreduce/dfs.h or waive with "
+                           "'// %s (<reason>)'" % FILE_IO_WAIVER)
 
             if in_ppjoin and UNORDERED_RE.search(code):
                 prev = lines[lineno - 2] if lineno >= 2 else ""
