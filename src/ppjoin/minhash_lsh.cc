@@ -33,6 +33,20 @@ std::vector<uint64_t> MinHashSignature(const TokenSetRecord& record,
   return signature;
 }
 
+std::vector<uint64_t> BandKeys(const std::vector<uint64_t>& signature,
+                               const MinHashLshOptions& options) {
+  std::vector<uint64_t> keys;
+  keys.reserve(options.num_bands);
+  for (size_t band = 0; band < options.num_bands; ++band) {
+    uint64_t key = kFnvOffsetBasis;
+    for (size_t row = 0; row < options.rows_per_band; ++row) {
+      key = HashCombine(key, signature[band * options.rows_per_band + row]);
+    }
+    keys.push_back(key);
+  }
+  return keys;
+}
+
 std::vector<SimilarPair> MinHashLshSelfJoin(
     const std::vector<TokenSetRecord>& records,
     const sim::SimilaritySpec& spec, const MinHashLshOptions& options,
@@ -52,18 +66,18 @@ std::vector<SimilarPair> MinHashLshSelfJoin(
   // lint: allow-unordered (LSH baseline, order never observable)
   std::unordered_set<uint64_t> seen_pairs;  // packed (i, j) dedupe
   std::vector<std::pair<size_t, size_t>> candidates;
+  std::vector<std::vector<uint64_t>> band_keys;
+  band_keys.reserve(records.size());
+  for (const auto& signature : signatures) {
+    band_keys.push_back(BandKeys(signature, options));
+  }
   for (size_t band = 0; band < options.num_bands; ++band) {
     // lint: allow-unordered (same waiver as seen_pairs above)
     std::unordered_map<uint64_t, std::vector<size_t>> buckets;
     buckets.reserve(records.size());
     for (size_t i = 0; i < records.size(); ++i) {
       if (records[i].tokens.empty()) continue;
-      uint64_t key = kFnvOffsetBasis;
-      for (size_t r = 0; r < options.rows_per_band; ++r) {
-        key = HashCombine(key,
-                          signatures[i][band * options.rows_per_band + r]);
-      }
-      auto& bucket = buckets[key];
+      auto& bucket = buckets[band_keys[i][band]];
       for (size_t j : bucket) {
         uint64_t packed = (static_cast<uint64_t>(j) << 32) |
                           static_cast<uint64_t>(i);

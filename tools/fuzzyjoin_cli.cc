@@ -33,6 +33,7 @@
 #include <sstream>
 
 #include "common/flags.h"
+#include "common/latency_histogram.h"
 #include "common/varint.h"
 #include "data/generator.h"
 #include "data/increase.h"
@@ -216,6 +217,25 @@ void PrintStats(const fj::join::JoinRunResult& result) {
                    static_cast<unsigned long long>(rt.tasks_executed),
                    static_cast<unsigned long long>(rt.tasks_stolen),
                    utilization, rt.queue_delay_seconds);
+    }
+    // Per-task wall-time distribution: skew between p50 and max is the
+    // straggler signal the paper's Stage 1 ordering is meant to shrink.
+    {
+      fj::LatencyHistogram map_tasks, reduce_tasks;
+      for (const auto& job : stage.jobs) {
+        for (const auto& task : job.map_tasks) map_tasks.Record(task.seconds);
+        for (const auto& task : job.reduce_tasks) {
+          reduce_tasks.Record(task.seconds);
+        }
+      }
+      if (map_tasks.count() > 0) {
+        std::fprintf(stderr, "    map tasks:    %s\n",
+                     map_tasks.Summary().c_str());
+      }
+      if (reduce_tasks.count() > 0) {
+        std::fprintf(stderr, "    reduce tasks: %s\n",
+                     reduce_tasks.Summary().c_str());
+      }
     }
     uint64_t attempts = 0, tasks = 0;
     uint64_t failed = 0, spec_launched = 0, spec_wins = 0;

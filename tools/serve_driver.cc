@@ -1,0 +1,338 @@
+// fuzzyjoin_serve — line-protocol server driver for the serving subsystem.
+//
+//   fuzzyjoin_serve [--load=RECORDS [--ordering=TOKENS]]
+//                   [--snapshot_in=FILE] [--snapshot_out=FILE]
+//                   [--tau_floor=0.5] [--function=jaccard]
+//                   [--compact_fraction=0.25]
+//                   [--lsh] [--bands=16] [--rows=4]
+//                   [--threads=2] [--queue_depth=1024] [--batch=64]
+//                   [--cache=4096] [--stats]
+//
+// Reads one request per line from stdin, answers one line per request on
+// stdout (diagnostics go to stderr). Requests run through the full
+// QueryService path — bounded queue, batching on the executor, result
+// cache — exactly like production traffic:
+//
+//   insert <rid> <text...>    index the tokenized text under rid
+//   remove <rid>              tombstone rid
+//   probe <tau> <text...>     all records with sim >= tau (rid asc)
+//   topk <k> <text...>        k most similar records (sim desc, rid asc)
+//   compact                   flush + compact the index now
+//   stats                     dump index/service stats to stderr
+//   quit                      exit (EOF also exits)
+//
+// Responses: "OK insert <rid>", "OK probe <n> rid:sim ...",
+// "ERR <CodeName> <message>". Similarities print with 4 decimals.
+//
+// --load seeds the index from a data::Record file (the offline corpus);
+// --ordering supplies the stage-1 "token<TAB>count" ranking so online
+// tokenization matches the batch pipeline (derived from the corpus when
+// omitted). --snapshot_in/--snapshot_out round-trip the seeded index
+// through the binary snapshot format instead.
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <iterator>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/flags.h"
+#include "common/varint.h"
+#include "serve/query_service.h"
+#include "serve/serving_index.h"
+#include "text/tokenizer.h"
+
+namespace {
+
+using fj::Flags;
+using fj::Result;
+using fj::Status;
+
+// Probes carry a rid no real record uses so self-exclusion never triggers.
+constexpr uint64_t kQueryRid = ~uint64_t{0};
+
+// Snapshot files: 4-byte magic, then varint-length-framed blocks (the same
+// framing the CLI uses for binary Dfs state).
+constexpr char kSnapshotMagic[4] = {'F', 'J', 'S', 'N'};
+
+Result<std::vector<std::string>> ReadLines(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open " + path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(std::move(line));
+  return lines;
+}
+
+Result<std::vector<std::string>> ReadSnapshotFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open " + path);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  if (bytes.size() < sizeof(kSnapshotMagic) ||
+      !std::equal(kSnapshotMagic, kSnapshotMagic + sizeof(kSnapshotMagic),
+                  bytes.begin())) {
+    return Status::DataLoss("not a snapshot file: " + path);
+  }
+  std::vector<std::string> blocks;
+  size_t pos = sizeof(kSnapshotMagic);
+  while (pos < bytes.size()) {
+    uint64_t len = 0;
+    if (!fj::DecodeVarint(bytes, &pos, &len) || len > bytes.size() - pos) {
+      return Status::DataLoss("corrupt snapshot file: " + path);
+    }
+    blocks.push_back(bytes.substr(pos, static_cast<size_t>(len)));
+    pos += static_cast<size_t>(len);
+  }
+  return blocks;
+}
+
+Status WriteSnapshotFile(const std::string& path,
+                         const std::vector<std::string>& blocks) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  out.write(kSnapshotMagic, sizeof(kSnapshotMagic));
+  std::string frame;
+  for (const auto& block : blocks) {
+    frame.clear();
+    fj::AppendVarint(&frame, block.size());
+    out.write(frame.data(), static_cast<std::streamsize>(frame.size()));
+    out.write(block.data(), static_cast<std::streamsize>(block.size()));
+  }
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+std::string FormatResults(const char* verb,
+                          const std::vector<fj::serve::ProbeResult>& results) {
+  std::ostringstream line;
+  line << "OK " << verb << ' ' << results.size();
+  char sim[16];
+  for (const auto& r : results) {
+    std::snprintf(sim, sizeof(sim), "%.4f", r.similarity);
+    line << ' ' << r.rid << ':' << sim;
+  }
+  return line.str();
+}
+
+void PrintServeStats(const fj::serve::ServingIndex& index,
+                     const fj::serve::QueryService& service) {
+  const auto& is = index.stats();
+  std::fprintf(stderr,
+               "index: %zu live, %zu tombstones, %llu/%llu live/arena "
+               "tokens, epoch %llu\n",
+               index.live_records(), index.tombstones(),
+               static_cast<unsigned long long>(index.live_tokens()),
+               static_cast<unsigned long long>(index.arena_tokens()),
+               static_cast<unsigned long long>(index.write_epoch()));
+  std::fprintf(stderr,
+               "  writes: %llu inserts, %llu removes, %llu compactions "
+               "(%llu tombstones purged)\n",
+               static_cast<unsigned long long>(is.inserts),
+               static_cast<unsigned long long>(is.removes),
+               static_cast<unsigned long long>(is.compactions),
+               static_cast<unsigned long long>(is.tombstones_purged));
+  std::fprintf(stderr,
+               "  probes: %llu probes, %llu candidates, %llu positional / "
+               "%llu bitmap pruned, %llu verified, %llu results\n",
+               static_cast<unsigned long long>(is.probes),
+               static_cast<unsigned long long>(is.candidates),
+               static_cast<unsigned long long>(is.positional_pruned),
+               static_cast<unsigned long long>(is.bitmap_pruned),
+               static_cast<unsigned long long>(is.verified),
+               static_cast<unsigned long long>(is.results));
+  const auto ss = service.stats();
+  std::fprintf(stderr,
+               "service: %llu accepted, %llu rejected (%llu depth, %llu "
+               "bytes), %llu completed in %llu batches\n",
+               static_cast<unsigned long long>(ss.accepted),
+               static_cast<unsigned long long>(ss.rejected()),
+               static_cast<unsigned long long>(ss.rejected_queue_depth),
+               static_cast<unsigned long long>(ss.rejected_bytes),
+               static_cast<unsigned long long>(ss.completed),
+               static_cast<unsigned long long>(ss.batches));
+  std::fprintf(stderr,
+               "  cache: %llu hits, %llu stale, %llu misses\n",
+               static_cast<unsigned long long>(ss.cache_hits),
+               static_cast<unsigned long long>(ss.cache_stale),
+               static_cast<unsigned long long>(ss.cache_misses));
+  std::fprintf(stderr, "  probe latency: %s\n",
+               ss.probe_latency.Summary().c_str());
+  std::fprintf(stderr, "  write latency: %s\n",
+               ss.write_latency.Summary().c_str());
+  // batch_size counts requests in the histogram's integer domain; print
+  // it as counts, not durations.
+  std::fprintf(stderr,
+               "  batch size:    n=%llu mean=%.1f p50=%.0f max=%.0f\n",
+               static_cast<unsigned long long>(ss.batch_size.count()),
+               ss.batch_size.mean_seconds() * 1e9,
+               ss.batch_size.Quantile(0.5) * 1e9,
+               ss.batch_size.max_seconds() * 1e9);
+}
+
+int Run(const Flags& flags) {
+  fj::serve::ServingIndexOptions index_options;
+  index_options.tau_floor = flags.GetDouble("tau_floor", 0.5);
+  index_options.compact_tombstone_fraction =
+      flags.GetDouble("compact_fraction", 0.25);
+  index_options.lsh_preroute = flags.Has("lsh");
+  index_options.lsh.num_bands =
+      static_cast<size_t>(flags.GetInt("bands", 16));
+  index_options.lsh.rows_per_band =
+      static_cast<size_t>(flags.GetInt("rows", 4));
+  auto function = fj::sim::SimilarityFunctionFromName(
+      flags.GetString("function", "jaccard"));
+  if (!function.ok()) {
+    std::fprintf(stderr, "%s\n", function.status().ToString().c_str());
+    return 2;
+  }
+  index_options.function = *function;
+
+  // --- Seed the index: snapshot beats corpus beats empty. ---
+  fj::serve::SeededIndex seeded;
+  const fj::text::WordTokenizer tokenizer;
+  const std::string snapshot_in = flags.GetString("snapshot_in", "");
+  const std::string load = flags.GetString("load", "");
+  if (!snapshot_in.empty()) {
+    auto blocks = ReadSnapshotFile(snapshot_in);
+    if (!blocks.ok()) {
+      std::fprintf(stderr, "%s\n", blocks.status().ToString().c_str());
+      return 1;
+    }
+    auto loaded = fj::serve::LoadSnapshot(*blocks);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
+      return 1;
+    }
+    seeded = std::move(loaded).value();
+  } else {
+    std::vector<std::string> record_lines;
+    std::vector<std::string> ordering_lines;
+    if (!load.empty()) {
+      auto lines = ReadLines(load);
+      if (!lines.ok()) {
+        std::fprintf(stderr, "%s\n", lines.status().ToString().c_str());
+        return 1;
+      }
+      record_lines = std::move(lines).value();
+    }
+    const std::string ordering_path = flags.GetString("ordering", "");
+    if (!ordering_path.empty()) {
+      auto lines = ReadLines(ordering_path);
+      if (!lines.ok()) {
+        std::fprintf(stderr, "%s\n", lines.status().ToString().c_str());
+        return 1;
+      }
+      ordering_lines = std::move(lines).value();
+    }
+    auto built = fj::serve::BuildFromJoinOutput(ordering_lines, record_lines,
+                                                tokenizer, index_options);
+    if (!built.ok()) {
+      std::fprintf(stderr, "%s\n", built.status().ToString().c_str());
+      return 1;
+    }
+    seeded = std::move(built).value();
+  }
+  std::fprintf(stderr, "serving %zu records (tau_floor=%.2f, %s)\n",
+               seeded.index->live_records(), index_options.tau_floor,
+               fj::sim::SimilarityFunctionName(index_options.function));
+
+  fj::Executor executor(
+      static_cast<size_t>(flags.GetInt("threads", 2)));
+  fj::serve::QueryServiceOptions service_options;
+  service_options.max_queue_depth =
+      static_cast<size_t>(flags.GetInt("queue_depth", 1024));
+  service_options.max_batch = static_cast<size_t>(flags.GetInt("batch", 64));
+  service_options.cache_capacity =
+      static_cast<size_t>(flags.GetInt("cache", 4096));
+  service_options.lsh_preroute = index_options.lsh_preroute;
+  fj::serve::QueryService service(seeded.index.get(), &executor,
+                                  service_options);
+
+  // --- Request loop. ---
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    std::istringstream in(line);
+    std::string verb;
+    in >> verb;
+    if (verb.empty()) continue;
+    if (verb == "quit") break;
+    if (verb == "compact") {
+      service.Flush();  // nothing in flight while the index rewrites itself
+      seeded.index->CompactNow();
+      std::cout << "OK compact" << std::endl;
+      continue;
+    }
+    if (verb == "stats") {
+      service.Flush();
+      PrintServeStats(*seeded.index, service);
+      std::cout << "OK stats" << std::endl;
+      continue;
+    }
+    fj::serve::Request request;
+    std::string error;
+    if (verb == "insert") {
+      request.kind = fj::serve::RequestKind::kInsert;
+      if (!(in >> request.record.rid)) error = "insert needs: rid text...";
+    } else if (verb == "remove") {
+      request.kind = fj::serve::RequestKind::kRemove;
+      if (!(in >> request.rid)) error = "remove needs: rid";
+    } else if (verb == "probe") {
+      request.kind = fj::serve::RequestKind::kProbeThreshold;
+      request.record.rid = kQueryRid;
+      if (!(in >> request.threshold)) error = "probe needs: tau text...";
+    } else if (verb == "topk") {
+      request.kind = fj::serve::RequestKind::kProbeTopK;
+      request.record.rid = kQueryRid;
+      if (!(in >> request.top_k)) error = "topk needs: k text...";
+    } else {
+      error = "unknown request: " + verb;
+    }
+    if (error.empty() && verb != "remove") {
+      std::string text;
+      std::getline(in, text);
+      request.record.tokens =
+          seeded.ordering.ToSortedIds(tokenizer.Tokenize(text));
+      if (request.record.tokens.empty()) error = "empty token set";
+    }
+    if (!error.empty()) {
+      std::cout << "ERR InvalidArgument " << error << std::endl;
+      continue;
+    }
+    const uint64_t echo_rid =
+        verb == "remove" ? request.rid : request.record.rid;
+    fj::serve::ServeResponse response = service.ExecuteSync(request);
+    if (!response.status.ok()) {
+      std::cout << "ERR " << fj::StatusCodeName(response.status.code()) << ' '
+                << response.status.message() << std::endl;
+      continue;
+    }
+    if (verb == "insert" || verb == "remove") {
+      std::cout << "OK " << verb << ' ' << echo_rid << std::endl;
+    } else {
+      std::cout << FormatResults(verb.c_str(), response.results) << std::endl;
+    }
+  }
+
+  service.Flush();
+  if (flags.Has("stats")) PrintServeStats(*seeded.index, service);
+  const std::string snapshot_out = flags.GetString("snapshot_out", "");
+  if (!snapshot_out.empty()) {
+    auto status = WriteSnapshotFile(
+        snapshot_out, fj::serve::SaveSnapshot(*seeded.index, seeded.ordering));
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "snapshot -> %s\n", snapshot_out.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  return Run(flags);
+}
