@@ -1,0 +1,288 @@
+// Socket-shuffle fault sweep: fault-rate x worker-count.
+//
+// The socket transport moves every committed map-output segment through
+// loopback TCP shuffle workers, so this bench measures what that wire
+// layer costs and what its fault tolerance buys: for each worker count it
+// runs the full self-join pipeline (BTO-PK-BRJ) under a clean plan and
+// under deterministic drop / corrupt / mixed-loss NetFaultPlans, then
+// verifies the `.joined` output byte-identical to the inproc baseline on
+// every row (a hard failure otherwise — retries and re-fetches must never
+// change the join result).
+//
+// Two more contracts are enforced on top of the sweep:
+//   - every corrupting plan must actually be *detected* on the wire
+//     (net_corruption_detected > 0), otherwise the payload hash is dead;
+//   - makespan inflation at ~1% loss is bounded: the mixed 1%-loss run
+//     must finish within kMaxLossInflation x the clean socket run at the
+//     same worker count (min-of-reps on both sides strips host noise).
+//
+// `--bench_json=PATH` writes the sweep as JSON (checked in as
+// BENCH_net.json at the repo root and smoke-tested by CI).
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/latency_histogram.h"
+#include "mapreduce/shuffle_transport.h"
+
+namespace {
+
+using namespace fj;
+
+// Generous bound: at 1% loss the retry ladder adds a handful of
+// backoff-paced re-fetches to thousands of clean ones, so even on a noisy
+// CI host the makespan should stay well under 3x the clean socket run.
+constexpr double kMaxLossInflation = 3.0;
+
+struct PlanSpec {
+  const char* label;
+  double drop_p = 0;
+  double corrupt_p = 0;
+  double stall_p = 0;
+};
+
+const std::vector<PlanSpec>& Plans() {
+  static const std::vector<PlanSpec> kPlans = {
+      {"clean", 0.0, 0.0, 0.0},
+      {"loss_1pct", 0.005, 0.005, 0.0},
+      {"drop_5pct", 0.05, 0.0, 0.0},
+      {"corrupt_5pct", 0.0, 0.05, 0.0},
+      {"mixed_heavy", 0.05, 0.05, 0.02},
+  };
+  return kPlans;
+}
+
+struct Row {
+  std::string label;
+  size_t workers = 0;
+  PlanSpec plan;
+  double wall_seconds = 0;  // min across reps
+  uint64_t fetches = 0;
+  uint64_t retries = 0;
+  uint64_t redundant = 0;
+  uint64_t reruns = 0;
+  uint64_t corruption_detected = 0;
+  uint64_t bytes_fetched = 0;
+  double fetch_p50_ms = 0;
+  double fetch_p99_ms = 0;
+  bool output_identical = true;
+};
+
+struct SweepResult {
+  std::vector<Row> rows;
+  size_t records = 0;
+};
+
+void Accumulate(const join::JoinRunResult& result, Row* row) {
+  LatencyHistogram latency;
+  for (const auto& stage : result.stages) {
+    for (const auto& job : stage.jobs) {
+      row->fetches += job.net_fetches;
+      row->retries += job.net_fetch_retries;
+      row->redundant += job.net_redundant_fetches;
+      row->reruns += job.net_map_reruns;
+      row->corruption_detected += job.net_corruption_detected;
+      row->bytes_fetched += job.net_bytes_fetched;
+      latency.Merge(job.net_fetch_latency);
+    }
+  }
+  row->fetch_p50_ms = latency.Quantile(0.5) * 1e3;
+  row->fetch_p99_ms = latency.Quantile(0.99) * 1e3;
+}
+
+double MeasuredWall(const join::JoinRunResult& result) {
+  double wall = 0;
+  for (const auto& stage : result.stages) {
+    for (const auto& job : stage.jobs) wall += job.wall_seconds;
+  }
+  return wall;
+}
+
+Result<SweepResult> RunSweep(size_t base, size_t factor, size_t reps,
+                             const std::vector<size_t>& worker_counts) {
+  SweepResult sweep;
+  mr::Dfs dfs;
+  sweep.records = bench::PrepareSelfData(&dfs, "dblp", base, factor, 42);
+
+  // Inproc baseline: the golden output every socket run must reproduce.
+  int run_id = 0;
+  auto base_config = bench::MakeConfig(bench::PaperCombos()[1], /*nodes=*/4);
+  base_config.local_threads = 4;
+  auto baseline = join::RunSelfJoin(&dfs, "dblp", "net_base", base_config);
+  FJ_RETURN_IF_ERROR(baseline.status());
+  FJ_ASSIGN_OR_RETURN(const std::vector<std::string>* golden,
+                      dfs.ReadFile(baseline->output_file));
+
+  auto run_point = [&](size_t workers, const PlanSpec& spec) -> Status {
+    Row row;
+    row.label = std::string(spec.label) + "_w" + std::to_string(workers);
+    row.workers = workers;
+    row.plan = spec;
+    row.wall_seconds = 1e30;
+    for (size_t rep = 0; rep < reps; ++rep) {
+      auto config = base_config;
+      config.transport = mr::TransportKind::kSocket;
+      config.num_shuffle_workers = workers;
+      if (spec.drop_p > 0 || spec.corrupt_p > 0 || spec.stall_p > 0) {
+        auto plan = std::make_shared<mr::NetFaultPlan>();
+        plan->seed = 7;
+        plan->drop_probability = spec.drop_p;
+        plan->corrupt_probability = spec.corrupt_p;
+        plan->stall_probability = spec.stall_p;
+        plan->stall_ms = 150;
+        plan->fault_attempts = 2;
+        config.net_fault_plan = std::move(plan);
+      }
+      auto result = join::RunSelfJoin(
+          &dfs, "dblp", "net" + std::to_string(run_id++), config);
+      FJ_RETURN_IF_ERROR(result.status());
+      FJ_ASSIGN_OR_RETURN(const std::vector<std::string>* lines,
+                          dfs.ReadFile(result->output_file));
+      row.output_identical = row.output_identical && (*lines == *golden);
+      const double wall = MeasuredWall(*result);
+      if (wall < row.wall_seconds) row.wall_seconds = wall;
+      if (rep + 1 == reps) Accumulate(*result, &row);
+    }
+    sweep.rows.push_back(std::move(row));
+    return Status::OK();
+  };
+
+  for (size_t workers : worker_counts) {
+    for (const PlanSpec& spec : Plans()) {
+      FJ_RETURN_IF_ERROR(run_point(workers, spec));
+    }
+  }
+  return sweep;
+}
+
+void PrintTable(const SweepResult& sweep) {
+  std::printf("%-18s %3s %8s %8s %7s %6s %7s %8s %8s %5s\n", "plan", "w",
+              "wall", "fetches", "retries", "rerun", "corrupt", "p50 ms",
+              "p99 ms", "same");
+  for (const Row& row : sweep.rows) {
+    std::printf("%-18s %3zu %7.3fs %8llu %7llu %6llu %7llu %8.3f %8.3f %5s\n",
+                row.label.c_str(), row.workers, row.wall_seconds,
+                static_cast<unsigned long long>(row.fetches),
+                static_cast<unsigned long long>(row.retries),
+                static_cast<unsigned long long>(row.reruns),
+                static_cast<unsigned long long>(row.corruption_detected),
+                row.fetch_p50_ms, row.fetch_p99_ms,
+                row.output_identical ? "yes" : "NO");
+  }
+  std::printf(
+      "\npaper-shape checks:\n"
+      "  higher fault rates -> more retries / wire corruptions detected,\n"
+      "  byte-identical join output throughout; ~1%% loss inflates the\n"
+      "  makespan by a bounded factor over the clean socket run.\n");
+}
+
+int WriteJson(const SweepResult& sweep, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return 1;
+  }
+  out << "{\n  \"benchmark\": \"bench_shuffle_net\",\n"
+      << "  \"records\": " << sweep.records << ",\n  \"plans\": [\n";
+  bool first = true;
+  for (const Row& row : sweep.rows) {
+    if (!first) out << ",\n";
+    first = false;
+    out << "    {\"plan\": \"" << row.label << "\", \"workers\": "
+        << row.workers << ", \"drop_p\": " << row.plan.drop_p
+        << ", \"corrupt_p\": " << row.plan.corrupt_p << ", \"stall_p\": "
+        << row.plan.stall_p << ", \"wall_seconds\": " << row.wall_seconds
+        << ", \"fetches\": " << row.fetches << ", \"retries\": "
+        << row.retries << ", \"redundant_fetches\": " << row.redundant
+        << ", \"map_reruns\": " << row.reruns
+        << ", \"corruption_detected\": " << row.corruption_detected
+        << ", \"kb_fetched\": " << row.bytes_fetched / 1024
+        << ", \"fetch_p50_ms\": " << row.fetch_p50_ms
+        << ", \"fetch_p99_ms\": " << row.fetch_p99_ms
+        << ", \"output_identical\": "
+        << (row.output_identical ? "true" : "false") << "}";
+  }
+  out << "\n  ]\n}\n";
+  std::printf("wrote %s (%zu plans)\n", path.c_str(), sweep.rows.size());
+  return 0;
+}
+
+// Contract checks over the finished sweep; returns 0 iff all hold.
+int Enforce(const SweepResult& sweep) {
+  int failures = 0;
+  for (const Row& row : sweep.rows) {
+    if (!row.output_identical) {
+      std::fprintf(stderr, "FATAL: %s changed the join output\n",
+                   row.label.c_str());
+      ++failures;
+    }
+    if (row.fetches == 0) {
+      std::fprintf(stderr, "FATAL: %s moved no segments over the wire\n",
+                   row.label.c_str());
+      ++failures;
+    }
+    if (row.plan.corrupt_p > 0 && row.corruption_detected == 0) {
+      std::fprintf(stderr,
+                   "FATAL: %s injected wire corruption but none was "
+                   "detected\n",
+                   row.label.c_str());
+      ++failures;
+    }
+  }
+  // Bounded inflation: loss_1pct vs clean at the same worker count.
+  for (const Row& loss : sweep.rows) {
+    if (std::strncmp(loss.label.c_str(), "loss_1pct", 9) != 0) continue;
+    for (const Row& clean : sweep.rows) {
+      if (clean.workers != loss.workers ||
+          std::strncmp(clean.label.c_str(), "clean", 5) != 0) {
+        continue;
+      }
+      const double inflation =
+          clean.wall_seconds > 0 ? loss.wall_seconds / clean.wall_seconds
+                                 : 1.0;
+      std::printf("makespan inflation @1%% loss, %zu workers: %.2fx\n",
+                  loss.workers, inflation);
+      if (inflation > kMaxLossInflation) {
+        std::fprintf(stderr,
+                     "FATAL: 1%% loss inflated the %zu-worker makespan "
+                     "%.2fx (> %.1fx budget)\n",
+                     loss.workers, inflation, kMaxLossInflation);
+        ++failures;
+      }
+    }
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::Flags flags(argc, argv);
+  size_t base = flags.GetInt("base", 2000);
+  size_t factor = flags.GetInt("factor", 2);
+  size_t reps = std::max<size_t>(1, flags.GetInt("reps", 3));
+  std::string json_path = flags.GetString("bench_json", "");
+  std::vector<size_t> worker_counts = {2, 4};
+  if (size_t only = flags.GetInt("workers", 0)) worker_counts = {only};
+
+  bench::PrintExperimentHeader(
+      "socket-shuffle fault sweep",
+      "self-join over loopback TCP shuffle workers under injected faults",
+      "DBLP-like base " + std::to_string(base) + " x" +
+          std::to_string(factor) + ", BTO-PK-BRJ, workers x fault plans");
+
+  auto sweep = RunSweep(base, factor, reps, worker_counts);
+  if (!sweep.ok()) {
+    std::fprintf(stderr, "%s\n", sweep.status().ToString().c_str());
+    return 1;
+  }
+  PrintTable(*sweep);
+  int rc = Enforce(*sweep);
+  if (rc == 0 && !json_path.empty()) rc = WriteJson(*sweep, json_path);
+  return rc;
+}

@@ -26,6 +26,10 @@ const char* StatusCodeName(StatusCode code) {
       return "DataLoss";
     case StatusCode::kFailedPrecondition:
       return "FailedPrecondition";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
   }
   return "Unknown";
 }

@@ -24,6 +24,8 @@ enum class StatusCode {
   kDataLoss,  ///< checksum mismatch: stored data no longer matches its hash
   kFailedPrecondition,  ///< system state rejects the operation (e.g. resuming
                         ///< a checkpoint written by a different pipeline)
+  kUnavailable,         ///< a peer is unreachable / lost (retryable elsewhere)
+  kDeadlineExceeded,    ///< an I/O deadline expired (retryable)
 };
 
 /// Returns a short human-readable name for a StatusCode (e.g. "NotFound").
@@ -73,6 +75,12 @@ class [[nodiscard]] Status {
   }
   static Status FailedPrecondition(std::string msg) {
     return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

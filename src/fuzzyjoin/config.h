@@ -17,6 +17,7 @@
 #include "common/result.h"
 #include "mapreduce/fault.h"
 #include "mapreduce/record_format.h"
+#include "mapreduce/shuffle_transport.h"
 #include "similarity/similarity.h"
 #include "text/tokenizer.h"
 
@@ -215,6 +216,44 @@ struct JoinConfig {
   /// format (JobSpec::block_codec). Requires record_format = binary when
   /// not kNone; codec CPU is metered and priced by the cluster model.
   mr::BlockCodec block_codec = mr::BlockCodec::kNone;
+
+  // --- shuffle transport (applied to every job; see shuffle_transport.h) ---
+  /// How committed map-output segments reach the reduce side. Inproc (the
+  /// default) is the classic in-process hand-off. Socket moves every
+  /// segment over length-framed loopback TCP through num_shuffle_workers
+  /// shuffle-worker endpoints, with per-fetch deadlines, bounded retries
+  /// with backoff + jitter, heartbeat liveness, and the escalation ladder
+  /// (local committed spill, then deterministic map re-run). The ".joined"
+  /// output is byte-identical across transports, worker counts, and
+  /// recoverable fault plans; excluded from the resume fingerprint like
+  /// local_threads.
+  mr::TransportKind transport = mr::TransportKind::kInproc;
+
+  /// Shuffle-worker endpoints under the socket transport (>= 1).
+  size_t num_shuffle_workers = 2;
+
+  /// Deterministic network fault plan under the socket transport
+  /// (drop/delay/truncate/bit-flip/stall/refuse-connect per RPC);
+  /// nullptr = clean wire. Applied server-side by the workers the driver
+  /// spawns, plus the client-side refuse-connect draw.
+  std::shared_ptr<const mr::NetFaultPlan> net_fault_plan;
+
+  /// Caller-supplied transport (tests, multi-process runs where the
+  /// worker endpoints already exist). When set, `transport`,
+  /// num_shuffle_workers, and net_fault_plan are ignored and every job
+  /// uses this instance.
+  std::shared_ptr<mr::ShuffleTransport> shuffle_transport;
+
+  /// Escalation rung 2 switch (JobSpec::net_fetch_local_fallback): serve
+  /// permanently unfetchable segments from the map task's committed local
+  /// output before re-running the attempt. Disable to force rung 3.
+  bool net_fetch_local_fallback = true;
+
+  /// Socket transport only: run the shuffle workers as real forked
+  /// subprocesses of this binary (the coordinator re-execs itself in
+  /// worker mode, see worker_net.h) instead of in-process server threads.
+  /// The host binary's main() must call net::MaybeRunShuffleWorker first.
+  bool spawn_worker_processes = false;
 
   /// OPRJ loads the whole RID-pair list in every mapper. If the estimated
   /// in-memory size exceeds this budget, stage 3 fails with

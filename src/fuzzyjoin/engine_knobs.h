@@ -35,6 +35,11 @@ void ApplyEngineKnobs(const JoinConfig& config, mr::JobSpec<K, V>* spec) {
   spec->contract_sample_every = config.contract_sample_every;
   spec->record_format = config.record_format;
   spec->block_codec = config.block_codec;
+  // The resolved transport instance (config.shuffle_transport after the
+  // driver's pipeline-entry resolution), shared across the pipeline's
+  // jobs exactly like `executor`.
+  spec->transport = config.shuffle_transport;
+  spec->net_fetch_local_fallback = config.net_fetch_local_fallback;
 }
 
 }  // namespace fj::join

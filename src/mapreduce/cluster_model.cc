@@ -65,6 +65,18 @@ SimulatedJobTime SimulateJob(const JobMetrics& metrics,
         static_cast<double>(metrics.shuffle_bytes) * scale / bandwidth;
   }
 
+  // Socket-transport segment traffic: pushes and fetches both cross the
+  // wire (recovery traffic included in the counters), priced against the
+  // cluster's aggregate network bandwidth. Zero under inproc.
+  const uint64_t net_bytes =
+      metrics.net_bytes_pushed + metrics.net_bytes_fetched;
+  double net_bandwidth = cluster.network_bytes_per_second_per_node *
+                         static_cast<double>(cluster.nodes);
+  if (net_bytes > 0 && net_bandwidth > 0) {
+    out.network_seconds =
+        static_cast<double>(net_bytes) * scale / net_bandwidth;
+  }
+
   // Sort-spill-merge disk traffic: each spilled byte is written once and
   // re-read once per consuming merge pass (spilled_bytes already counts
   // intermediate merge re-spills as fresh writes), so the disk moves

@@ -134,6 +134,8 @@
 #include "mapreduce/job_spec.h"
 #include "mapreduce/metrics.h"
 #include "mapreduce/run_merger.h"
+#include "mapreduce/shuffle_segment.h"
+#include "mapreduce/shuffle_transport.h"
 #include "mapreduce/sort_buffer.h"
 #include "mapreduce/task_context.h"
 
@@ -277,12 +279,15 @@ class Job {
   /// `copy_scratch` is the executing worker's reusable run-copy buffer for
   /// the preserve_runs path; every attempt overwrites it in full, so reuse
   /// across attempts (and across tasks on the same worker) cannot leak
-  /// state between them.
+  /// state between them. `runs_encoded` says the input runs carry encoded
+  /// payloads that must be decoded into the attempt's private copies —
+  /// true for binary-format runs and for every run fetched through a
+  /// shuffle transport (text runs cross the wire as encoded blocks too).
   ReduceAttemptResult RunReduceAttempt(
       const std::vector<SortedRun<K, V>*>& partition_runs, bool preserve_runs,
-      const SpecOrdering<K, V>& ordering, size_t merge_factor, size_t task_id,
-      uint32_t attempt, const AttemptFault& fault,
-      std::vector<SortedRun<K, V>>* copy_scratch);
+      bool runs_encoded, const SpecOrdering<K, V>& ordering,
+      size_t merge_factor, size_t task_id, uint32_t attempt,
+      const AttemptFault& fault, std::vector<SortedRun<K, V>>* copy_scratch);
 
   Dfs* dfs_;
   JobSpec<K, V> spec_;
@@ -375,8 +380,8 @@ typename Job<K, V>::MapAttemptResult Job<K, V>::RunMapAttempt(
 template <typename K, typename V>
 typename Job<K, V>::ReduceAttemptResult Job<K, V>::RunReduceAttempt(
     const std::vector<SortedRun<K, V>*>& partition_runs, bool preserve_runs,
-    const SpecOrdering<K, V>& ordering, size_t merge_factor, size_t task_id,
-    uint32_t attempt, const AttemptFault& fault,
+    bool runs_encoded, const SpecOrdering<K, V>& ordering, size_t merge_factor,
+    size_t task_id, uint32_t attempt, const AttemptFault& fault,
     std::vector<SortedRun<K, V>>* copy_scratch) {
   ReduceAttemptResult res;
   WallTimer timer;
@@ -391,13 +396,14 @@ typename Job<K, V>::ReduceAttemptResult Job<K, V>::RunReduceAttempt(
   // attempt. The copies land in the worker's reusable scratch (every
   // element copy-assigned from the pristine run, so nothing of a previous
   // attempt survives, but pair-vector capacity is recycled). Fault-free
-  // text jobs keep the zero-copy path; binary runs always copy, because
+  // text jobs keep the zero-copy path; encoded runs (binary format, or
+  // anything fetched through a shuffle transport) always copy, because
   // decoding the encoded block IS the attempt-isolation copy — the
   // pristine published block is never touched.
   const bool binary = spec_.record_format == RecordFormat::kBinary;
   std::vector<SortedRun<K, V>>& copies = *copy_scratch;
   std::vector<SortedRun<K, V>*> runs;
-  if (preserve_runs || binary) {
+  if (preserve_runs || runs_encoded) {
     copies.resize(partition_runs.size());
     runs.reserve(partition_runs.size());
     for (size_t i = 0; i < partition_runs.size(); ++i) {
@@ -431,11 +437,13 @@ typename Job<K, V>::ReduceAttemptResult Job<K, V>::RunReduceAttempt(
     }
   }
 
-  // Decode binary runs into the attempt's private copies. A block that
+  // Decode encoded runs into the attempt's private copies. A block that
   // fails to decode (truncated varint, bad codec frame) crashes the
   // attempt with a counted detection — a transient failure under the
-  // retry budget, never UB and never silently-wrong pairs.
-  if (binary) {
+  // retry budget, never UB and never silently-wrong pairs. Codec CPU is
+  // only metered in binary format: transport-encoded text runs keep the
+  // text job's committed counters identical to the in-process run.
+  if (runs_encoded) {
     for (SortedRun<K, V>* run : runs) {
       if (run->encoded.empty()) continue;
       Status decoded = DecodeRunBlock(run->encoded, &run->pairs);
@@ -445,8 +453,10 @@ typename Job<K, V>::ReduceAttemptResult Job<K, V>::RunReduceAttempt(
         res.metrics.seconds = AttemptSeconds(timer, ctx, fault);
         return res;
       }
-      res.metrics.codec_encoded_bytes += run->encoded.size();
-      res.metrics.codec_logical_bytes += run->logical_bytes;
+      if (binary) {
+        res.metrics.codec_encoded_bytes += run->encoded.size();
+        res.metrics.codec_logical_bytes += run->logical_bytes;
+      }
       run->encoded.clear();
       run->encoded.shrink_to_fit();
     }
@@ -590,6 +600,16 @@ Result<JobMetrics> Job<K, V>::Run() {
   // Reduce attempts must not consume the shuffle when a retry or backup
   // might need it again.
   const bool preserve_runs = injector.active() || spec_.speculative_execution;
+  // Shuffle transport (spec_.transport): when set, committed map output
+  // crosses a real hand-off — encoded, Publish()ed, Fetch()ed back, and
+  // checksum-verified — and the reduce side merges the FETCHED bytes.
+  ShuffleTransport* const transport = spec_.transport.get();
+  const uint64_t net_losses_before =
+      transport ? transport->worker_losses() : 0;
+  // Transport-fetched runs arrive with encoded payloads even in text
+  // format (they crossed the wire as blocks), so reduce attempts decode.
+  const bool runs_encoded =
+      spec_.record_format == RecordFormat::kBinary || transport != nullptr;
 
   // The host executor: normally the pipeline's shared one (one set of
   // persistent workers serving every job of every stage); a standalone
@@ -649,6 +669,15 @@ Result<JobMetrics> Job<K, V>::Run() {
   // Built by each reduce task from the committed slot board, reused by
   // its speculative backup (which runs strictly after it).
   std::vector<std::vector<SortedRun<K, V>*>> partition_runs(num_reduce_tasks);
+  // Transport runs only: the fetched-and-verified segments, decoded back
+  // into runs (payloads still encoded) at [map task][partition]. Written
+  // by the map commit hand-off strictly BEFORE the countdown decrement
+  // that can release partition r, read by reduce tasks after it — the
+  // countdown is the synchronization edge.
+  std::vector<std::vector<std::vector<SortedRun<K, V>>>> fetched_slots(
+      transport ? num_map_tasks : 0,
+      std::vector<std::vector<SortedRun<K, V>>>(num_reduce_tasks));
+  std::mutex net_mu;  // guards the metrics.net_* accumulators
   std::atomic<size_t> maps_remaining{num_map_tasks};
   std::atomic<size_t> reduces_remaining{num_reduce_tasks};
   // Measured phase walls, stamped by whichever worker completed the
@@ -818,7 +847,8 @@ Result<JobMetrics> Job<K, V>::Run() {
 
   // The retry chain of one reduce task: a streaming k-way merge over the
   // partition's committed runs.
-  auto run_reduce_chain = [this, preserve_runs, &metrics, &map_outputs,
+  auto run_reduce_chain = [this, preserve_runs, runs_encoded, transport,
+                           &metrics, &map_outputs, &fetched_slots,
                            &partition_runs, &reduce_outputs, &ordering,
                            merge_factor, &injector, &record_failure,
                            &latch_status, &job_failed, &worker_scratch,
@@ -827,11 +857,19 @@ Result<JobMetrics> Job<K, V>::Run() {
       // This partition's runs from every map task, in map-task-then-spill
       // order — the rank order the merger's tie-break relies on. The slot
       // board is indexed by map task, so commit ARRIVAL order cannot
-      // perturb it.
+      // perturb it. Under a transport the board is the FETCHED segments
+      // (decoded back in spill order): the reduce side consumes what
+      // crossed the wire, never the local map output.
       std::vector<SortedRun<K, V>*>& runs = partition_runs[r];
-      for (size_t m = 0; m < num_map_tasks; ++m) {
-        for (auto& spill : map_outputs[m].spills) {
-          if (spill[r].HasRecords()) runs.push_back(&spill[r]);
+      if (transport) {
+        for (size_t m = 0; m < num_map_tasks; ++m) {
+          for (auto& run : fetched_slots[m][r]) runs.push_back(&run);
+        }
+      } else {
+        for (size_t m = 0; m < num_map_tasks; ++m) {
+          for (auto& spill : map_outputs[m].spills) {
+            if (spill[r].HasRecords()) runs.push_back(&spill[r]);
+          }
         }
       }
       uint32_t failed = 0;
@@ -841,8 +879,8 @@ Result<JobMetrics> Job<K, V>::Run() {
       for (uint32_t attempt = 0; attempt < spec_.max_task_attempts;
            ++attempt) {
         ReduceAttemptResult res = RunReduceAttempt(
-            runs, preserve_runs, ordering, merge_factor, r, attempt,
-            injector.FaultFor(TaskPhase::kReduce, r, attempt),
+            runs, preserve_runs, runs_encoded, ordering, merge_factor, r,
+            attempt, injector.FaultFor(TaskPhase::kReduce, r, attempt),
             worker_scratch());
         integrity_bytes += res.metrics.integrity_bytes_verified;
         corruption_detected += res.metrics.corruption_detected;
@@ -878,9 +916,10 @@ Result<JobMetrics> Job<K, V>::Run() {
 
   // Speculative reduce backups (see spawn_map_backups: cost-accounting
   // commit only, reduce_outputs[r] is never re-pointed).
-  auto spawn_reduce_backups = [this, &group, preserve_runs, &metrics,
-                               &partition_runs, &ordering, merge_factor,
-                               &injector, &worker_scratch, num_reduce_tasks] {
+  auto spawn_reduce_backups = [this, &group, preserve_runs, runs_encoded,
+                               &metrics, &partition_runs, &ordering,
+                               merge_factor, &injector, &worker_scratch,
+                               num_reduce_tasks] {
     if (!spec_.speculative_execution || num_reduce_tasks < 2) return;
     const double median = MedianSeconds(metrics.reduce_tasks);
     const double threshold = median * spec_.speculation_slowdown_factor;
@@ -888,13 +927,15 @@ Result<JobMetrics> Job<K, V>::Run() {
       if (median <= 0 || metrics.reduce_tasks[r].seconds <= threshold) {
         continue;
       }
-      group.Spawn([this, r, median, preserve_runs, &metrics, &partition_runs,
-                   &ordering, merge_factor, &injector, &worker_scratch] {
+      group.Spawn([this, r, median, preserve_runs, runs_encoded, &metrics,
+                   &partition_runs, &ordering, merge_factor, &injector,
+                   &worker_scratch] {
         TaskMetrics& task = metrics.reduce_tasks[r];
         const uint32_t attempt = task.attempts;
         ReduceAttemptResult res = RunReduceAttempt(
-            partition_runs[r], preserve_runs, ordering, merge_factor, r,
-            attempt, injector.FaultFor(TaskPhase::kReduce, r, attempt),
+            partition_runs[r], preserve_runs, runs_encoded, ordering,
+            merge_factor, r, attempt,
+            injector.FaultFor(TaskPhase::kReduce, r, attempt),
             worker_scratch());
         task.attempts++;
         task.speculative_launched = true;
@@ -948,18 +989,135 @@ Result<JobMetrics> Job<K, V>::Run() {
     }
   };
 
+  // Transport hand-off for one committed segment (map m x partition r):
+  // publish, fetch back, verify, decode into fetched_slots[m][r]. Rung 1
+  // of the recovery ladder lives inside the transport (per-fetch
+  // deadlines, exponential backoff + jitter, bounded retry budgets);
+  // each round of the loop here climbs the rest: a failed fetch falls
+  // back to the map task's locally committed output (rung 2, the DFS
+  // spill analogue), and past that the committed map attempt is
+  // deterministically re-executed and re-published so the transport can
+  // re-route the segment to a surviving worker (rung 3, the PR 3 retry
+  // machinery's re-run). Only after every rung fails does the job latch
+  // a structured Unavailable.
+  auto transport_shuffle = [this, transport, &map_outputs, &fetched_slots,
+                            &metrics, &net_mu, &splits, &file_lines,
+                            &ordering, &injector, &latch_status](
+                               size_t m, size_t r,
+                               uint32_t committed_attempt) {
+    bool has_records = false;
+    for (const auto& spill : map_outputs[m].spills) {
+      if (r < spill.size() && spill[r].HasRecords()) has_records = true;
+    }
+    if (!has_records) return;  // empty slot: nothing crosses the wire
+    WallTimer fetch_timer;
+    const ShuffleSegmentKey key{spec_.name, m, r};
+    NetCallStats stats;
+    std::string segment;
+    EncodeShuffleSegment(map_outputs[m], r, spec_.verify_integrity, &segment);
+    uint64_t published_count = 0, redundant = 0, reruns = 0,
+             decode_corruptions = 0;
+    std::vector<SortedRun<K, V>> runs;
+    Status shuffled = Status::Unavailable("shuffle hand-off never ran");
+    for (int round = 0; round < 3; ++round) {
+      Status published = transport->Publish(key, segment, &stats);
+      if (published.ok()) {
+        published_count++;
+        Result<std::string> fetched = transport->Fetch(key, &stats);
+        if (fetched.ok()) {
+          Status decoded = DecodeShuffleSegment(*fetched, &runs);
+          if (decoded.ok()) {
+            shuffled = Status::OK();
+            break;
+          }
+          // The stored bytes rotted past the frame checksums; re-fetching
+          // the same bytes cannot help — escalate.
+          decode_corruptions++;
+          shuffled = decoded;
+        } else {
+          shuffled = fetched.status();
+        }
+      } else {
+        shuffled = published;
+      }
+      if (spec_.net_fetch_local_fallback) {
+        // Rung 2: the encoded segment in hand IS the committed spill.
+        Status decoded = DecodeShuffleSegment(segment, &runs);
+        if (decoded.ok()) {
+          redundant++;
+          shuffled = Status::OK();
+          break;
+        }
+        shuffled = decoded;
+      }
+      // Rung 3: the committed attempt's fault draw was clean (it
+      // committed), so re-running it reproduces the identical output.
+      const InputSplit& split = splits[m];
+      MapAttemptResult redo = RunMapAttempt(
+          split, *file_lines[split.file_index], ordering, m,
+          committed_attempt,
+          injector.FaultFor(TaskPhase::kMap, m, committed_attempt));
+      if (redo.crashed || !redo.contract.ok()) {
+        shuffled = Status::Internal(
+            "job '" + spec_.name + "': map task " + std::to_string(m) +
+            " re-run for shuffle recovery did not commit");
+        break;
+      }
+      reruns++;
+      map_outputs[m] = std::move(redo.output);
+      segment.clear();
+      EncodeShuffleSegment(map_outputs[m], r, spec_.verify_integrity,
+                           &segment);
+    }
+    const double latency = fetch_timer.ElapsedSeconds();
+    {
+      std::lock_guard<std::mutex> lock(net_mu);
+      metrics.net_segments += published_count;
+      metrics.net_fetches++;
+      metrics.net_fetch_retries += stats.retries;
+      metrics.net_redundant_fetches += redundant;
+      metrics.net_map_reruns += reruns;
+      metrics.net_bytes_pushed += stats.bytes_sent;
+      metrics.net_bytes_fetched += stats.bytes_received;
+      metrics.net_corruption_detected +=
+          stats.corrupt_frames + decode_corruptions;
+      metrics.net_fetch_latency.Record(latency);
+    }
+    if (!shuffled.ok()) {
+      latch_status(Status::Unavailable(
+          "job '" + spec_.name + "': shuffle segment m" + std::to_string(m) +
+          " r" + std::to_string(r) +
+          " unrecoverable after transport retries, local fallback, and map "
+          "re-run: " +
+          shuffled.ToString()));
+      return;
+    }
+    fetched_slots[m][r] = std::move(runs);
+  };
+
   // Map-task completion: run the phase continuation when this was the
   // last map task (BEFORE the final release, so quarantine accounting and
   // backup spawning precede the reduces it unblocks), then decrement
   // every partition's countdown, spawning each reduce task the moment its
-  // inputs are complete.
+  // inputs are complete. Under a transport the decrement fires on the
+  // RECEIVED-AND-VERIFIED segment, not the local commit: the hand-off
+  // (and its whole recovery ladder) completes before the release.
   auto finish_map_task = [&group, &maps_remaining, &on_maps_done,
                           &reduce_inputs_pending, &run_reduce_task,
-                          num_reduce_tasks] {
+                          &transport_shuffle, transport, &metrics,
+                          &job_failed, num_reduce_tasks](size_t m) {
+    // The committed attempt index, read BEFORE the phase continuation can
+    // spawn a speculative backup that bumps this task's attempt
+    // bookkeeping (rung 3 must re-run exactly the attempt that committed).
+    const uint32_t committed_attempt =
+        transport ? metrics.map_tasks[m].failed_attempts : 0;
     if (maps_remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
       on_maps_done();
     }
     for (size_t r = 0; r < num_reduce_tasks; ++r) {
+      if (transport && !job_failed.load(std::memory_order_acquire)) {
+        transport_shuffle(m, r, committed_attempt);
+      }
       if (reduce_inputs_pending[r].fetch_sub(1, std::memory_order_acq_rel) ==
           1) {
         group.Spawn([&run_reduce_task, r] { run_reduce_task(r); });
@@ -972,7 +1130,7 @@ Result<JobMetrics> Job<K, V>::Run() {
   for (size_t m = 0; m < num_map_tasks; ++m) {
     group.Spawn([&run_map_chain, &finish_map_task, m] {
       run_map_chain(m);
-      finish_map_task();
+      finish_map_task(m);
     });
   }
   if (num_map_tasks == 0) {
@@ -987,9 +1145,17 @@ Result<JobMetrics> Job<K, V>::Run() {
   // Wait drains the whole graph — including tasks the continuations
   // spawned mid-flight — and surfaces the first task exception as a
   // Status instead of std::terminate.
-  FJ_RETURN_IF_ERROR(group.Wait());
+  Status tasks_status = group.Wait();
+  // This job's segments are dead weight from here, success or failure
+  // (pipelines run jobs sequentially, so the drop cannot race a reader).
+  if (transport) transport->DropJob(spec_.name);
+  FJ_RETURN_IF_ERROR(tasks_status);
   // All tasks are done: job_status is stable without the lock.
   FJ_RETURN_IF_ERROR(job_status);
+  if (transport) {
+    metrics.net_worker_losses =
+        transport->worker_losses() - net_losses_before;
+  }
 
   // ---- Job-level accounting (O(tasks): totals were metered on the emit
   // and spill paths, never by re-walking the intermediate data) ----

@@ -26,6 +26,8 @@
 
 namespace fj::mr {
 
+class ShuffleTransport;  // shuffle_transport.h; kept light here
+
 /// Default for JobSpec::check_contracts: the FJ_CHECK_CONTRACTS env var if
 /// set, else on in debug builds and off under NDEBUG (defined in
 /// contract.cc; declared here so the spec default needs no heavy include).
@@ -248,6 +250,24 @@ struct JobSpec {
   /// (ignored under text). Codec CPU bytes are metered per task and
   /// priced by the cluster model.
   BlockCodec block_codec = BlockCodec::kNone;
+
+  /// Shuffle transport moving committed map-output partition segments to
+  /// the reduce side (shuffle_transport.h). nullptr = the classic direct
+  /// hand-off (map output consumed in place, no segment encoding). When
+  /// set, every non-empty (map task x partition) slot is encoded,
+  /// Publish()ed at map commit, and Fetch()ed back — checksum-verified —
+  /// before the partition's reduce countdown fires; the reduce side
+  /// merges the FETCHED bytes. Output is byte-identical either way.
+  /// Shared across a pipeline's jobs like `executor`.
+  std::shared_ptr<ShuffleTransport> transport;
+
+  /// Escalation rung 2 (transport runs only): when a fetch exhausts the
+  /// transport's retry budget, answer it from the map task's locally
+  /// committed output (the DFS-spill analogue) instead of immediately
+  /// re-running the map attempt. Metered as net_redundant_fetches. Off
+  /// forces the ladder straight to rung 3 (deterministic map re-run) —
+  /// useful for exercising it in tests.
+  bool net_fetch_local_fallback = true;
 
   /// Commit the job's output file through the Dfs binary block API
   /// (Dfs::WriteFileBlocks) instead of the line API: emitted records are

@@ -1,0 +1,438 @@
+#include "mapreduce/shuffle_transport.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "common/hash.h"
+#include "mapreduce/worker_net.h"
+
+namespace fj::mr {
+
+namespace {
+
+/// Maps a 64-bit hash onto [0, 1). Same mantissa trick as fault.cc.
+double UnitDraw(uint64_t h) {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+const char* TransportKindName(TransportKind kind) {
+  switch (kind) {
+    case TransportKind::kInproc:
+      return "inproc";
+    case TransportKind::kSocket:
+      return "socket";
+  }
+  return "?";
+}
+
+bool ParseTransportKind(std::string_view name, TransportKind* kind) {
+  if (name == "inproc") {
+    *kind = TransportKind::kInproc;
+    return true;
+  }
+  if (name == "socket") {
+    *kind = TransportKind::kSocket;
+    return true;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// NetFaultPlan.
+
+bool NetFaultPlan::Empty() const {
+  return drop_probability <= 0 && truncate_probability <= 0 &&
+         corrupt_probability <= 0 && stall_probability <= 0 &&
+         delay_probability <= 0 && refuse_connect_probability <= 0;
+}
+
+std::string NetFaultPlan::Serialize() const {
+  std::string out = std::to_string(seed);
+  for (double p : {drop_probability, truncate_probability, corrupt_probability,
+                   stall_probability, delay_probability,
+                   refuse_connect_probability}) {
+    out += ':';
+    out += std::to_string(p);
+  }
+  out += ':';
+  out += std::to_string(delay_ms);
+  out += ':';
+  out += std::to_string(stall_ms);
+  out += ':';
+  out += std::to_string(fault_attempts);
+  return out;
+}
+
+bool NetFaultPlan::Deserialize(std::string_view text, NetFaultPlan* plan) {
+  std::vector<std::string> fields;
+  size_t start = 0;
+  while (start <= text.size()) {
+    size_t colon = text.find(':', start);
+    if (colon == std::string_view::npos) colon = text.size();
+    fields.emplace_back(text.substr(start, colon - start));
+    start = colon + 1;
+  }
+  if (fields.size() != 10) return false;
+  NetFaultPlan parsed;
+  char* end = nullptr;
+  parsed.seed = std::strtoull(fields[0].c_str(), &end, 10);
+  if (*end != '\0') return false;
+  double* probs[] = {&parsed.drop_probability,    &parsed.truncate_probability,
+                     &parsed.corrupt_probability, &parsed.stall_probability,
+                     &parsed.delay_probability,
+                     &parsed.refuse_connect_probability};
+  for (size_t i = 0; i < 6; ++i) {
+    *probs[i] = std::strtod(fields[1 + i].c_str(), &end);
+    if (*end != '\0' || *probs[i] < 0 || *probs[i] > 1) return false;
+  }
+  parsed.delay_ms = static_cast<uint32_t>(
+      std::strtoul(fields[7].c_str(), &end, 10));
+  if (*end != '\0') return false;
+  parsed.stall_ms = static_cast<uint32_t>(
+      std::strtoul(fields[8].c_str(), &end, 10));
+  if (*end != '\0') return false;
+  parsed.fault_attempts = static_cast<uint32_t>(
+      std::strtoul(fields[9].c_str(), &end, 10));
+  if (*end != '\0') return false;
+  *plan = parsed;
+  return true;
+}
+
+double NetFaultDraw(const NetFaultPlan& plan, std::string_view job,
+                    uint64_t map_task, uint64_t partition, uint64_t attempt,
+                    NetOp op, uint64_t salt) {
+  uint64_t h = HashBytes(job.data(), job.size());
+  h = HashCombine(h, HashInt64(map_task));
+  h = HashCombine(h, HashInt64(partition));
+  h = HashCombine(h, HashInt64(attempt));
+  h = HashCombine(h, HashInt64(static_cast<uint64_t>(op)));
+  h = HashCombine(h, HashInt64(plan.seed));
+  return UnitDraw(HashInt64(h ^ salt));
+}
+
+// ---------------------------------------------------------------------------
+// InprocTransport.
+
+Status InprocTransport::Publish(const ShuffleSegmentKey& key,
+                                std::string segment, NetCallStats* stats) {
+  if (stats) {
+    stats->rpcs++;
+    stats->bytes_sent += segment.size();
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  segments_[{key.job, key.map_task, key.partition}] = std::move(segment);
+  return Status::OK();
+}
+
+Result<std::string> InprocTransport::Fetch(const ShuffleSegmentKey& key,
+                                           NetCallStats* stats) {
+  if (stats) stats->rpcs++;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = segments_.find({key.job, key.map_task, key.partition});
+  if (it == segments_.end()) {
+    return Status::Unavailable("segment not published: " + key.job + " m" +
+                               std::to_string(key.map_task) + " r" +
+                               std::to_string(key.partition));
+  }
+  if (stats) stats->bytes_received += it->second.size();
+  return it->second;
+}
+
+void InprocTransport::DropJob(const std::string& job) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = segments_.lower_bound({job, 0, 0});
+  while (it != segments_.end() && std::get<0>(it->first) == job) {
+    it = segments_.erase(it);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SocketTransport.
+
+namespace {
+
+class SocketTransport : public ShuffleTransport {
+ public:
+  SocketTransport(std::vector<int> ports,
+                  std::shared_ptr<const NetFaultPlan> fault_plan,
+                  const SocketTransportOptions& options)
+      : ports_(std::move(ports)),
+        fault_plan_(std::move(fault_plan)),
+        options_(options),
+        lost_(ports_.size(), false),
+        heartbeat_misses_(ports_.size(), 0) {
+    if (options_.heartbeat_interval_ms > 0 && !ports_.empty()) {
+      heartbeat_thread_ =  // lint: allow-thread (liveness probe, not task work)
+          std::thread([this] { HeartbeatLoop(); });
+    }
+  }
+
+  ~SocketTransport() override {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stopping_ = true;
+    }
+    heartbeat_cv_.notify_all();
+    if (heartbeat_thread_.joinable()) heartbeat_thread_.join();
+  }
+
+  const char* name() const override { return "socket"; }
+
+  Status Publish(const ShuffleSegmentKey& key, std::string segment,
+                 NetCallStats* stats) override {
+    net::Request request;
+    request.job = key.job;
+    request.map_task = key.map_task;
+    request.partition = key.partition;
+    request.body = std::move(segment);
+    // Ring placement: the segment's home is worker m % N; a lost home
+    // shifts it to the next live worker, and Fetch follows the recorded
+    // placement rather than re-deriving it.
+    Status last = Status::Unavailable("no live shuffle workers");
+    for (size_t hop = 0; hop < ports_.size(); ++hop) {
+      const size_t target = (key.map_task + hop) % ports_.size();
+      if (IsLost(target)) continue;
+      Status attempt = CallWithRetries(target, net::FrameType::kPut, &request,
+                                       nullptr, stats);
+      if (attempt.ok()) {
+        std::lock_guard<std::mutex> lock(mu_);
+        placement_[{key.job, key.map_task, key.partition}] = target;
+        return Status::OK();
+      }
+      last = attempt;
+      MarkLost(target);
+    }
+    return last;
+  }
+
+  Result<std::string> Fetch(const ShuffleSegmentKey& key,
+                            NetCallStats* stats) override {
+    size_t target = 0;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = placement_.find({key.job, key.map_task, key.partition});
+      if (it == placement_.end()) {
+        return Status::Unavailable("segment was never published: " + key.job +
+                                   " m" + std::to_string(key.map_task) + " r" +
+                                   std::to_string(key.partition));
+      }
+      target = it->second;
+    }
+    if (IsLost(target)) {
+      return Status::Unavailable("shuffle worker " + std::to_string(target) +
+                                 " holding the segment is lost");
+    }
+    net::Request request;
+    request.job = key.job;
+    request.map_task = key.map_task;
+    request.partition = key.partition;
+    std::string body;
+    Status status =
+        CallWithRetries(target, net::FrameType::kGet, &request, &body, stats);
+    if (!status.ok()) {
+      MarkLost(target);
+      return status;
+    }
+    if (stats) stats->bytes_received += body.size();
+    return body;
+  }
+
+  void DropJob(const std::string& job) override {
+    net::Request request;
+    request.job = job;
+    for (size_t i = 0; i < ports_.size(); ++i) {
+      if (IsLost(i)) continue;
+      (void)CallWithRetries(i, net::FrameType::kDropJob, &request, nullptr,
+                            nullptr);
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = placement_.lower_bound({job, 0, 0});
+    while (it != placement_.end() && std::get<0>(it->first) == job) {
+      it = placement_.erase(it);
+    }
+  }
+
+  uint64_t worker_losses() const override {
+    return worker_losses_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  bool IsLost(size_t index) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return lost_[index];
+  }
+
+  void MarkLost(size_t index) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!lost_[index]) {
+      lost_[index] = true;
+      worker_losses_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  /// Backoff before retry `attempt` (1-based): base * 2^(attempt-1),
+  /// capped, plus deterministic jitter hashed off the operation
+  /// coordinate so two racing retries don't thundering-herd in lockstep.
+  void BackoffBeforeRetry(const net::Request& request, NetOp op,
+                          uint32_t attempt) {
+    uint64_t delay = options_.backoff_base_ms;
+    for (uint32_t i = 1; i < attempt && delay < options_.backoff_max_ms; ++i) {
+      delay *= 2;
+    }
+    delay = std::min<uint64_t>(delay, options_.backoff_max_ms);
+    const NetFaultPlan no_faults{};
+    const NetFaultPlan& plan = fault_plan_ ? *fault_plan_ : no_faults;
+    const double jitter_draw =
+        NetFaultDraw(plan, request.job, request.map_task, request.partition,
+                     attempt, op, /*salt=*/0x6a);
+    delay += static_cast<uint64_t>(
+        jitter_draw * static_cast<double>(options_.backoff_base_ms));
+    std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+  }
+
+  /// One operation against one worker: up to max_attempts_per_op round
+  /// trips with backoff. Request.attempt carries the per-op attempt
+  /// number — the server's fault-eligibility coordinate.
+  Status CallWithRetries(size_t target, net::FrameType type,
+                         net::Request* request, std::string* body_out,
+                         NetCallStats* stats) {
+    const NetOp op =
+        type == net::FrameType::kPut ? NetOp::kPush : NetOp::kFetch;
+    Status last = Status::Unavailable("no attempts made");
+    for (uint32_t attempt = 0; attempt < options_.max_attempts_per_op;
+         ++attempt) {
+      if (attempt > 0) {
+        if (stats) stats->retries++;
+        BackoffBeforeRetry(*request, op, attempt);
+      }
+      request->attempt = attempt;
+      last = CallOnce(target, type, *request, body_out, stats);
+      if (last.ok()) return last;
+      if (last.code() == StatusCode::kDataLoss && stats) {
+        stats->corrupt_frames++;
+      }
+      // NotFound is the worker's definitive answer (it is alive and does
+      // not hold the segment) — retrying cannot change it.
+      if (last.code() == StatusCode::kNotFound) return last;
+    }
+    return last;
+  }
+
+  Status CallOnce(size_t target, net::FrameType type,
+                  const net::Request& request, std::string* body_out,
+                  NetCallStats* stats) {
+    if (stats) stats->rpcs++;
+    // Client-side refuse-connect fault: the dial never happens. Only
+    // PUT/GET are eligible, mirroring the server-side data-op rule.
+    if (fault_plan_ && !fault_plan_->Empty() &&
+        (type == net::FrameType::kPut || type == net::FrameType::kGet) &&
+        request.attempt < fault_plan_->fault_attempts &&
+        NetFaultDraw(*fault_plan_, request.job, request.map_task,
+                     request.partition, request.attempt,
+                     type == net::FrameType::kPut ? NetOp::kPush
+                                                  : NetOp::kFetch,
+                     /*salt=*/6) < fault_plan_->refuse_connect_probability) {
+      return Status::Unavailable("connection refused (injected)");
+    }
+    FJ_ASSIGN_OR_RETURN(
+        int fd, net::DialTcpLoopback(ports_[target], options_.connect_timeout_ms,
+                                     options_.io_timeout_ms));
+    std::string payload;
+    net::EncodeRequest(request, &payload);
+    Status sent = net::SendFrame(fd, type, payload);
+    if (!sent.ok()) {
+      net::CloseFd(fd);
+      return sent;
+    }
+    if (stats) stats->bytes_sent += payload.size();
+    Result<net::Frame> reply = net::RecvFrame(fd);
+    net::CloseFd(fd);
+    FJ_RETURN_IF_ERROR(reply.status());
+    net::Response response;
+    if (!net::DecodeResponse(reply->payload, &response)) {
+      return Status::DataLoss("malformed shuffle response payload");
+    }
+    if (!response.status.ok()) return response.status;
+    if (body_out) *body_out = std::move(response.body);
+    return Status::OK();
+  }
+
+  void HeartbeatLoop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    while (!stopping_) {
+      heartbeat_cv_.wait_for(
+          lock, std::chrono::milliseconds(options_.heartbeat_interval_ms));
+      if (stopping_) return;
+      std::vector<size_t> live;
+      for (size_t i = 0; i < ports_.size(); ++i) {
+        if (!lost_[i]) live.push_back(i);
+      }
+      lock.unlock();
+      for (size_t i : live) {
+        if (PingWorker(i)) {
+          std::lock_guard<std::mutex> inner(mu_);
+          heartbeat_misses_[i] = 0;
+        } else {
+          bool declare_lost = false;
+          {
+            std::lock_guard<std::mutex> inner(mu_);
+            declare_lost =
+                ++heartbeat_misses_[i] >= options_.heartbeat_misses_to_loss;
+          }
+          if (declare_lost) MarkLost(i);
+        }
+      }
+      lock.lock();
+    }
+  }
+
+  bool PingWorker(size_t index) {
+    Result<int> fd = net::DialTcpLoopback(
+        ports_[index], options_.connect_timeout_ms, options_.io_timeout_ms);
+    if (!fd.ok()) return false;
+    net::Request request;
+    std::string payload;
+    net::EncodeRequest(request, &payload);
+    Status sent = net::SendFrame(*fd, net::FrameType::kPing, payload);
+    if (!sent.ok()) {
+      net::CloseFd(*fd);
+      return false;
+    }
+    Result<net::Frame> reply = net::RecvFrame(*fd);
+    net::CloseFd(*fd);
+    return reply.ok() && reply->type == net::FrameType::kOk;
+  }
+
+  const std::vector<int> ports_;
+  const std::shared_ptr<const NetFaultPlan> fault_plan_;
+  const SocketTransportOptions options_;
+
+  mutable std::mutex mu_;
+  std::vector<bool> lost_;
+  std::vector<uint32_t> heartbeat_misses_;
+  std::map<std::tuple<std::string, uint64_t, uint64_t>, size_t> placement_;
+  std::atomic<uint64_t> worker_losses_{0};
+
+  bool stopping_ = false;
+  std::condition_variable heartbeat_cv_;
+  std::thread heartbeat_thread_;  // lint: allow-thread (liveness probe)
+};
+
+}  // namespace
+
+std::unique_ptr<ShuffleTransport> MakeSocketTransport(
+    std::vector<int> ports, std::shared_ptr<const NetFaultPlan> fault_plan,
+    const SocketTransportOptions& options) {
+  return std::make_unique<SocketTransport>(std::move(ports),
+                                           std::move(fault_plan), options);
+}
+
+}  // namespace fj::mr

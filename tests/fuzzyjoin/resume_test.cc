@@ -101,6 +101,47 @@ TEST(ResumeTest, ResumesAfterPermanentStage3KillRunningOnlyStage3) {
   EXPECT_EQ(completed->stages.size(), 3u);
 }
 
+TEST(ResumeTest, CrashBetweenTempWriteAndRenameLeavesNoPartialOutput) {
+  // The output-commit protocol is write-temp-then-RenameFile. A process
+  // killed in the window between the two leaves "<name>.__commit" behind
+  // but must never expose a partial "<name>" — and a resume over that
+  // wreckage has to re-run the stage cleanly (adopting nothing from the
+  // temp) and converge on byte-identical output.
+  mr::Dfs golden_dfs;
+  ASSERT_TRUE(golden_dfs.WriteFile("records", SelfInputLines()).ok());
+  auto golden = RunSelfJoin(&golden_dfs, "records", "out", BaseConfig());
+  ASSERT_TRUE(golden.ok()) << golden.status().ToString();
+
+  // Stages 1-2 commit, stage 3 dies...
+  mr::Dfs dfs;
+  ASSERT_TRUE(dfs.WriteFile("records", SelfInputLines()).ok());
+  auto doomed_config = BaseConfig();
+  doomed_config.fault_plan = KillStage3Plan();
+  ASSERT_FALSE(RunSelfJoin(&dfs, "records", "out", doomed_config).ok());
+
+  // ...and we reconstruct the crash window by hand: the stage-3 job wrote
+  // its temp (here: a half-finished, wrong prefix of the real output) and
+  // was killed before RenameFile.
+  std::vector<std::string> partial(Lines(golden_dfs, "out.joined"));
+  ASSERT_GT(partial.size(), 1u);
+  partial.resize(partial.size() / 2);
+  ASSERT_TRUE(dfs.WriteFile("out.joined.__commit", partial).ok());
+
+  // The crash-window invariant: no observer ever sees a partial output
+  // under the committed name.
+  EXPECT_FALSE(dfs.Exists("out.joined"));
+  EXPECT_FALSE(dfs.ReadFile("out.joined").ok());
+
+  // Resume re-runs stage 3, discards the orphaned temp instead of
+  // adopting or colliding with it, and lands the full output.
+  auto resume_config = BaseConfig();
+  resume_config.resume = true;
+  auto resumed = RunSelfJoin(&dfs, "records", "out", resume_config);
+  ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
+  EXPECT_EQ(Lines(dfs, "out.joined"), Lines(golden_dfs, "out.joined"));
+  EXPECT_FALSE(dfs.Exists("out.joined.__commit"));
+}
+
 TEST(ResumeTest, FingerprintMismatchRefusesToResume) {
   mr::Dfs dfs;
   ASSERT_TRUE(dfs.WriteFile("records", SelfInputLines()).ok());

@@ -342,5 +342,73 @@ TEST(QueryServiceTest, ConcurrentEnqueueFromManyThreadsCompletes) {
   EXPECT_GT(stats.cache_hits, 0u);  // repeated probes hit
 }
 
+TEST(QueryServiceTest, AdmissionRacingCompactionKeepsCacheEpochStable) {
+  // Producers keep enqueuing probes while the owner thread runs repeated
+  // flush+compact cycles — the serving tier's steady state. Compaction
+  // rewrites the index arena but MUST NOT advance the write epoch: every
+  // cached result stays valid across the race (cache_stale == 0), repeat
+  // probes keep hitting, and no accepted request is lost or answered
+  // wrong.
+  ServingIndex index;
+  Executor executor(4);
+  QueryServiceOptions options;
+  options.max_queue_depth = 100000;
+  QueryService service(&index, &executor, options);
+  for (uint64_t i = 0; i < 40; ++i) {
+    ASSERT_TRUE(
+        service.ExecuteSync(InsertReq(i, {i, i + 1, i + 2})).status.ok());
+  }
+  // Tombstones give the compactor real work to do each cycle.
+  for (uint64_t i = 30; i < 40; ++i) {
+    ASSERT_TRUE(service.ExecuteSync(RemoveReq(i)).status.ok());
+  }
+  const uint64_t epoch_before = index.write_epoch();
+
+  std::atomic<size_t> done{0};
+  std::atomic<size_t> accepted{0};
+  std::atomic<bool> stop{false};
+  {
+    TaskGroup group(&executor);
+    for (int t = 0; t < 3; ++t) {
+      group.Spawn([&] {
+        // A tight, repeating probe set so the cache is exercised hard.
+        for (uint64_t i = 0; i < 200; ++i) {
+          Request probe = ProbeReq({i % 10, i % 10 + 1, i % 10 + 2}, 0.5);
+          if (service.Enqueue(probe, [&](ServeResponse response) {
+                         EXPECT_TRUE(response.status.ok());
+                         ++done;
+                       })
+                  .ok()) {
+            ++accepted;
+          }
+        }
+        stop.store(true);
+      });
+    }
+    // The compaction loop races the producers: each cycle drains what was
+    // admitted so far, then compacts.
+    while (!stop.load()) {
+      service.Flush();
+      index.CompactNow();
+    }
+    ASSERT_TRUE(group.Wait().ok());
+  }
+  service.Flush();
+  index.CompactNow();
+
+  EXPECT_EQ(done.load(), accepted.load());
+  EXPECT_EQ(accepted.load(), 600u);
+  // The epoch only moves on writes; compaction cycles left it alone, so
+  // no cache entry was ever invalidated by the race.
+  EXPECT_EQ(index.write_epoch(), epoch_before);
+  auto stats = service.stats();
+  EXPECT_EQ(stats.cache_stale, 0u);
+  EXPECT_GT(stats.cache_hits, 0u);
+  // And a probe after the dust settles still hits the pre-race cache.
+  auto response = service.ExecuteSync(ProbeReq({0, 1, 2}, 0.5));
+  ASSERT_TRUE(response.status.ok());
+  EXPECT_TRUE(response.cache_hit);
+}
+
 }  // namespace
 }  // namespace fj::serve

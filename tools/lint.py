@@ -36,6 +36,15 @@ Rules:
                    bench/ and tools/ are exempt (host-side artifact I/O).
                    Waive deliberate uses with a trailing or preceding
                    `lint: allow-file-io (<reason>)` comment.
+  no-raw-socket    raw POSIX socket calls (socket/connect/bind/listen/
+                   accept/recv/send/setsockopt/...) are banned outside
+                   src/mapreduce/worker_net.cc: the shuffle's wire layer
+                   owns framing, deadlines, EINTR loops, and the payload
+                   hash, and a second ad-hoc socket path would bypass all
+                   of them (plus the NetFaultPlan chaos hooks CI relies
+                   on). Talk to mapreduce/worker_net.h's helpers instead.
+                   Waive deliberate uses with a trailing or preceding
+                   `lint: allow-socket (<reason>)` comment.
   nodiscard-status Status and Result must stay class-level [[nodiscard]]
                    so dropped errors are compile errors under -Werror.
   iwyu-lite        a file that names selected std:: symbols must include
@@ -79,6 +88,18 @@ EXECUTOR_FILES = (
     os.path.join("src", "common", "executor.h"),
     os.path.join("src", "common", "executor.cc"),
 )
+
+# no-raw-socket: raw POSIX socket syscalls. Only the shuffle's wire layer
+# may dial, listen, or push bytes directly — everything else goes through
+# worker_net.h so deadlines, EINTR handling, frame hashing, and fault
+# injection stay in one place. The pattern requires a call (trailing "(")
+# and rejects qualified/member names (transport->send, net::connect).
+RAW_SOCKET_RE = re.compile(
+    r"(?<![\w.:>])(?:socket|socketpair|connect|bind|listen|accept4?|"
+    r"recv(?:from|msg)?|send(?:to|msg)?|[gs]etsockopt|getsockname|"
+    r"getpeername|shutdown)\s*\(")
+SOCKET_WAIVER = "lint: allow-socket"
+SOCKET_EXEMPT_FILES = (os.path.join("src", "mapreduce", "worker_net.cc"),)
 
 # no-raw-file-io: direct file streams / FILE* opens. Only the Dfs (and the
 # host-side bench/ and tools/ trees) may touch real files.
@@ -144,6 +165,16 @@ def main():
                            "spawn tasks on the common/executor.h Executor "
                            "instead of a raw std::thread; waive deliberate "
                            "uses with '// %s (<reason>)'" % THREAD_WAIVER)
+
+            if not path.endswith(SOCKET_EXEMPT_FILES) and \
+                    RAW_SOCKET_RE.search(code):
+                prev = lines[lineno - 2] if lineno >= 2 else ""
+                if SOCKET_WAIVER not in raw and SOCKET_WAIVER not in prev:
+                    report(path, lineno, "no-raw-socket",
+                           "raw sockets bypass the shuffle wire layer "
+                           "(framing, deadlines, payload hashes, fault "
+                           "injection); use mapreduce/worker_net.h or "
+                           "waive with '// %s (<reason>)'" % SOCKET_WAIVER)
 
             file_io_exempt = (path.endswith(FILE_IO_EXEMPT_FILES) or
                               any(d in path for d in FILE_IO_EXEMPT_DIRS))

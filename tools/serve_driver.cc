@@ -39,6 +39,7 @@
 
 #include "common/flags.h"
 #include "common/varint.h"
+#include "mapreduce/worker_net.h"
 #include "serve/query_service.h"
 #include "serve/serving_index.h"
 #include "text/tokenizer.h"
@@ -48,6 +49,16 @@ namespace {
 using fj::Flags;
 using fj::Result;
 using fj::Status;
+
+// Responses go to stdout through the EINTR/EAGAIN-safe fd writer rather
+// than std::cout: when the client is a pipe that closes mid-probe (head,
+// a killed client), a buffered stream would either die on SIGPIPE or
+// silently lose the error. Returns false when the client went away —
+// a normal way for a serving session to end, not an error.
+bool EmitLine(std::string line) {
+  line.push_back('\n');
+  return fj::mr::net::WriteAllFd(1, line).ok();
+}
 
 // Probes carry a rid no real record uses so self-exclusion never triggers.
 constexpr uint64_t kQueryRid = ~uint64_t{0};
@@ -261,13 +272,13 @@ int Run(const Flags& flags) {
     if (verb == "compact") {
       service.Flush();  // nothing in flight while the index rewrites itself
       seeded.index->CompactNow();
-      std::cout << "OK compact" << std::endl;
+      if (!EmitLine("OK compact")) break;
       continue;
     }
     if (verb == "stats") {
       service.Flush();
       PrintServeStats(*seeded.index, service);
-      std::cout << "OK stats" << std::endl;
+      if (!EmitLine("OK stats")) break;
       continue;
     }
     fj::serve::Request request;
@@ -297,21 +308,24 @@ int Run(const Flags& flags) {
       if (request.record.tokens.empty()) error = "empty token set";
     }
     if (!error.empty()) {
-      std::cout << "ERR InvalidArgument " << error << std::endl;
+      if (!EmitLine("ERR InvalidArgument " + error)) break;
       continue;
     }
     const uint64_t echo_rid =
         verb == "remove" ? request.rid : request.record.rid;
     fj::serve::ServeResponse response = service.ExecuteSync(request);
     if (!response.status.ok()) {
-      std::cout << "ERR " << fj::StatusCodeName(response.status.code()) << ' '
-                << response.status.message() << std::endl;
+      if (!EmitLine(std::string("ERR ") +
+                    fj::StatusCodeName(response.status.code()) + ' ' +
+                    std::string(response.status.message()))) {
+        break;
+      }
       continue;
     }
     if (verb == "insert" || verb == "remove") {
-      std::cout << "OK " << verb << ' ' << echo_rid << std::endl;
+      if (!EmitLine("OK " + verb + ' ' + std::to_string(echo_rid))) break;
     } else {
-      std::cout << FormatResults(verb.c_str(), response.results) << std::endl;
+      if (!EmitLine(FormatResults(verb.c_str(), response.results))) break;
     }
   }
 
@@ -333,6 +347,10 @@ int Run(const Flags& flags) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // A client that disconnects mid-response (closed pipe, killed reader)
+  // must not kill the server with SIGPIPE; the write path reports the
+  // broken pipe as a status and the session winds down normally.
+  fj::mr::net::IgnoreSigpipe();
   Flags flags(argc, argv);
   return Run(flags);
 }

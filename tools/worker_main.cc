@@ -1,0 +1,21 @@
+// fuzzyjoin_worker — standalone shuffle-worker process.
+//
+//   fuzzyjoin_worker [--port_fd=FD] [--life_fd=FD] [--net_faults=PLAN]
+//
+// Serves the worker_net.h frame protocol (PUT/GET/PING/DROPJOB) on an
+// OS-assigned loopback port. The port is written as "<port>\n" to
+// --port_fd (default stdout); the process exits when --life_fd (default
+// stdin) reaches EOF, so a dead coordinator can never leak workers.
+// --net_faults takes a NetFaultPlan::Serialize string and turns the
+// worker into a deterministic chaos server.
+//
+// The coordinator normally spawns workers by re-execing its own binary
+// in worker mode (WorkerPool::SpawnProcesses); this standalone binary
+// exists for manual experiments and cross-binary setups, e.g.:
+//
+//   mkfifo life && fuzzyjoin_worker < life &
+#include "mapreduce/worker_net.h"
+
+int main(int argc, char** argv) {
+  return fj::mr::net::RunShuffleWorkerMain(argc, argv);
+}
