@@ -1,35 +1,34 @@
 #include "common/counters.h"
 
-#include <mutex>
 #include <sstream>
 
 namespace fj {
 
 void CounterSet::Add(const std::string& name, int64_t delta) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   counters_[name] += delta;
 }
 
 void CounterSet::Max(const std::string& name, int64_t value) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto [it, inserted] = counters_.try_emplace(name, value);
   if (!inserted && it->second < value) it->second = value;
 }
 
 int64_t CounterSet::Get(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = counters_.find(name);
   return it == counters_.end() ? 0 : it->second;
 }
 
 void CounterSet::MergeFrom(const CounterSet& other) {
   auto snapshot = other.Snapshot();
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   for (const auto& [name, value] : snapshot) counters_[name] += value;
 }
 
 std::map<std::string, int64_t> CounterSet::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return counters_;
 }
 
@@ -42,7 +41,7 @@ std::string CounterSet::ToString() const {
 }
 
 void CounterSet::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   counters_.clear();
 }
 

@@ -5,8 +5,9 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
+
+#include "common/sync.h"
 
 namespace fj {
 
@@ -22,7 +23,7 @@ class CounterSet {
   CounterSet& operator=(const CounterSet& other) {
     if (this != &other) {
       auto snapshot = other.Snapshot();
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       counters_ = std::move(snapshot);
     }
     return *this;
@@ -53,8 +54,10 @@ class CounterSet {
   void Clear();
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, int64_t> counters_;
+  // Unranked leaf: Add() is on the record hot path and never acquires
+  // another lock, so it skips the debug rank detector's bookkeeping.
+  mutable Mutex mu_{"counters"};
+  std::map<std::string, int64_t> counters_ FJ_GUARDED_BY(mu_);
 };
 
 }  // namespace fj

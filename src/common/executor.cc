@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <utility>
@@ -47,10 +46,10 @@ Executor::Executor(size_t num_threads) {
 
 Executor::~Executor() {
   {
-    std::lock_guard<std::mutex> lock(idle_mu_);
+    MutexLock lock(&idle_mu_);
     shutting_down_ = true;
   }
-  idle_cv_.notify_all();
+  idle_cv_.NotifyAll();
   for (auto& w : workers_) w->thread.join();
 }
 
@@ -83,8 +82,9 @@ void Executor::Submit(TaskGroup* group, std::function<void()> fn) {
     target = submit_cursor_.fetch_add(1, std::memory_order_relaxed) %
              workers_.size();
   }
+  Worker& w = *workers_[target];
   {
-    std::lock_guard<std::mutex> lock(workers_[target]->mu);
+    MutexLock lock(&w.mu);
     // queued_ is bumped under the same worker mutex as the push: an idle
     // worker that observes the count and then locks this deque blocks
     // until the push has landed and finds the task, instead of spinning
@@ -92,19 +92,19 @@ void Executor::Submit(TaskGroup* group, std::function<void()> fn) {
     // flight. Pops decrement under the same lock, so the count can never
     // trail the deque either.
     queued_.fetch_add(1, std::memory_order_release);
-    workers_[target]->deque.push_back(std::move(task));
+    w.deque.push_back(std::move(task));
   }
   {
     // Empty critical section: pairs the queued_ bump with the idle wait's
     // predicate check so the notify cannot be lost.
-    std::lock_guard<std::mutex> lock(idle_mu_);
+    MutexLock lock(&idle_mu_);
   }
-  idle_cv_.notify_one();
+  idle_cv_.NotifyOne();
 }
 
 bool Executor::PopLocal(size_t index, Task* out) {
   Worker& self = *workers_[index];
-  std::lock_guard<std::mutex> lock(self.mu);
+  MutexLock lock(&self.mu);
   if (self.deque.empty()) return false;
   *out = std::move(self.deque.back());
   self.deque.pop_back();
@@ -116,7 +116,7 @@ bool Executor::Steal(size_t thief, Task* out) {
   const size_t n = workers_.size();
   for (size_t k = 1; k < n; ++k) {
     Worker& victim = *workers_[(thief + k) % n];
-    std::lock_guard<std::mutex> lock(victim.mu);
+    MutexLock lock(&victim.mu);
     if (victim.deque.empty()) continue;
     // FIFO steal: the victim's oldest task — least cache-warm for it and
     // most likely to still be a large unit of work.
@@ -136,10 +136,13 @@ void Executor::WorkerLoop(size_t index) {
   for (;;) {
     Task task;
     if (!PopLocal(index, &task) && !Steal(index, &task)) {
-      std::unique_lock<std::mutex> lock(idle_mu_);
-      idle_cv_.wait(lock, [this] {
-        return shutting_down_ || queued_.load(std::memory_order_acquire) > 0;
-      });
+      MutexLock lock(&idle_mu_);
+      // Explicit wait loop (not a predicate lambda): the thread-safety
+      // analysis can see shutting_down_ is read under idle_mu_ this way.
+      while (!shutting_down_ &&
+             queued_.load(std::memory_order_acquire) == 0) {
+        idle_cv_.Wait(&idle_mu_);
+      }
       // Drain before exiting: shutdown only stops the worker once no
       // submitted task remains.
       if (shutting_down_ &&
@@ -176,13 +179,13 @@ Status TaskGroup::Wait() {
   // Fast path — and the empty-group guard: waiting on a group that never
   // spawned anything must not touch the executor at all.
   if (pending_.load(std::memory_order_acquire) == 0) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     return status_;
   }
-  std::unique_lock<std::mutex> lock(mu_);
-  done_cv_.wait(lock, [this] {
-    return pending_.load(std::memory_order_acquire) == 0;
-  });
+  MutexLock lock(&mu_);
+  while (pending_.load(std::memory_order_acquire) != 0) {
+    done_cv_.Wait(&mu_);
+  }
   return status_;
 }
 
@@ -194,10 +197,10 @@ void TaskGroup::TaskDone(Status status) {
   // the group and the caller may destroy it. Decrementing outside the
   // lock would let the waiter return (and destroy the group) between the
   // decrement and the notify, a use-after-free.
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (!status.ok() && status_.ok()) status_ = std::move(status);
   if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-    done_cv_.notify_all();
+    done_cv_.NotifyAll();
   }
 }
 

@@ -30,17 +30,16 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "common/status.h"
+#include "common/sync.h"
 
 namespace fj {
 
@@ -117,8 +116,8 @@ class Executor {
 
   // One per worker; held by unique_ptr so addresses stay stable.
   struct Worker {
-    std::mutex mu;
-    std::deque<Task> deque;
+    Mutex mu{"executor.worker", lock_rank::kExecutorQueue};
+    std::deque<Task> deque FJ_GUARDED_BY(mu);
     std::thread thread;
     // Relaxed atomics: each is written by one thread at a time and only
     // aggregated in stats(); no ordering is implied or needed.
@@ -141,9 +140,9 @@ class Executor {
   std::atomic<size_t> submit_cursor_{0};
   /// Tasks submitted but not yet dequeued; the idle-wait predicate.
   std::atomic<size_t> queued_{0};
-  std::mutex idle_mu_;
-  std::condition_variable idle_cv_;
-  bool shutting_down_ = false;  // guarded by idle_mu_
+  Mutex idle_mu_{"executor.idle", lock_rank::kExecutorIdle};
+  CondVar idle_cv_;
+  bool shutting_down_ FJ_GUARDED_BY(idle_mu_) = false;
 };
 
 /// Tracks completion (and the first failure) of a set of tasks spawned on
@@ -180,9 +179,10 @@ class TaskGroup {
 
   Executor* executor_;
   std::atomic<size_t> pending_{0};
-  std::mutex mu_;
-  std::condition_variable done_cv_;
-  Status status_;  // first task failure; guarded by mu_
+  Mutex mu_{"taskgroup", lock_rank::kTaskGroup};
+  CondVar done_cv_;
+  /// First task failure wins.
+  Status status_ FJ_GUARDED_BY(mu_);
 };
 
 }  // namespace fj

@@ -2,14 +2,17 @@
 
 #include <atomic>
 #include <cstdio>
-#include <mutex>
+
+#include "common/sync.h"
 
 namespace fj {
 
 namespace {
 
 std::atomic<int> g_level{static_cast<int>(LogLevel::kInfo)};
-std::mutex g_log_mu;
+// Unranked leaf: serializes stream writes only; LogMessage never takes
+// another lock while holding it.
+Mutex g_log_mu{"logging"};
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -33,7 +36,7 @@ LogLevel GetLogLevel() { return static_cast<LogLevel>(g_level.load()); }
 
 void LogMessage(LogLevel level, const std::string& message) {
   if (static_cast<int>(level) < g_level.load()) return;
-  std::lock_guard<std::mutex> lock(g_log_mu);
+  MutexLock lock(&g_log_mu);
   std::fprintf(stderr, "[%s] %s\n", LevelName(level), message.c_str());
 }
 

@@ -1,0 +1,149 @@
+#include "common/sync.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+#if defined(__has_include)
+#if __has_include(<execinfo.h>)
+#include <execinfo.h>
+#include <unistd.h>
+#define FJ_SYNC_HAVE_BACKTRACE 1
+#endif
+#endif
+
+namespace fj::sync_internal {
+namespace {
+
+// -1 = undecided (resolve from env / build mode on first use).
+std::atomic<int> g_checks_enabled{-1};
+
+bool ResolveDefault() {
+  if (const char* env = std::getenv("FJ_SYNC_DEADLOCK_CHECKS")) {
+    return env[0] != '0';
+  }
+#ifdef NDEBUG
+  return false;
+#else
+  return true;
+#endif
+}
+
+constexpr int kMaxHeld = 32;    // deeper nesting than any sane hierarchy
+constexpr int kMaxFrames = 24;  // acquisition backtrace depth
+
+struct HeldLock {
+  const void* mu = nullptr;
+  const char* name = nullptr;
+  int rank = 0;
+  int frames = 0;
+  void* stack[kMaxFrames];
+};
+
+struct HeldStack {
+  HeldLock locks[kMaxHeld];
+  int depth = 0;
+};
+
+// The calling thread's ranked held locks, acquisition order. Plain
+// thread_local: only ever touched by the owning thread.
+thread_local HeldStack tls_held;
+
+void PrintStack(const char* label, void* const* frames, int count) {
+  std::fprintf(stderr, "[sync] %s\n", label);
+#ifdef FJ_SYNC_HAVE_BACKTRACE
+  if (count > 0) {
+    // Async-signal-unsafe niceties do not matter: we are about to abort.
+    backtrace_symbols_fd(frames, count, STDERR_FILENO);
+    return;
+  }
+#else
+  (void)frames;
+  (void)count;
+#endif
+  std::fprintf(stderr, "  (no backtrace available)\n");
+}
+
+[[noreturn]] void RankViolation(const HeldLock& held, const char* name,
+                                int rank) {
+  std::fprintf(
+      stderr,
+      "[sync] lock-rank violation: acquiring \"%s\" (rank %d) while holding "
+      "\"%s\" (rank %d); ranked locks must be acquired in strictly "
+      "decreasing rank order (see DESIGN.md \"Concurrency discipline\")\n",
+      name, rank, held.name, held.rank);
+  PrintStack("held lock was acquired at:", held.stack, held.frames);
+#ifdef FJ_SYNC_HAVE_BACKTRACE
+  void* now[kMaxFrames];
+  const int n = backtrace(now, kMaxFrames);
+  PrintStack("offending acquisition attempted at:", now, n);
+#else
+  PrintStack("offending acquisition attempted at:", nullptr, 0);
+#endif
+  std::abort();
+}
+
+}  // namespace
+
+bool DeadlockChecksEnabled() {
+  int state = g_checks_enabled.load(std::memory_order_relaxed);
+  if (state < 0) {
+    state = ResolveDefault() ? 1 : 0;
+    // Losing this race to SetDeadlockChecksForTest is fine: exchange
+    // only installs the default when still undecided.
+    int expected = -1;
+    if (!g_checks_enabled.compare_exchange_strong(expected, state,
+                                                  std::memory_order_relaxed)) {
+      state = expected;
+    }
+  }
+  return state != 0;
+}
+
+bool SetDeadlockChecksForTest(bool enabled) {
+  const bool previous = DeadlockChecksEnabled();
+  g_checks_enabled.store(enabled ? 1 : 0, std::memory_order_relaxed);
+  return previous;
+}
+
+void CheckAcquireOrder(const void* mu, const char* name, int rank) {
+  if (!DeadlockChecksEnabled()) return;
+  (void)mu;
+  const HeldStack& held = tls_held;
+  for (int i = 0; i < held.depth; ++i) {
+    // Strictly decreasing: an equal rank is a violation too (two peers
+    // can be acquired in either order by racing threads — a cycle).
+    if (held.locks[i].rank <= rank) RankViolation(held.locks[i], name, rank);
+  }
+}
+
+void PushHeld(const void* mu, const char* name, int rank) {
+  if (!DeadlockChecksEnabled()) return;
+  HeldStack& held = tls_held;
+  if (held.depth >= kMaxHeld) return;  // overflow: stop tracking, stay alive
+  HeldLock& slot = held.locks[held.depth++];
+  slot.mu = mu;
+  slot.name = name;
+  slot.rank = rank;
+#ifdef FJ_SYNC_HAVE_BACKTRACE
+  slot.frames = backtrace(slot.stack, kMaxFrames);
+#else
+  slot.frames = 0;
+#endif
+}
+
+void PopHeld(const void* mu) {
+  HeldStack& held = tls_held;
+  // Search from the top: releases are almost always LIFO. Tolerate a
+  // missing entry — the detector may have been enabled mid-hold.
+  for (int i = held.depth - 1; i >= 0; --i) {
+    if (held.locks[i].mu != mu) continue;
+    for (int j = i; j + 1 < held.depth; ++j) {
+      held.locks[j] = held.locks[j + 1];
+    }
+    --held.depth;
+    return;
+  }
+}
+
+}  // namespace fj::sync_internal

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <mutex>
 
 #include "common/hash.h"
 #include "common/varint.h"
@@ -36,7 +35,7 @@ Status Dfs::WriteInternal(const std::string& name,
     entry->line_hashes.push_back(h);
     entry->file_hash = HashCombine(entry->file_hash, h);
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  WriterMutexLock lock(&mu_);
   auto [it, inserted] = files_.try_emplace(name, std::move(entry));
   (void)it;
   if (!inserted) return Status::AlreadyExists("dfs file exists: " + name);
@@ -54,14 +53,14 @@ Status Dfs::WriteFileBlocks(const std::string& name,
 }
 
 bool Dfs::IsBinary(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  ReaderMutexLock lock(&mu_);
   auto it = files_.find(name);
   return it != files_.end() && it->second->binary;
 }
 
 Status Dfs::AppendToFile(const std::string& name,
                          const std::vector<std::string>& lines) {
-  std::lock_guard<std::mutex> lock(mu_);
+  WriterMutexLock lock(&mu_);
   auto it = files_.find(name);
   if (it == files_.end()) {
     it = files_.emplace(name, std::make_unique<FileEntry>()).first;
@@ -72,24 +71,24 @@ Status Dfs::AppendToFile(const std::string& name,
 
 Result<const std::vector<std::string>*> Dfs::ReadFile(
     const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  ReaderMutexLock lock(&mu_);
   FJ_ASSIGN_OR_RETURN(const FileEntry* entry, FindLocked(name));
   return &entry->lines;
 }
 
 bool Dfs::Exists(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  ReaderMutexLock lock(&mu_);
   return files_.count(name) > 0;
 }
 
 Status Dfs::DeleteFile(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  WriterMutexLock lock(&mu_);
   if (files_.erase(name) == 0) return Status::NotFound("dfs file: " + name);
   return Status::OK();
 }
 
 Status Dfs::RenameFile(const std::string& from, const std::string& to) {
-  std::lock_guard<std::mutex> lock(mu_);
+  WriterMutexLock lock(&mu_);
   auto it = files_.find(from);
   if (it == files_.end()) return Status::NotFound("dfs file: " + from);
   if (files_.count(to) > 0) {
@@ -102,12 +101,12 @@ Status Dfs::RenameFile(const std::string& from, const std::string& to) {
 }
 
 void Dfs::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  WriterMutexLock lock(&mu_);
   files_.clear();
 }
 
 Result<uint64_t> Dfs::VerifyFile(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  ReaderMutexLock lock(&mu_);
   FJ_ASSIGN_OR_RETURN(const FileEntry* entry, FindLocked(name));
   uint64_t bytes = 0;
   uint64_t fold = kFnvOffsetBasis;
@@ -133,13 +132,13 @@ Result<uint64_t> Dfs::VerifyFile(const std::string& name) const {
 }
 
 Result<uint64_t> Dfs::FileChecksum(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  ReaderMutexLock lock(&mu_);
   FJ_ASSIGN_OR_RETURN(const FileEntry* entry, FindLocked(name));
   return entry->file_hash;
 }
 
 Status Dfs::CorruptByteForTest(const std::string& name, uint64_t seed) {
-  std::lock_guard<std::mutex> lock(mu_);
+  WriterMutexLock lock(&mu_);
   auto it = files_.find(name);
   if (it == files_.end()) return Status::NotFound("dfs file: " + name);
   auto& lines = it->second->lines;
@@ -159,7 +158,7 @@ Status Dfs::CorruptByteForTest(const std::string& name, uint64_t seed) {
 }
 
 std::vector<std::string> Dfs::ListFiles() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  ReaderMutexLock lock(&mu_);
   std::vector<std::string> names;
   names.reserve(files_.size());
   for (const auto& [name, entry] : files_) names.push_back(name);
@@ -167,7 +166,7 @@ std::vector<std::string> Dfs::ListFiles() const {
 }
 
 Result<uint64_t> Dfs::FileBytes(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  ReaderMutexLock lock(&mu_);
   FJ_ASSIGN_OR_RETURN(const FileEntry* entry, FindLocked(name));
   uint64_t total = 0;
   for (const auto& l : entry->lines) {

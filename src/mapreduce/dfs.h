@@ -17,12 +17,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/result.h"
 #include "common/status.h"
+#include "common/sync.h"
 #include "mapreduce/input.h"
 
 namespace fj::mr {
@@ -121,11 +121,14 @@ class Dfs {
   Status WriteInternal(const std::string& name, std::vector<std::string> lines,
                        bool binary);
 
-  Result<const FileEntry*> FindLocked(const std::string& name) const;
+  Result<const FileEntry*> FindLocked(const std::string& name) const
+      FJ_REQUIRES_SHARED(mu_);
 
-  mutable std::mutex mu_;
+  // Reader/writer lock: jobs hammer the read path (splits, verification,
+  // map input) concurrently, while writes are one commit per task.
+  mutable SharedMutex mu_{"dfs", lock_rank::kStorage};
   // unique_ptr keeps line storage stable across map rehashes.
-  std::map<std::string, std::unique_ptr<FileEntry>> files_;
+  std::map<std::string, std::unique_ptr<FileEntry>> files_ FJ_GUARDED_BY(mu_);
 };
 
 }  // namespace fj::mr

@@ -115,7 +115,6 @@
 #include <functional>
 #include <limits>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <utility>
@@ -125,6 +124,7 @@
 #include "common/hash.h"
 #include "common/result.h"
 #include "common/status.h"
+#include "common/sync.h"
 #include "common/timer.h"
 #include "mapreduce/contract.h"
 #include "mapreduce/dfs.h"
@@ -620,12 +620,14 @@ Result<JobMetrics> Job<K, V>::Run() {
 
   // First permanent task failure wins; later ones are redundant detail.
   // job_failed is the lock-free "already latched?" flag task bodies poll.
-  std::mutex failure_mu;
+  // Job-local latch; ranked kJobState — held across nothing but the
+  // status write, always acquired from task bodies that hold no lock.
+  Mutex failure_mu{"job.failure", lock_rank::kJobState};
   Status job_status;
   std::atomic<bool> job_failed{false};
   auto record_failure = [this, &failure_mu, &job_status, &job_failed](
                             TaskPhase phase, size_t task_id) {
-    std::lock_guard<std::mutex> lock(failure_mu);
+    MutexLock lock(&failure_mu);
     if (job_status.ok()) {
       job_status = Status::Internal(
           "job '" + spec_.name + "': " + TaskPhaseName(phase) + " task " +
@@ -637,7 +639,7 @@ Result<JobMetrics> Job<K, V>::Run() {
   // Contract violations are deterministic user-code bugs, not transient
   // faults: the first one fails the job (no retry, no output).
   auto latch_status = [&failure_mu, &job_status, &job_failed](const Status& s) {
-    std::lock_guard<std::mutex> lock(failure_mu);
+    MutexLock lock(&failure_mu);
     if (job_status.ok()) job_status = s;
     job_failed.store(true, std::memory_order_release);
   };
@@ -677,7 +679,7 @@ Result<JobMetrics> Job<K, V>::Run() {
   std::vector<std::vector<std::vector<SortedRun<K, V>>>> fetched_slots(
       transport ? num_map_tasks : 0,
       std::vector<std::vector<SortedRun<K, V>>>(num_reduce_tasks));
-  std::mutex net_mu;  // guards the metrics.net_* accumulators
+  Mutex net_mu{"job.net", lock_rank::kJobState};  // guards the metrics.net_* accumulators
   std::atomic<size_t> maps_remaining{num_map_tasks};
   std::atomic<size_t> reduces_remaining{num_reduce_tasks};
   // Measured phase walls, stamped by whichever worker completed the
@@ -1071,7 +1073,7 @@ Result<JobMetrics> Job<K, V>::Run() {
     }
     const double latency = fetch_timer.ElapsedSeconds();
     {
-      std::lock_guard<std::mutex> lock(net_mu);
+      MutexLock lock(&net_mu);
       metrics.net_segments += published_count;
       metrics.net_fetches++;
       metrics.net_fetch_retries += stats.retries;

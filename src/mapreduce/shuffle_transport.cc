@@ -3,9 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdlib>
-#include <mutex>
 #include <thread>
 #include <utility>
 
@@ -127,7 +125,7 @@ Status InprocTransport::Publish(const ShuffleSegmentKey& key,
     stats->rpcs++;
     stats->bytes_sent += segment.size();
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   segments_[{key.job, key.map_task, key.partition}] = std::move(segment);
   return Status::OK();
 }
@@ -135,7 +133,7 @@ Status InprocTransport::Publish(const ShuffleSegmentKey& key,
 Result<std::string> InprocTransport::Fetch(const ShuffleSegmentKey& key,
                                            NetCallStats* stats) {
   if (stats) stats->rpcs++;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = segments_.find({key.job, key.map_task, key.partition});
   if (it == segments_.end()) {
     return Status::Unavailable("segment not published: " + key.job + " m" +
@@ -147,7 +145,7 @@ Result<std::string> InprocTransport::Fetch(const ShuffleSegmentKey& key,
 }
 
 void InprocTransport::DropJob(const std::string& job) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = segments_.lower_bound({job, 0, 0});
   while (it != segments_.end() && std::get<0>(it->first) == job) {
     it = segments_.erase(it);
@@ -177,10 +175,10 @@ class SocketTransport : public ShuffleTransport {
 
   ~SocketTransport() override {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       stopping_ = true;
     }
-    heartbeat_cv_.notify_all();
+    heartbeat_cv_.NotifyAll();
     if (heartbeat_thread_.joinable()) heartbeat_thread_.join();
   }
 
@@ -203,7 +201,7 @@ class SocketTransport : public ShuffleTransport {
       Status attempt = CallWithRetries(target, net::FrameType::kPut, &request,
                                        nullptr, stats);
       if (attempt.ok()) {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(&mu_);
         placement_[{key.job, key.map_task, key.partition}] = target;
         return Status::OK();
       }
@@ -217,7 +215,7 @@ class SocketTransport : public ShuffleTransport {
                             NetCallStats* stats) override {
     size_t target = 0;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       auto it = placement_.find({key.job, key.map_task, key.partition});
       if (it == placement_.end()) {
         return Status::Unavailable("segment was never published: " + key.job +
@@ -253,7 +251,7 @@ class SocketTransport : public ShuffleTransport {
       (void)CallWithRetries(i, net::FrameType::kDropJob, &request, nullptr,
                             nullptr);
     }
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     auto it = placement_.lower_bound({job, 0, 0});
     while (it != placement_.end() && std::get<0>(it->first) == job) {
       it = placement_.erase(it);
@@ -266,12 +264,12 @@ class SocketTransport : public ShuffleTransport {
 
  private:
   bool IsLost(size_t index) const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     return lost_[index];
   }
 
   void MarkLost(size_t index) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (!lost_[index]) {
       lost_[index] = true;
       worker_losses_.fetch_add(1, std::memory_order_relaxed);
@@ -366,31 +364,34 @@ class SocketTransport : public ShuffleTransport {
   }
 
   void HeartbeatLoop() {
-    std::unique_lock<std::mutex> lock(mu_);
-    while (!stopping_) {
-      heartbeat_cv_.wait_for(
-          lock, std::chrono::milliseconds(options_.heartbeat_interval_ms));
-      if (stopping_) return;
+    for (;;) {
       std::vector<size_t> live;
-      for (size_t i = 0; i < ports_.size(); ++i) {
-        if (!lost_[i]) live.push_back(i);
+      {
+        MutexLock lock(&mu_);
+        if (stopping_) return;
+        heartbeat_cv_.WaitFor(
+            &mu_, std::chrono::milliseconds(options_.heartbeat_interval_ms));
+        if (stopping_) return;
+        for (size_t i = 0; i < ports_.size(); ++i) {
+          if (!lost_[i]) live.push_back(i);
+        }
       }
-      lock.unlock();
+      // Ping with the lock dropped: a stalled peer must not block
+      // Publish/Fetch while the probe waits out its socket timeout.
       for (size_t i : live) {
         if (PingWorker(i)) {
-          std::lock_guard<std::mutex> inner(mu_);
+          MutexLock inner(&mu_);
           heartbeat_misses_[i] = 0;
         } else {
           bool declare_lost = false;
           {
-            std::lock_guard<std::mutex> inner(mu_);
+            MutexLock inner(&mu_);
             declare_lost =
                 ++heartbeat_misses_[i] >= options_.heartbeat_misses_to_loss;
           }
           if (declare_lost) MarkLost(i);
         }
       }
-      lock.lock();
     }
   }
 
@@ -415,14 +416,15 @@ class SocketTransport : public ShuffleTransport {
   const std::shared_ptr<const NetFaultPlan> fault_plan_;
   const SocketTransportOptions options_;
 
-  mutable std::mutex mu_;
-  std::vector<bool> lost_;
-  std::vector<uint32_t> heartbeat_misses_;
-  std::map<std::tuple<std::string, uint64_t, uint64_t>, size_t> placement_;
+  mutable Mutex mu_{"transport.socket", lock_rank::kTransport};
+  std::vector<bool> lost_ FJ_GUARDED_BY(mu_);
+  std::vector<uint32_t> heartbeat_misses_ FJ_GUARDED_BY(mu_);
+  std::map<std::tuple<std::string, uint64_t, uint64_t>, size_t> placement_
+      FJ_GUARDED_BY(mu_);
   std::atomic<uint64_t> worker_losses_{0};
 
-  bool stopping_ = false;
-  std::condition_variable heartbeat_cv_;
+  bool stopping_ FJ_GUARDED_BY(mu_) = false;
+  CondVar heartbeat_cv_;
   std::thread heartbeat_thread_;  // lint: allow-thread (liveness probe)
 };
 

@@ -42,7 +42,6 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <tuple>
@@ -50,6 +49,7 @@
 
 #include "common/result.h"
 #include "common/status.h"
+#include "common/sync.h"
 
 namespace fj::mr {
 
@@ -177,8 +177,9 @@ class InprocTransport : public ShuffleTransport {
   void DropJob(const std::string& job) override;
 
  private:
-  std::mutex mu_;
-  std::map<std::tuple<std::string, uint64_t, uint64_t>, std::string> segments_;
+  Mutex mu_{"transport.inproc", lock_rank::kTransport};
+  std::map<std::tuple<std::string, uint64_t, uint64_t>, std::string> segments_
+      FJ_GUARDED_BY(mu_);
 };
 
 /// Client-side policy knobs of the socket transport.

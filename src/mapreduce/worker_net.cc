@@ -17,7 +17,6 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
@@ -339,7 +338,7 @@ Status WorkerServer::Start() {
   FJ_ASSIGN_OR_RETURN(listen_fd_, ListenTcpLoopback(&port));
   port_ = port;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     stopping_ = false;
   }
   accept_thread_ = std::thread([this] { AcceptLoop(); });  // lint: allow-thread
@@ -348,7 +347,7 @@ Status WorkerServer::Start() {
 
 void WorkerServer::Stop() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (stopping_ && listen_fd_ < 0) return;
     stopping_ = true;
   }
@@ -360,7 +359,7 @@ void WorkerServer::Stop() {
   if (accept_thread_.joinable()) accept_thread_.join();
   std::vector<std::thread> handlers;  // lint: allow-thread (joining the wire layer's own handlers)
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     handlers.swap(handlers_);
     segments_.clear();
   }
@@ -370,17 +369,17 @@ void WorkerServer::Stop() {
 }
 
 uint64_t WorkerServer::requests_served() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return requests_served_;
 }
 
 uint64_t WorkerServer::faults_injected() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return faults_injected_;
 }
 
 uint64_t WorkerServer::segments_stored() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return segments_.size();
 }
 
@@ -391,7 +390,7 @@ void WorkerServer::AcceptLoop() {
       if (errno == EINTR) continue;
       return;  // listen fd closed by Stop(), or fatal — either way, done
     }
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (stopping_) {
       CloseFd(fd);
       return;
@@ -425,11 +424,11 @@ void WorkerServer::HandleConnection(int fd) {
     response = Execute(request, frame->type);
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     requests_served_++;
   }
   if (SendWithFaults(fd, request, frame->type, response)) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     faults_injected_++;
   }
   CloseFd(fd);
@@ -437,7 +436,7 @@ void WorkerServer::HandleConnection(int fd) {
 
 Response WorkerServer::Execute(const Request& request, FrameType type) {
   Response response;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   switch (type) {
     case FrameType::kPut:
       segments_[{request.job, request.map_task, request.partition}] =

@@ -37,7 +37,6 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -47,6 +46,7 @@
 
 #include "common/result.h"
 #include "common/status.h"
+#include "common/sync.h"
 #include "mapreduce/shuffle_transport.h"
 
 namespace fj::mr::net {
@@ -176,12 +176,14 @@ class WorkerServer {
   int port_ = 0;
   std::thread accept_thread_;  // lint: allow-thread (network layer, not task work)
 
-  mutable std::mutex mu_;
-  bool stopping_ = false;
-  std::map<std::tuple<std::string, uint64_t, uint64_t>, std::string> segments_;
-  std::vector<std::thread> handlers_;  // lint: allow-thread (one per connection)
-  uint64_t requests_served_ = 0;
-  uint64_t faults_injected_ = 0;
+  mutable Mutex mu_{"worker_net.server", lock_rank::kTransport};
+  bool stopping_ FJ_GUARDED_BY(mu_) = false;
+  std::map<std::tuple<std::string, uint64_t, uint64_t>, std::string> segments_
+      FJ_GUARDED_BY(mu_);
+  std::vector<std::thread> handlers_  // lint: allow-thread (one per connection)
+      FJ_GUARDED_BY(mu_);
+  uint64_t requests_served_ FJ_GUARDED_BY(mu_) = 0;
+  uint64_t faults_injected_ FJ_GUARDED_BY(mu_) = 0;
 };
 
 // ---------------------------------------------------------------------------

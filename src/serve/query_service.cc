@@ -4,7 +4,6 @@
 #include <chrono>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <utility>
 
 #include "common/hash.h"
@@ -64,7 +63,7 @@ Status QueryService::Enqueue(Request request,
   const uint64_t bytes = RequestBytes(request);
   bool spawn_drainer = false;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (queue_.size() >= options_.max_queue_depth) {
       ++stats_.rejected_queue_depth;
       return Status::ResourceExhausted(
@@ -97,17 +96,19 @@ Status QueryService::Enqueue(Request request,
 
 ServeResponse QueryService::ExecuteSync(Request request) {
   struct SyncState {
-    std::mutex mu;
-    std::condition_variable cv;
-    bool done = false;
-    ServeResponse response;
+    // Unranked local latch: held only around the done flip / final read,
+    // never while any other lock is taken.
+    Mutex mu{"query_service.sync"};
+    CondVar cv;
+    bool done FJ_GUARDED_BY(mu) = false;
+    ServeResponse response FJ_GUARDED_BY(mu);
   };
   auto state = std::make_shared<SyncState>();
   Status admitted = Enqueue(std::move(request), [state](ServeResponse r) {
-    std::lock_guard<std::mutex> lock(state->mu);
+    MutexLock lock(&state->mu);
     state->response = std::move(r);
     state->done = true;
-    state->cv.notify_all();
+    state->cv.NotifyAll();
   });
   if (!admitted.ok()) {
     ServeResponse rejected;
@@ -115,16 +116,16 @@ ServeResponse QueryService::ExecuteSync(Request request) {
     return rejected;
   }
   if (!options_.auto_drain) DrainAll();
-  std::unique_lock<std::mutex> lock(state->mu);
-  state->cv.wait(lock, [&] { return state->done; });
+  MutexLock lock(&state->mu);
+  while (!state->done) state->cv.Wait(&state->mu);
   return std::move(state->response);
 }
 
 void QueryService::Flush() {
-  std::unique_lock<std::mutex> lock(mu_);
-  idle_cv_.wait(lock, [&] {
-    return queue_.empty() && in_progress_ == 0 && !drain_scheduled_;
-  });
+  MutexLock lock(&mu_);
+  while (!(queue_.empty() && in_progress_ == 0 && !drain_scheduled_)) {
+    idle_cv_.Wait(&mu_);
+  }
 }
 
 size_t QueryService::DrainAll() {
@@ -140,11 +141,11 @@ size_t QueryService::DrainAll() {
 
 bool QueryService::TakeBatch(std::vector<Pending>* batch, bool drainer) {
   batch->clear();
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (queue_.empty()) {
     if (drainer) {
       drain_scheduled_ = false;
-      if (in_progress_ == 0) idle_cv_.notify_all();
+      if (in_progress_ == 0) idle_cv_.NotifyAll();
     }
     return false;
   }
@@ -166,7 +167,7 @@ void QueryService::CompleteBatch(std::vector<Pending>* batch) {
     response.latency_seconds = SecondsSince(pending.enqueued);
     batch_bytes += pending.bytes;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       ++stats_.completed;
       switch (pending.request.kind) {
         case RequestKind::kProbeThreshold:
@@ -181,10 +182,10 @@ void QueryService::CompleteBatch(std::vector<Pending>* batch) {
     }
     if (pending.done) pending.done(std::move(response));
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   in_progress_ -= batch->size();
   bytes_in_flight_ -= batch_bytes;
-  if (queue_.empty() && in_progress_ == 0) idle_cv_.notify_all();
+  if (queue_.empty() && in_progress_ == 0) idle_cv_.NotifyAll();
 }
 
 void QueryService::DrainLoop() {
@@ -196,7 +197,7 @@ void QueryService::DrainLoop() {
 
 bool QueryService::CacheLookup(uint64_t key, const Request& request,
                                std::vector<ProbeResult>* results) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = cache_.find(key);
   if (it == cache_.end() || !SameProbe(it->second->request, request)) {
     ++stats_.cache_misses;
@@ -218,7 +219,7 @@ bool QueryService::CacheLookup(uint64_t key, const Request& request,
 
 void QueryService::CacheStore(uint64_t key, const Request& request,
                               std::vector<ProbeResult> results) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = cache_.find(key);
   if (it != cache_.end()) {  // re-computed after staleness or collision
     lru_.erase(it->second);
@@ -270,7 +271,7 @@ ServeResponse QueryService::Execute(const Request& request) {
 }
 
 QueryServiceStats QueryService::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return stats_;
 }
 

@@ -25,18 +25,17 @@
 //     separately, surfaced through stats() and the driver's --stats.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <list>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "common/executor.h"
 #include "common/latency_histogram.h"
 #include "common/status.h"
+#include "common/sync.h"
 #include "serve/serving_index.h"
 
 namespace fj::serve {
@@ -155,11 +154,11 @@ class QueryService {
   /// Runs one request against the index (drainer context only).
   ServeResponse Execute(const Request& request);
 
-  /// Cache lookup / store (drainer context only; guarded by mu_).
+  /// Cache lookup / store (drainer context only).
   bool CacheLookup(uint64_t key, const Request& request,
-                   std::vector<ProbeResult>* results);
+                   std::vector<ProbeResult>* results) FJ_EXCLUDES(mu_);
   void CacheStore(uint64_t key, const Request& request,
-                  std::vector<ProbeResult> results);
+                  std::vector<ProbeResult> results) FJ_EXCLUDES(mu_);
 
   /// Body of the drainer task; exits when the queue is empty.
   void DrainLoop();
@@ -176,19 +175,21 @@ class QueryService {
   QueryServiceOptions options_;
   TaskGroup group_;
 
-  mutable std::mutex mu_;
-  std::condition_variable idle_cv_;
-  std::deque<Pending> queue_;
-  uint64_t bytes_in_flight_ = 0;
-  size_t in_progress_ = 0;  ///< requests taken from the queue, not yet done
-  bool drain_scheduled_ = false;
+  mutable Mutex mu_{"query_service", lock_rank::kService};
+  CondVar idle_cv_;
+  std::deque<Pending> queue_ FJ_GUARDED_BY(mu_);
+  uint64_t bytes_in_flight_ FJ_GUARDED_BY(mu_) = 0;
+  /// Requests taken from the queue, not yet done.
+  size_t in_progress_ FJ_GUARDED_BY(mu_) = 0;
+  bool drain_scheduled_ FJ_GUARDED_BY(mu_) = false;
 
   // LRU cache: most-recently-used at the front. Serving tier, ordering
   // never observable (results are per-key).
-  std::list<CacheEntry> lru_;
-  std::unordered_map<uint64_t, std::list<CacheEntry>::iterator> cache_;
+  std::list<CacheEntry> lru_ FJ_GUARDED_BY(mu_);
+  std::unordered_map<uint64_t, std::list<CacheEntry>::iterator> cache_
+      FJ_GUARDED_BY(mu_);
 
-  QueryServiceStats stats_;
+  QueryServiceStats stats_ FJ_GUARDED_BY(mu_);
 };
 
 }  // namespace fj::serve

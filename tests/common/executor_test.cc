@@ -9,7 +9,6 @@
 #include <atomic>
 #include <chrono>
 #include <cstddef>
-#include <mutex>
 #include <set>
 #include <stdexcept>
 #include <thread>
@@ -107,13 +106,13 @@ TEST(ExecutorTest, CurrentWorkerIndexIdentifiesWorkers) {
   Executor executor(4);
   // The submitting thread is not a worker.
   EXPECT_EQ(executor.CurrentWorkerIndex(), Executor::kNotAWorker);
-  std::mutex mu;
+  Mutex mu{"test.seen"};
   std::set<size_t> seen;
   TaskGroup group(&executor);
   for (int i = 0; i < 200; ++i) {
     group.Spawn([&executor, &mu, &seen] {
       const size_t index = executor.CurrentWorkerIndex();
-      std::lock_guard<std::mutex> lock(mu);
+      MutexLock lock(&mu);
       seen.insert(index);
     });
   }

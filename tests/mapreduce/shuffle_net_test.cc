@@ -14,7 +14,6 @@
 #include <atomic>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -644,7 +643,7 @@ class FlakyFetchTransport : public ShuffleTransport {
   Result<std::string> Fetch(const ShuffleSegmentKey& key,
                             NetCallStats* stats) override {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       int& failures =
           failures_[{key.job, key.map_task, key.partition}];
       if (failures < fail_per_key_) {
@@ -659,16 +658,17 @@ class FlakyFetchTransport : public ShuffleTransport {
   void DropJob(const std::string& job) override { inner_->DropJob(job); }
 
   uint64_t total_failures() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     return total_failures_;
   }
 
  private:
   std::shared_ptr<ShuffleTransport> inner_;
   const int fail_per_key_;
-  mutable std::mutex mu_;
-  std::map<std::tuple<std::string, uint64_t, uint64_t>, int> failures_;
-  uint64_t total_failures_ = 0;
+  mutable Mutex mu_{"test.flaky_transport"};
+  std::map<std::tuple<std::string, uint64_t, uint64_t>, int> failures_
+      FJ_GUARDED_BY(mu_);
+  uint64_t total_failures_ FJ_GUARDED_BY(mu_) = 0;
 };
 
 TEST(JobTransportTest, Rung2ServesUnfetchableSegmentFromLocalSpill) {

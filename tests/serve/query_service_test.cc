@@ -6,7 +6,6 @@
 
 #include <algorithm>
 #include <atomic>
-#include <mutex>
 #include <vector>
 
 #include "common/executor.h"
@@ -66,14 +65,14 @@ TEST(QueryServiceTest, CallbacksRunInFifoOrder) {
   ServingIndex index;
   Executor executor(4);
   std::vector<uint64_t> completions;
-  std::mutex mu;
+  Mutex mu{"test.completions"};
   {
     QueryService service(&index, &executor);
     for (uint64_t i = 0; i < 200; ++i) {
       Status status = service.Enqueue(
           InsertReq(i, {i, i + 1, i + 2}), [&, i](ServeResponse response) {
             EXPECT_TRUE(response.status.ok());
-            std::lock_guard<std::mutex> lock(mu);
+            MutexLock lock(&mu);
             completions.push_back(i);
           });
       ASSERT_TRUE(status.ok());

@@ -1,0 +1,32 @@
+// Thread-safety gate CONTROL: a guarded field accessed under its lock.
+// Must COMPILE under clang++ -Wthread-safety -Werror — proves the gate
+// isn't rejecting everything (see tests/CMakeLists.txt). Compiled via
+// try_compile only; never linked into the engine.
+#include "common/sync.h"
+
+namespace {
+
+class Account {
+ public:
+  void Deposit(int amount) {
+    fj::MutexLock lock(&mu_);
+    balance_ += amount;
+  }
+
+  int balance() {
+    fj::MutexLock lock(&mu_);
+    return balance_;
+  }
+
+ private:
+  fj::Mutex mu_{"gate.account"};
+  int balance_ FJ_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+void ThreadSafetyGateControl() {
+  Account account;
+  account.Deposit(1);
+  (void)account.balance();
+}

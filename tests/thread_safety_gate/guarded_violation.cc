@@ -1,0 +1,26 @@
+// Thread-safety gate SEEDED VIOLATION: an unguarded write to a
+// FJ_GUARDED_BY field. Must FAIL to compile under clang++
+// -Wthread-safety -Werror; if this file ever compiles there, the
+// analysis stopped biting and tests/CMakeLists.txt fails the configure.
+// Compiled via try_compile only; never linked into the engine.
+#include "common/sync.h"
+
+namespace {
+
+class Account {
+ public:
+  // No lock taken: writing balance_ here must be a compile error
+  // (clang: "writing variable 'balance_' requires holding mutex 'mu_'").
+  void Deposit(int amount) { balance_ += amount; }
+
+ private:
+  fj::Mutex mu_{"gate.account"};
+  int balance_ FJ_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+void ThreadSafetyGateViolation() {
+  Account account;
+  account.Deposit(1);
+}

@@ -2,9 +2,14 @@
 """Repo-local lint: mechanical hygiene rules clang-tidy doesn't cover.
 
 Run from anywhere: paths resolve relative to the repo root (this file's
-parent directory). Exits non-zero with one `path:line: [rule] message`
-per violation. Stdlib only — runs in CI before the clang-tidy job and
+parent directory) unless --root points elsewhere (the self-test corpus
+uses that). Exits non-zero with one `path:line: [rule] message` per
+violation. Stdlib only — runs in CI before the clang-tidy job and
 locally as `python3 tools/lint.py`.
+
+Every run ends with a per-rule activity summary (sites the rule's
+pattern matched, before waivers and exemptions) so a rule that matches
+zero files — a dead rule whose pattern rotted — is visible in CI logs.
 
 Rules:
   pragma-once      every header under src/tools/bench/tests/examples uses
@@ -45,6 +50,14 @@ Rules:
                    on). Talk to mapreduce/worker_net.h's helpers instead.
                    Waive deliberate uses with a trailing or preceding
                    `lint: allow-socket (<reason>)` comment.
+  no-naked-mutex   std::mutex / std::condition_variable / std::lock_guard
+                   (and friends) are banned outside src/common/sync.h:
+                   fj::Mutex carries the Clang thread-safety capability
+                   annotations and the debug lock-rank deadlock detector,
+                   and a naked std primitive is invisible to both. Use
+                   fj::Mutex / fj::MutexLock / fj::CondVar (common/sync.h)
+                   or waive deliberate uses with a trailing or preceding
+                   `lint: allow-naked-mutex (<reason>)` comment.
   nodiscard-status Status and Result must stay class-level [[nodiscard]]
                    so dropped errors are compile errors under -Werror.
   iwyu-lite        a file that names selected std:: symbols must include
@@ -53,12 +66,25 @@ Rules:
                    upgrades before; the list is deliberately small).
 """
 
+import argparse
 import os
 import re
 import sys
 
-ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+DEFAULT_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 SOURCE_DIRS = ("src", "tools", "bench", "tests", "examples")
+
+RULES = (
+    "pragma-once",
+    "banned-rand",
+    "no-unordered-ppjoin",
+    "no-raw-thread",
+    "no-raw-file-io",
+    "no-raw-socket",
+    "no-naked-mutex",
+    "nodiscard-status",
+    "iwyu-lite",
+)
 
 # iwyu-lite: std symbol pattern -> required include. Only symbols whose
 # home header is unambiguous and commonly reached transitively.
@@ -111,10 +137,21 @@ FILE_IO_EXEMPT_DIRS = (
     os.sep + "tools" + os.sep,
 )
 
+# no-naked-mutex: std synchronization primitives outside the annotated
+# capability layer. fj::Mutex (common/sync.h) is the only place allowed to
+# name them — it wraps them with thread-safety annotations and the debug
+# lock-rank detector, both of which a naked primitive bypasses.
+NAKED_MUTEX_RE = re.compile(
+    r"\bstd::(?:mutex|timed_mutex|recursive_(?:timed_)?mutex|shared_mutex|"
+    r"shared_timed_mutex|condition_variable(?:_any)?|lock_guard|"
+    r"unique_lock|scoped_lock|shared_lock)\b")
+MUTEX_WAIVER = "lint: allow-naked-mutex"
+MUTEX_EXEMPT_FILES = (os.path.join("src", "common", "sync.h"),)
 
-def source_files():
+
+def source_files(root):
     for d in SOURCE_DIRS:
-        for dirpath, _, names in os.walk(os.path.join(ROOT, d)):
+        for dirpath, _, names in os.walk(os.path.join(root, d)):
             for name in sorted(names):
                 if name.endswith((".h", ".cc")):
                     yield os.path.join(dirpath, name)
@@ -127,20 +164,33 @@ def strip_comments_and_strings(line):
 
 
 def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--root", default=DEFAULT_ROOT,
+        help="tree to lint (default: the repo root; the lint self-test "
+             "points this at snippet corpora)")
+    args = parser.parse_args()
+    root = os.path.abspath(args.root)
+
     problems = []
+    # rule -> sites its pattern matched, counted BEFORE waivers and
+    # exemptions: a live rule shows nonzero here even on a clean tree.
+    activity = {rule: 0 for rule in RULES}
 
     def report(path, lineno, rule, msg):
-        rel = os.path.relpath(path, ROOT)
+        rel = os.path.relpath(path, root)
         problems.append(f"{rel}:{lineno}: [{rule}] {msg}")
 
-    for path in source_files():
+    for path in source_files(root):
         with open(path, encoding="utf-8") as f:
             lines = f.read().splitlines()
         is_header = path.endswith(".h")
         in_ppjoin = os.sep + os.path.join("src", "ppjoin") + os.sep in path
 
-        if is_header and not any(l.startswith("#pragma once") for l in lines):
-            report(path, 1, "pragma-once", "header missing '#pragma once'")
+        if is_header:
+            activity["pragma-once"] += 1  # headers checked
+            if not any(l.startswith("#pragma once") for l in lines):
+                report(path, 1, "pragma-once", "header missing '#pragma once'")
 
         needed = {}  # include -> first (lineno, symbol) needing it
         includes = set()
@@ -152,44 +202,59 @@ def main():
                     includes.add("<%s>" % m.group(1))
                 continue
             code = strip_comments_and_strings(raw)
+            prev = lines[lineno - 2] if lineno >= 2 else ""
 
             if RAND_RE.search(code):
+                activity["banned-rand"] += 1
                 report(path, lineno, "banned-rand",
                        "libc rand() breaks task determinism; use "
                        "common/hash.h or a seeded <random> engine")
 
-            if not path.endswith(EXECUTOR_FILES) and RAW_THREAD_RE.search(code):
-                prev = lines[lineno - 2] if lineno >= 2 else ""
-                if THREAD_WAIVER not in raw and THREAD_WAIVER not in prev:
+            if RAW_THREAD_RE.search(code):
+                activity["no-raw-thread"] += 1
+                if not path.endswith(EXECUTOR_FILES) and \
+                        THREAD_WAIVER not in raw and THREAD_WAIVER not in prev:
                     report(path, lineno, "no-raw-thread",
                            "spawn tasks on the common/executor.h Executor "
                            "instead of a raw std::thread; waive deliberate "
                            "uses with '// %s (<reason>)'" % THREAD_WAIVER)
 
-            if not path.endswith(SOCKET_EXEMPT_FILES) and \
-                    RAW_SOCKET_RE.search(code):
-                prev = lines[lineno - 2] if lineno >= 2 else ""
-                if SOCKET_WAIVER not in raw and SOCKET_WAIVER not in prev:
+            if RAW_SOCKET_RE.search(code):
+                activity["no-raw-socket"] += 1
+                if not path.endswith(SOCKET_EXEMPT_FILES) and \
+                        SOCKET_WAIVER not in raw and SOCKET_WAIVER not in prev:
                     report(path, lineno, "no-raw-socket",
                            "raw sockets bypass the shuffle wire layer "
                            "(framing, deadlines, payload hashes, fault "
                            "injection); use mapreduce/worker_net.h or "
                            "waive with '// %s (<reason>)'" % SOCKET_WAIVER)
 
-            file_io_exempt = (path.endswith(FILE_IO_EXEMPT_FILES) or
-                              any(d in path for d in FILE_IO_EXEMPT_DIRS))
-            if not file_io_exempt and RAW_FILE_IO_RE.search(code):
-                prev = lines[lineno - 2] if lineno >= 2 else ""
-                if FILE_IO_WAIVER not in raw and FILE_IO_WAIVER not in prev:
+            if RAW_FILE_IO_RE.search(code):
+                activity["no-raw-file-io"] += 1
+                file_io_exempt = (path.endswith(FILE_IO_EXEMPT_FILES) or
+                                  any(d in path for d in FILE_IO_EXEMPT_DIRS))
+                if not file_io_exempt and \
+                        FILE_IO_WAIVER not in raw and FILE_IO_WAIVER not in prev:
                     report(path, lineno, "no-raw-file-io",
                            "raw file I/O bypasses the Dfs (checksums, byte "
                            "meters, block framing); route through "
                            "mapreduce/dfs.h or waive with "
                            "'// %s (<reason>)'" % FILE_IO_WAIVER)
 
-            if in_ppjoin and UNORDERED_RE.search(code):
-                prev = lines[lineno - 2] if lineno >= 2 else ""
-                if WAIVER not in raw and WAIVER not in prev:
+            if NAKED_MUTEX_RE.search(code):
+                activity["no-naked-mutex"] += 1
+                if not path.endswith(MUTEX_EXEMPT_FILES) and \
+                        MUTEX_WAIVER not in raw and MUTEX_WAIVER not in prev:
+                    report(path, lineno, "no-naked-mutex",
+                           "naked std sync primitives bypass the thread-"
+                           "safety annotations and the lock-rank detector; "
+                           "use fj::Mutex / fj::MutexLock / fj::CondVar "
+                           "(common/sync.h) or waive with "
+                           "'// %s (<reason>)'" % MUTEX_WAIVER)
+
+            if UNORDERED_RE.search(code):
+                activity["no-unordered-ppjoin"] += 1
+                if in_ppjoin and WAIVER not in raw and WAIVER not in prev:
                     report(path, lineno, "no-unordered-ppjoin",
                            "unordered containers are banned in the ppjoin "
                            "hot path; waive cold paths with "
@@ -199,6 +264,7 @@ def main():
                 m = pattern.search(code)
                 if m and include not in needed:
                     needed[include] = (lineno, m.group(0))
+        activity["iwyu-lite"] += len(needed)
         for include, (lineno, symbol) in sorted(needed.items()):
             if include not in includes:
                 report(path, lineno, "iwyu-lite",
@@ -206,7 +272,12 @@ def main():
 
     for rel, cls in (("src/common/status.h", "class [[nodiscard]] Status"),
                      ("src/common/result.h", "class [[nodiscard]] Result")):
-        path = os.path.join(ROOT, rel)
+        path = os.path.join(root, rel)
+        # Snippet corpora (--root) don't carry status.h/result.h; the rule
+        # only applies to trees that do.
+        if not os.path.exists(path):
+            continue
+        activity["nodiscard-status"] += 1
         with open(path, encoding="utf-8") as f:
             if cls not in f.read():
                 report(path, 1, "nodiscard-status",
@@ -214,6 +285,11 @@ def main():
 
     if problems:
         print("\n".join(problems))
+    print("lint.py rule activity (matches before waivers/exemptions):")
+    for rule in RULES:
+        flag = "" if activity[rule] else "   <-- DEAD RULE? zero matches"
+        print(f"  {rule:<20} {activity[rule]:>5}{flag}")
+    if problems:
         print(f"\nlint.py: {len(problems)} problem(s)", file=sys.stderr)
         return 1
     print("lint.py: OK")
